@@ -1,0 +1,19 @@
+"""Shared cached experiment runs for benchmarks that split one sweep.
+
+Fig. 13 and Fig. 14 (and Fig. 16's three panels) come from single sweeps;
+caching avoids re-simulating the same frames in sibling benchmark files.
+"""
+
+from functools import lru_cache
+
+from repro.eval import experiment_fig13_fig14, experiment_fig16
+
+
+@lru_cache(maxsize=None)
+def fig13_fig14(seed: int = 0):
+    return experiment_fig13_fig14(seed=seed)
+
+
+@lru_cache(maxsize=None)
+def fig16(seed: int = 0):
+    return experiment_fig16(seed=seed)

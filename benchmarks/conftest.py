@@ -1,0 +1,42 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one paper table or figure: it runs the
+corresponding experiment under ``pytest-benchmark`` timing, prints the
+resulting rows (the same rows/series the paper reports), and writes them
+to ``benchmarks/output/<id>.txt`` for the record.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record_table(capsys):
+    """Print experiment tables and persist them under benchmarks/output."""
+
+    def _record(*tables):
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        for table in tables:
+            text = table.format()
+            with capsys.disabled():
+                print()
+                print(text)
+                print()
+            path = OUTPUT_DIR / f"{table.experiment_id}.txt"
+            path.write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with a single timed round.
+
+    These experiments simulate whole application frames (seconds each);
+    one round gives a faithful wall-clock figure without repeating
+    minutes of work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

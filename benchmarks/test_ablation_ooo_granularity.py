@@ -1,0 +1,26 @@
+"""Ablation: fine-grained vs coarse-grained out-of-order execution.
+
+DESIGN.md calls out the Sec. 6.3 decomposition: the scoreboard alone
+(fine-grained OoO within each algorithm) already beats in-order issue, and
+merging algorithm streams (coarse-grained OoO) buys the rest.
+"""
+
+from repro.eval import experiment_ablation_ooo
+
+from conftest import run_once
+
+
+def test_ablation_ooo_granularity(benchmark, record_table):
+    table = run_once(benchmark, experiment_ablation_ooo, 0)
+    record_table(table)
+
+    for row in table.rows:
+        # Strict ordering of the four controller variants.
+        assert row["ooo_full"] <= row["ooo_single_stream"]
+        assert row["ooo_single_stream"] < row["sequential"]
+        assert row["inorder"] < row["sequential"]
+        # Coarse-grained OoO provides a real cross-algorithm win on the
+        # multi-stream frames.
+        assert row["ooo_full"] < row["ooo_single_stream"] * 0.95 or (
+            row["ooo_single_stream"] == row["ooo_full"]
+        )

@@ -1,0 +1,28 @@
+"""Fig. 13: per-frame latency speedup over ARM across platforms.
+
+Paper averages: ORIANNA-OoO 53.5x over ARM, 6.5x over Intel, 28.6x over
+GPU, 6.3x over ORIANNA-IO; ORIANNA-SW (unified pose in software) buys
+< 10% over plain Intel.
+"""
+
+from repro.eval import geometric_mean
+
+from common import fig13_fig14
+from conftest import run_once
+
+
+def test_fig13_speedup(benchmark, record_table):
+    speed, _ = run_once(benchmark, fig13_fig14, 0)
+    record_table(speed)
+
+    mean = {c: geometric_mean(speed.column(c)) for c in speed.columns[1:]}
+
+    # Headline: the generated accelerator wins against every platform.
+    assert 25 < mean["ORIANNA-OoO"] < 110          # paper: 53.5x over ARM
+    assert 3 < mean["ORIANNA-OoO"] / mean["Intel"] < 14   # paper: 6.5x
+    assert mean["ORIANNA-OoO"] / mean["GPU"] > 8   # paper: 28.6x
+    assert mean["ORIANNA-OoO"] / mean["ORIANNA-IO"] > 2   # paper: 6.3x
+    # GPU roughly 2x the ARM CPU (paper: 2.03x).
+    assert 1.2 < mean["GPU"] < 4.0
+    # Software-only unified pose: marginal (paper: < 10%).
+    assert mean["ORIANNA-SW"] / mean["Intel"] < 1.25

@@ -1,0 +1,25 @@
+"""Fig. 14: energy reduction over ARM across platforms.
+
+Paper averages: ORIANNA-OoO 3.4x over ARM, 15.1x over Intel, 12.3x over
+GPU, 2.2x over ORIANNA-IO.
+"""
+
+from repro.eval import geometric_mean
+
+from common import fig13_fig14
+from conftest import run_once
+
+
+def test_fig14_energy(benchmark, record_table):
+    _, energy = run_once(benchmark, fig13_fig14, 0)
+    record_table(energy)
+
+    mean = {c: geometric_mean(energy.column(c)) for c in energy.columns[1:]}
+
+    assert 1.5 < mean["ORIANNA-OoO"] < 8.0            # paper: 3.4x over ARM
+    assert mean["ORIANNA-OoO"] / mean["Intel"] > 8    # paper: 15.1x
+    assert mean["ORIANNA-OoO"] / mean["GPU"] > 5      # paper: 12.3x
+    ratio_io = mean["ORIANNA-OoO"] / mean["ORIANNA-IO"]
+    assert 1.3 < ratio_io < 4.0                       # paper: 2.2x
+    # Every software platform consumes more energy than the accelerator.
+    assert mean["Intel"] < 1.0 and mean["GPU"] < 1.0

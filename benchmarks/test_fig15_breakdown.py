@@ -1,0 +1,21 @@
+"""Fig. 15: per-algorithm speedup over ARM.
+
+Paper averages: localization 48.2x, planning 50.6x, control 60.7x — every
+algorithm class is accelerated substantially.
+"""
+
+from repro.eval import experiment_fig15, geometric_mean
+
+from conftest import run_once
+
+
+def test_fig15_breakdown(benchmark, record_table):
+    table = run_once(benchmark, experiment_fig15, 0)
+    record_table(table)
+
+    for algorithm in ("localization", "planning", "control"):
+        mean = geometric_mean(table.column(algorithm))
+        assert mean > 8.0, f"{algorithm} speedup {mean:.1f}x too small"
+    for row in table.rows:
+        for algorithm in ("localization", "planning", "control"):
+            assert row[algorithm] > 3.0

@@ -1,0 +1,31 @@
+"""Fig. 17: matrix-operation sizes, dense vs factor-graph fronts.
+
+Paper (MobileRobot): the dense localization matrix is 147x90 while
+ORIANNA's elimination fronts are 11.1x smaller on average; planning 12.2x,
+control 16.4x.
+"""
+
+from functools import lru_cache
+
+from repro.eval import experiment_fig17_fig18
+
+from conftest import run_once
+
+
+@lru_cache(maxsize=None)
+def fig17_fig18(seed: int = 0):
+    return experiment_fig17_fig18(seed=seed)
+
+
+def test_fig17_matrix_size(benchmark, record_table):
+    size, _ = run_once(benchmark, fig17_fig18, 0)
+    record_table(size)
+
+    for row in size.rows:
+        # Dense matrices dwarf the elimination fronts in every algorithm.
+        assert row["vanilla_rows"] * row["vanilla_cols"] > 25 * (
+            row["orianna_max_rows"] * row["orianna_max_cols"] / 5
+        )
+        assert row["size_reduction"] > 5.0
+    loc = size.row_by("algorithm", "localization")
+    assert loc["vanilla_rows"] > loc["orianna_max_rows"]

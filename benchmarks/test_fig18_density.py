@@ -1,0 +1,19 @@
+"""Fig. 18: matrix-operation density, dense vs factor-graph fronts.
+
+Paper (MobileRobot): the dense localization matrix is 5.3% dense while
+ORIANNA's fronts average 58.5%; planning gains 10.8x, control 22.6x.
+"""
+
+from test_fig17_matrix_size import fig17_fig18
+
+from conftest import run_once
+
+
+def test_fig18_density(benchmark, record_table):
+    _, density = run_once(benchmark, fig17_fig18, 0)
+    record_table(density)
+
+    for row in density.rows:
+        assert row["orianna_mean_density"] > 0.5   # paper: 58.5% for loc
+        assert row["vanilla_density"] < 0.25
+        assert row["density_gain"] > 2.0

@@ -1,0 +1,27 @@
+"""Fig. 19: generated vs manually designed accelerators under DSP budgets.
+
+Paper: at every DSP constraint, the Equ. 5-generated accelerator achieves
+the best speedup over Intel among all designs that fit.
+"""
+
+from repro.eval import experiment_fig19
+
+from conftest import run_once
+
+
+def test_fig19_dsp_sweep(benchmark, record_table):
+    table = run_once(benchmark, experiment_fig19, 0, (450, 600, 750, 900))
+    record_table(table)
+
+    manual_columns = [c for c in table.columns
+                      if c.startswith("manual-")]
+    for row in table.rows:
+        best_manual = max(row[c] for c in manual_columns)
+        # The generated design matches or beats every fitting manual one.
+        assert row["orianna_generated"] >= best_manual * 0.999, (
+            f"generated {row['orianna_generated']:.2f} < manual "
+            f"{best_manual:.2f} at {row['dsp_budget']} DSPs"
+        )
+    # Bigger budgets never hurt.
+    speedups = table.column("orianna_generated")
+    assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))

@@ -1,0 +1,22 @@
+"""Fig. 20: energy-objective hardware generation under DSP budgets.
+
+Paper: the generator can also minimize energy, again dominating the
+manually designed accelerators at every constraint.
+"""
+
+from repro.eval import experiment_fig20
+
+from conftest import run_once
+
+
+def test_fig20_energy_constraint(benchmark, record_table):
+    table = run_once(benchmark, experiment_fig20, 0, (450, 600, 750, 900))
+    record_table(table)
+
+    manual_columns = [c for c in table.columns if c.startswith("manual-")]
+    for row in table.rows:
+        best_manual = max(row[c] for c in manual_columns)
+        assert row["orianna_generated"] >= best_manual * 0.999, (
+            f"generated {row['orianna_generated']:.2f} < manual "
+            f"{best_manual:.2f} at {row['dsp_budget']} DSPs"
+        )

@@ -1,0 +1,19 @@
+"""Sec. 7.3 latency breakdown: decomposition dominates the pipeline.
+
+Paper (drone): matrix decomposition 74.0%, construction 16.0%, back
+substitution 10.0% of the total latency.
+"""
+
+from repro.eval import experiment_latency_breakdown
+
+from conftest import run_once
+
+
+def test_latency_breakdown(benchmark, record_table):
+    table = run_once(benchmark, experiment_latency_breakdown, 0)
+    record_table(table)
+
+    shares = {r["phase"]: r["share"] for r in table.rows}
+    assert shares["decompose"] > 0.5
+    assert shares["decompose"] > shares["construct"] > shares["backsub"]
+    assert abs(sum(shares.values()) - 1.0) < 1e-9

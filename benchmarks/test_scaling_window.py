@@ -1,0 +1,21 @@
+"""Scalability: the factor-graph advantage grows with problem size.
+
+Supports the Fig. 17/18 story quantitatively: dense decomposition cycles
+grow superlinearly with the localization window while ORIANNA's
+incremental fronts keep per-variable cost nearly flat.
+"""
+
+from repro.eval.scaling import experiment_scaling
+
+from conftest import run_once
+
+
+def test_scaling_window(benchmark, record_table):
+    table = run_once(benchmark, experiment_scaling, (6, 10, 14, 18), 0)
+    record_table(table)
+
+    advantages = table.column("advantage")
+    # The dense-vs-sparse gap must widen monotonically with the window.
+    assert all(b > a for a, b in zip(advantages, advantages[1:]))
+    # And the largest window shows a decisive advantage.
+    assert advantages[-1] > 2 * advantages[0]

@@ -1,0 +1,26 @@
+"""Tbl. 5: mission success rate, ORIANNA vs the software reference.
+
+Paper: 100% / 96.7% / 100% / 93.3% across the four applications, with
+identical rates for the two implementations.
+"""
+
+from repro.eval import experiment_table5
+
+from conftest import run_once
+
+
+def test_table5_success_rate(benchmark, record_table):
+    table = run_once(benchmark, experiment_table5, num_missions=30)
+    record_table(table)
+
+    for row in table.rows:
+        # Every application succeeds on the vast majority of missions...
+        assert row["orianna"] >= 0.9
+        assert row["software_reference"] >= 0.8
+        # ... and the two stacks agree closely (paper: identical).
+        assert abs(row["orianna"] - row["software_reference"]) <= 0.15
+
+    quadrotor = table.row_by("application", "Quadrotor")
+    manipulator = table.row_by("application", "MobileRobot")
+    # The hardest application (VIO under drift) has the lowest rate.
+    assert quadrotor["orianna"] <= manipulator["orianna"]

@@ -1,0 +1,84 @@
+"""Incremental SLAM with uncertainty: iSAM-style updates + marginals.
+
+A robot explores; every step adds new odometry (and occasionally GPS)
+factors.  Instead of re-solving from scratch, the incremental solver
+re-eliminates only the affected variables — the factor-graph abstraction's
+incremental-inference superpower (Sec. 2.2).  After each update the
+example reports how many variables were touched, and at the end prints
+per-pose posterior standard deviations recovered from the Bayes net.
+
+Run:  python examples/incremental_slam.py
+"""
+
+import numpy as np
+
+from repro.factorgraph import (
+    GaussianFactor,
+    IncrementalSolver,
+    Marginals,
+    X,
+)
+
+
+def odometry_factor(i, j, measured, sigma=0.1):
+    """A linearized 2-D odometry row: x_j - x_i = measured."""
+    w = 1.0 / sigma
+    return GaussianFactor(
+        [X(i), X(j)],
+        {X(i): -w * np.eye(2), X(j): w * np.eye(2)},
+        w * np.asarray(measured, dtype=float),
+    )
+
+
+def gps_factor(i, measured, sigma=0.5):
+    w = 1.0 / sigma
+    return GaussianFactor([X(i)], {X(i): w * np.eye(2)},
+                          w * np.asarray(measured, dtype=float))
+
+
+def main():
+    rng = np.random.default_rng(3)
+    solver = IncrementalSolver()
+
+    # Anchor the first pose.
+    solver.update([gps_factor(0, [0.0, 0.0], sigma=0.01)])
+
+    truth = [np.zeros(2)]
+    num_steps = 25
+    print(" step  new-factors  re-eliminated  total-vars")
+    for i in range(num_steps):
+        heading = 2 * np.pi * i / num_steps
+        step = np.array([np.cos(heading), np.sin(heading)])
+        truth.append(truth[-1] + step)
+
+        new_factors = [odometry_factor(
+            i, i + 1, step + 0.05 * rng.standard_normal(2))]
+        if (i + 1) % 8 == 0:
+            new_factors.append(gps_factor(
+                i + 1, truth[-1] + 0.2 * rng.standard_normal(2)))
+        solver.update(new_factors)
+        print(f"{i + 1:5d}  {len(new_factors):11d}  "
+              f"{solver.last_reeliminated:13d}  {len(solver):10d}")
+
+    solution = solver.solve()
+    marginals = Marginals(solver.bayes_net())
+
+    print("\npose   estimate (x, y)        truth              "
+          "sigma (x, y)")
+    for i in range(0, num_steps + 1, 5):
+        est = solution[X(i)]
+        sd = marginals.standard_deviations(X(i))
+        print(f"x{i:<4d} ({est[0]:7.3f}, {est[1]:7.3f})   "
+              f"({truth[i][0]:7.3f}, {truth[i][1]:7.3f})   "
+              f"({sd[0]:.3f}, {sd[1]:.3f})")
+
+    errors = [float(np.linalg.norm(solution[X(i)] - truth[i]))
+              for i in range(num_steps + 1)]
+    print(f"\nmean error: {np.mean(errors):.3f} m, "
+          f"max error: {np.max(errors):.3f} m")
+    print("note: uncertainty grows between GPS fixes and contracts at "
+          "each fix — visible in the sigma column.")
+
+
+if __name__ == "__main__":
+    main()

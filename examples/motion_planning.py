@@ -1,0 +1,89 @@
+"""Motion planning as factor-graph inference (Fig. 7a).
+
+Plans a smooth, collision-free trajectory through a field of obstacles
+using smoothness factors (constant-velocity prior), collision-free hinge
+factors over a signed distance field, and velocity-limit kinematics
+factors.  Prints an ASCII map of the obstacle field with the seed and the
+optimized path.
+
+Run:  python examples/motion_planning.py
+"""
+
+import numpy as np
+
+from repro.factorgraph import FactorGraph, Isotropic, V, Values
+from repro.factors import (
+    CircleObstacle,
+    CollisionFreeFactor,
+    GoalFactor,
+    ObstacleField,
+    SmoothnessFactor,
+    VelocityLimitFactor,
+)
+from repro.optim import levenberg_marquardt
+
+
+def ascii_map(field, paths, width=60, height=21, x_range=(-1, 11),
+              y_range=(-3, 3)):
+    """Obstacles as '#', labeled paths overlaid on top."""
+    canvas = [[" "] * width for _ in range(height)]
+    for r in range(height):
+        for c in range(width):
+            x = x_range[0] + c / (width - 1) * (x_range[1] - x_range[0])
+            y = y_range[1] - r / (height - 1) * (y_range[1] - y_range[0])
+            if field.signed_distance(np.array([x, y])) < 0:
+                canvas[r][c] = "#"
+    for label, points in paths:
+        for x, y in points:
+            c = int((x - x_range[0]) / (x_range[1] - x_range[0]) * (width - 1))
+            r = int((y_range[1] - y) / (y_range[1] - y_range[0]) * (height - 1))
+            if 0 <= r < height and 0 <= c < width:
+                canvas[r][c] = label
+    return "\n".join("".join(row) for row in canvas)
+
+
+def main():
+    field = ObstacleField([
+        CircleObstacle((3.0, 0.4), 1.0),
+        CircleObstacle((6.5, -0.8), 1.1),
+        CircleObstacle((8.5, 1.2), 0.7),
+    ])
+    dof, n, dt = 2, 20, 0.4
+    start, goal = np.zeros(2), np.array([10.0, 0.0])
+
+    graph = FactorGraph()
+    values = Values()
+    nominal_v = (goal - start) / ((n - 1) * dt)
+    for i in range(n):
+        alpha = i / (n - 1)
+        q = start + alpha * (goal - start)
+        q = q + np.array([0.0, 0.8 * np.sin(np.pi * alpha)])  # bowed seed
+        values.insert(V(i), np.concatenate([q, nominal_v]))
+        graph.add(CollisionFreeFactor(V(i), field, position_dims=2,
+                                      epsilon=0.5, noise=Isotropic(1, 0.03)))
+        graph.add(VelocityLimitFactor(V(i), dof=dof, v_max=3.0,
+                                      noise=Isotropic(1, 0.1)))
+    for i in range(n - 1):
+        graph.add(SmoothnessFactor(V(i), V(i + 1), dof=dof, dt=dt))
+    graph.add(GoalFactor(V(0), start, dof=dof, noise=Isotropic(2, 1e-3)))
+    graph.add(GoalFactor(V(n - 1), goal, dof=dof, noise=Isotropic(2, 1e-3)))
+
+    seed_points = [tuple(values.vector(V(i))[:2]) for i in range(n)]
+    result = levenberg_marquardt(graph, values)
+    plan_points = [tuple(result.values.vector(V(i))[:2]) for i in range(n)]
+
+    print(ascii_map(field, [("s", seed_points), ("o", plan_points)]))
+    print()
+    clearances = [field.signed_distance(np.array(p)) for p in plan_points]
+    speeds = [float(np.linalg.norm(result.values.vector(V(i))[2:]))
+              for i in range(n)]
+    print(f"s = straight-line seed, o = optimized plan, # = obstacles")
+    print(f"minimum clearance: {min(clearances):.2f} m "
+          f"({'collision-free' if min(clearances) > 0 else 'IN COLLISION'})")
+    print(f"peak speed: {max(speeds):.2f} m/s (limit 3.0)")
+    print(f"objective: {result.initial_error:.2f} -> "
+          f"{result.final_error:.4f} in {result.num_iterations} iterations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The Sec. 4.3 sphere validation (Fig. 9 / Tbl. 1), visualized.
+
+Generates the multi-layer sphere trajectory, corrupts it with integrated
+odometry noise (the Fig. 9a corkscrew), optimizes under both the unified
+``<so(3), T(3)>`` representation and the SE(3) baseline, prints the Tbl. 1
+error statistics, and renders top-down ASCII views of the drifted and
+recovered trajectories.
+
+Run:  python examples/sphere_validation.py
+"""
+
+import numpy as np
+
+from repro.apps.workloads import ate_statistics
+from repro.eval.sphere import (
+    build_graph,
+    generate_sphere_problem,
+    trajectory_errors,
+)
+from repro.factorgraph import X
+from repro.optim import GaussNewtonParams
+
+
+def top_view(poses, size=31, radius=80.0, mark="o"):
+    canvas = [[" "] * size for _ in range(size)]
+    for p in poses:
+        c = int((p.t[0] + radius) / (2 * radius) * (size - 1))
+        r = int((radius - p.t[1]) / (2 * radius) * (size - 1))
+        if 0 <= r < size and 0 <= c < size:
+            canvas[r][c] = mark
+    return "\n".join("".join(row) for row in canvas)
+
+
+def main():
+    problem = generate_sphere_problem(layers=6, points_per_layer=14,
+                                      seed=0)
+    n = len(problem.truth)
+    print(f"sphere benchmark: {n} poses, {len(problem.odometry)} odometry "
+          f"and {len(problem.loop_closures)} loop-closure measurements")
+
+    initial_poses = [problem.initial.pose(X(i)) for i in range(n)]
+    print("\nFig. 9a — initial trajectory (top view; drifting corkscrew):")
+    print(top_view(initial_poses))
+
+    rows = {"Initial Error": ate_statistics(
+        trajectory_errors(problem.initial, problem.truth))}
+
+    params = GaussNewtonParams(max_iterations=15, relative_error_tol=1e-6)
+    optimized = {}
+    for representation, label in (("unified", "<so(3), T(3)>"),
+                                  ("se3", "SE(3)")):
+        graph = build_graph(problem, representation)
+        result = graph.optimize(problem.initial, params)
+        optimized[label] = result
+        rows[label] = ate_statistics(
+            trajectory_errors(result.values, problem.truth))
+
+    best = optimized["<so(3), T(3)>"].values
+    print("\nFig. 9b — optimized trajectory (top view; circles recovered):")
+    print(top_view([best.pose(X(i)) for i in range(n)]))
+
+    print("\nTbl. 1 — absolute trajectory errors (meters):")
+    print(f"{'trajectory':<16} {'max':>8} {'mean':>8} {'min':>8} {'std':>8}")
+    for label, stats in rows.items():
+        print(f"{label:<16} {stats['max']:8.3f} {stats['mean']:8.3f} "
+              f"{stats['min']:8.3f} {stats['std']:8.3f}")
+
+    diff = abs(rows["<so(3), T(3)>"]["mean"] - rows["SE(3)"]["mean"])
+    print(f"\nunified-vs-SE(3) mean-ATE difference: {diff:.2e} m — the "
+          f"unified representation loses no accuracy (Sec. 4.3).")
+
+
+if __name__ == "__main__":
+    main()

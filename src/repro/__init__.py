@@ -1,0 +1,31 @@
+"""ORIANNA reproduction: accelerator generation for optimization-based
+robotic applications (ASPLOS 2024).
+
+Subpackages::
+
+    repro.geometry     unified pose representation <so(n), T(n)> (Sec. 4)
+    repro.factorgraph  factor-graph engine: elimination + back substitution
+    repro.factors      the Tbl. 2 factor library
+    repro.optim        Gauss-Newton / Levenberg-Marquardt (Fig. 3)
+    repro.compiler     MO-DFG compiler and matrix ISA (Sec. 5.2)
+    repro.hw           hardware templates and the Equ. 5 generator (Sec. 6)
+    repro.sim          cycle-level out-of-order simulator (Sec. 6.3)
+    repro.apps         the Tbl. 4 application suite and workloads
+    repro.baselines    Intel/ARM/GPU/VANILLA-HLS/STACK models (Sec. 7.1)
+    repro.eval         per-table/figure experiments (Sec. 7)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "geometry",
+    "factorgraph",
+    "factors",
+    "optim",
+    "compiler",
+    "hw",
+    "sim",
+    "apps",
+    "baselines",
+    "eval",
+]

@@ -1,0 +1,24 @@
+"""Benchmark robotic applications and workload generators (Tbl. 4)."""
+
+from repro.apps.base import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    CONTROL,
+    LOCALIZATION,
+    PLANNING,
+    RoboticApplication,
+)
+from repro.apps.applications import (
+    all_applications,
+    auto_vehicle,
+    manipulator,
+    mobile_robot,
+    quadrotor,
+)
+
+__all__ = [
+    "AlgorithmSpec", "RoboticApplication",
+    "LOCALIZATION", "PLANNING", "CONTROL", "ALGORITHMS",
+    "mobile_robot", "manipulator", "auto_vehicle", "quadrotor",
+    "all_applications",
+]

@@ -1,0 +1,138 @@
+"""The four Tbl. 4 benchmark applications.
+
+=============  ============  ==============  ==================
+application    localization  planning        control
+=============  ============  ==============  ==================
+MobileRobot    dim 3         dim 6           state 3, input 2
+               LiDAR, GPS    Collision,      Dynamics
+                             Smooth
+Manipulator    dim 2         dim 4           state 2, input 2
+               Prior         Collision,      Dynamics
+                             Smooth
+AutoVehicle    dim 3         dim 6           state 5, input 2
+               LiDAR, GPS    Collision,      Kinematics,
+                             Kinematics      Dynamics
+Quadrotor      dim 6         dim 12          state 12, input 5
+               Camera, IMU   Collision,      Kinematics,
+                             Kinematics      Dynamics
+=============  ============  ==============  ==================
+
+Frequencies follow the paper's observation that planning runs at a much
+lower rate than localization and control (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+from repro.apps import builders
+from repro.apps.base import (
+    AlgorithmSpec,
+    CONTROL,
+    LOCALIZATION,
+    PLANNING,
+    RoboticApplication,
+)
+
+
+def mobile_robot() -> RoboticApplication:
+    """A two-wheeled robot on a plane [26]."""
+    a, b = builders.unicycle_model()
+    return RoboticApplication("MobileRobot", [
+        AlgorithmSpec(
+            LOCALIZATION,
+            lambda rng: builders.lidar_gps_localization(rng, window=10),
+            frequency_hz=10.0,
+        ),
+        AlgorithmSpec(
+            PLANNING,
+            lambda rng: builders.trajectory_planning(
+                rng, dof=3, num_states=15, position_dims=2),
+            frequency_hz=2.0,
+        ),
+        AlgorithmSpec(
+            CONTROL,
+            lambda rng: builders.lqr_control(rng, a, b, horizon=12),
+            frequency_hz=50.0,
+        ),
+    ])
+
+
+def manipulator() -> RoboticApplication:
+    """A two-link robot arm [41]."""
+    a, b = builders.two_link_arm_model()
+    return RoboticApplication("Manipulator", [
+        AlgorithmSpec(
+            LOCALIZATION,
+            lambda rng: builders.joint_prior_localization(rng, window=8,
+                                                          dof=2),
+            frequency_hz=50.0,
+        ),
+        AlgorithmSpec(
+            PLANNING,
+            lambda rng: builders.trajectory_planning(
+                rng, dof=2, num_states=15, position_dims=2),
+            frequency_hz=2.0,
+        ),
+        AlgorithmSpec(
+            CONTROL,
+            lambda rng: builders.lqr_control(rng, a, b, horizon=12),
+            frequency_hz=100.0,
+        ),
+    ])
+
+
+def auto_vehicle() -> RoboticApplication:
+    """A four-wheeled unmanned vehicle with car dynamics [22]."""
+    a, b = builders.bicycle_model()
+    return RoboticApplication("AutoVehicle", [
+        AlgorithmSpec(
+            LOCALIZATION,
+            lambda rng: builders.lidar_gps_localization(rng, window=15),
+            frequency_hz=10.0,
+        ),
+        AlgorithmSpec(
+            PLANNING,
+            lambda rng: builders.trajectory_planning(
+                rng, dof=3, num_states=15, position_dims=2,
+                velocity_limit=8.0),
+            frequency_hz=2.0,
+        ),
+        AlgorithmSpec(
+            CONTROL,
+            lambda rng: builders.lqr_control(
+                rng, a, b, horizon=12,
+                kinematics_indices=[3, 4], kinematics_limits=[15.0, 0.6]),
+            frequency_hz=50.0,
+        ),
+    ])
+
+
+def quadrotor() -> RoboticApplication:
+    """A four-rotor micro drone [2]."""
+    a, b = builders.quadrotor_model()
+    return RoboticApplication("Quadrotor", [
+        AlgorithmSpec(
+            LOCALIZATION,
+            lambda rng: builders.visual_inertial_localization(
+                rng, keyframes=8, num_landmarks=6),
+            frequency_hz=20.0,
+        ),
+        AlgorithmSpec(
+            PLANNING,
+            lambda rng: builders.trajectory_planning(
+                rng, dof=6, num_states=12, position_dims=3,
+                velocity_limit=5.0),
+            frequency_hz=2.0,
+        ),
+        AlgorithmSpec(
+            CONTROL,
+            lambda rng: builders.lqr_control(
+                rng, a, b, horizon=12,
+                kinematics_indices=[3, 4, 5], kinematics_limits=[6.0] * 3),
+            frequency_hz=100.0,
+        ),
+    ])
+
+
+def all_applications():
+    """The full Tbl. 4 benchmark suite, in paper order."""
+    return [mobile_robot(), manipulator(), auto_vehicle(), quadrotor()]

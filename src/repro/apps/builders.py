@@ -1,0 +1,271 @@
+"""Shared factor-graph builders for the benchmark applications.
+
+Each builder constructs one solver iteration's factor graph and initial
+values: a localization sliding window, a planning trajectory, or a control
+horizon, with dimensions chosen per application (Tbl. 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps import workloads
+from repro.factorgraph import (
+    FactorGraph,
+    Isotropic,
+    U,
+    Values,
+    V,
+    X,
+    Y,
+)
+from repro.factors import (
+    CameraFactor,
+    CollisionFreeFactor,
+    ControlCostFactor,
+    DynamicsFactor,
+    GoalFactor,
+    GPSFactor,
+    IMUFactor,
+    KinematicsFactor,
+    LiDARFactor,
+    PinholeCamera,
+    PriorFactor,
+    SmoothnessFactor,
+    StateCostFactor,
+    VelocityLimitFactor,
+    odometry_measurement,
+)
+from repro.geometry import Pose
+
+
+# ----------------------------------------------------------------------
+# Localization builders
+# ----------------------------------------------------------------------
+
+def lidar_gps_localization(rng: np.random.Generator, window: int = 10,
+                           gps_every: int = 3
+                           ) -> Tuple[FactorGraph, Values]:
+    """2-D sliding-window localization with LiDAR odometry + GPS fixes."""
+    truth = workloads.planar_trajectory(window, rng)
+    graph = FactorGraph([PriorFactor(X(0), truth[0], Isotropic(3, 1e-3))])
+    for i in range(window - 1):
+        z = odometry_measurement(truth[i], truth[i + 1], rng,
+                                 rot_sigma=0.005, trans_sigma=0.02)
+        graph.add(LiDARFactor(X(i), X(i + 1), z))
+    for i in range(0, window, gps_every):
+        fix = truth[i].t + 0.3 * rng.standard_normal(2)
+        graph.add(GPSFactor(X(i), fix, Isotropic(2, 0.3)))
+
+    noisy = workloads.corrupt_trajectory(truth, rng, rot_sigma=0.02,
+                                         trans_sigma=0.05)
+    values = Values({X(i): p for i, p in enumerate(noisy)})
+    return graph, values
+
+
+def joint_prior_localization(rng: np.random.Generator, window: int = 8,
+                             dof: int = 2) -> Tuple[FactorGraph, Values]:
+    """Manipulator joint-state estimation from encoder priors (Tbl. 4)."""
+    graph = FactorGraph()
+    values = Values()
+    state = rng.uniform(-np.pi, np.pi, dof)
+    for i in range(window):
+        state = state + 0.05 * rng.standard_normal(dof)
+        reading = state + 0.01 * rng.standard_normal(dof)
+        graph.add(PriorFactor(X(i), reading, Isotropic(dof, 0.01)))
+        values.insert(X(i), reading + 0.02 * rng.standard_normal(dof))
+    return graph, values
+
+
+def visual_inertial_localization(rng: np.random.Generator,
+                                 keyframes: int = 8,
+                                 num_landmarks: int = 6
+                                 ) -> Tuple[FactorGraph, Values]:
+    """The Fig. 4 graph: camera + IMU + prior over 3-D keyframes."""
+    truth = workloads.spatial_trajectory(keyframes, rng, step=0.4)
+    landmarks = workloads.landmark_field(truth, rng, num_landmarks)
+    camera = PinholeCamera()
+
+    graph = FactorGraph([PriorFactor(X(0), truth[0], Isotropic(6, 1e-3))])
+    for i in range(keyframes - 1):
+        z = odometry_measurement(truth[i], truth[i + 1], rng,
+                                 rot_sigma=0.01, trans_sigma=0.03)
+        graph.add(IMUFactor(X(i), X(i + 1), z))
+
+    visible: dict = {}
+    for j, landmark in enumerate(landmarks):
+        for i, pose in enumerate(truth):
+            p_cam = pose.rotation.T @ (landmark - pose.t)
+            if p_cam[2] < 0.5:
+                continue
+            pixel = camera.project(p_cam) + rng.standard_normal(2)
+            visible.setdefault(j, []).append(
+                CameraFactor(X(i), Y(j), pixel, camera, Isotropic(2, 1.0))
+            )
+
+    noisy = workloads.corrupt_trajectory(truth, rng, rot_sigma=0.01,
+                                         trans_sigma=0.02)
+    values = Values({X(i): p for i, p in enumerate(noisy)})
+    for j, factors in visible.items():
+        # A landmark needs at least two views (4 rows) to be triangulable;
+        # front-ends discard weaker tracks.
+        if len(factors) < 2:
+            continue
+        graph.extend(factors)
+        initial = landmarks[j] + 0.2 * rng.standard_normal(3)
+        values.insert(Y(j), initial)
+        # Weak position prior: keeps the landmark determined even when
+        # cheirality drops its observations at a bad linearization point.
+        graph.add(PriorFactor(Y(j), initial, Isotropic(3, 10.0)))
+    return graph, values
+
+
+# ----------------------------------------------------------------------
+# Planning builder
+# ----------------------------------------------------------------------
+
+def trajectory_planning(rng: np.random.Generator, dof: int,
+                        num_states: int = 15, position_dims: int = 2,
+                        num_obstacles: int = 4,
+                        velocity_limit: Optional[float] = None,
+                        span: float = 8.0,
+                        bow: float = 0.3) -> Tuple[FactorGraph, Values]:
+    """Fig. 7a: smooth + collision-free (+ optional kinematics) planning.
+
+    States are ``[q, qdot]`` vectors of dimension ``2 * dof``; obstacles
+    live in the first ``position_dims`` configuration dimensions.
+    """
+    dt = 0.5
+    field = workloads.obstacle_course(rng, num_obstacles, area=span)
+    if position_dims == 3:
+        # Lift planar obstacles to spheres in 3-D.
+        from repro.factors import CircleObstacle, ObstacleField
+
+        field = ObstacleField([
+            CircleObstacle((o.center[0], o.center[1],
+                            rng.uniform(-0.4, 0.4)), o.radius)
+            for o in field.obstacles
+        ])
+
+    start = np.zeros(dof)
+    goal = np.zeros(dof)
+    goal[0] = span
+    if dof > 1:
+        goal[1] = rng.uniform(-1.0, 1.0)
+
+    graph = FactorGraph()
+    values = Values()
+    nominal_velocity = (goal - start) / ((num_states - 1) * dt)
+    for i in range(num_states):
+        alpha = i / (num_states - 1)
+        q = start + alpha * (goal - start)
+        # Bowed seed (see planning tests): breaks obstacle symmetry.
+        if dof > 1:
+            q = q + bow * np.sin(np.pi * alpha) * np.eye(dof)[1]
+        values.insert(V(i), np.concatenate([q, nominal_velocity]))
+        graph.add(CollisionFreeFactor(V(i), field,
+                                      position_dims=position_dims,
+                                      epsilon=0.4, noise=Isotropic(1, 0.05)))
+        if velocity_limit is not None:
+            graph.add(VelocityLimitFactor(V(i), dof=dof,
+                                          v_max=velocity_limit,
+                                          noise=Isotropic(1, 0.05)))
+    for i in range(num_states - 1):
+        graph.add(SmoothnessFactor(V(i), V(i + 1), dof=dof, dt=dt))
+    graph.add(GoalFactor(V(0), start, dof=dof, noise=Isotropic(dof, 1e-3)))
+    graph.add(GoalFactor(V(num_states - 1), goal, dof=dof,
+                         noise=Isotropic(dof, 1e-3)))
+    return graph, values
+
+
+# ----------------------------------------------------------------------
+# Control builder
+# ----------------------------------------------------------------------
+
+def lqr_control(rng: np.random.Generator, a: np.ndarray, b: np.ndarray,
+                horizon: int = 12,
+                kinematics_indices: Optional[List[int]] = None,
+                kinematics_limits: Optional[List[float]] = None
+                ) -> Tuple[FactorGraph, Values]:
+    """Fig. 7b: finite-horizon tracking control as a factor graph.
+
+    The reference is a rollout of the actual dynamics under smooth random
+    inputs, so it is dynamically feasible and a correct solver can track
+    it closely (the mission success criterion).
+    """
+    state_dim = a.shape[0]
+    input_dim = b.shape[1]
+    states = np.zeros((horizon + 1, state_dim))
+    states[0] = 0.5 * rng.standard_normal(state_dim)
+    u_ref = np.zeros(input_dim)
+    for k in range(horizon):
+        u_ref = 0.7 * u_ref + 0.3 * rng.standard_normal(input_dim)
+        states[k + 1] = a @ states[k] + b @ u_ref
+    reference = workloads.ReferencePath(states)
+
+    graph = FactorGraph([PriorFactor(X(0), reference.states[0],
+                                     Isotropic(state_dim, 1e-4))])
+    values = Values({X(0): reference.states[0].copy()})
+    for k in range(horizon):
+        graph.add(DynamicsFactor(X(k), U(k), X(k + 1), a, b,
+                                 Isotropic(state_dim, 1e-4)))
+        graph.add(StateCostFactor(X(k + 1), reference.states[k + 1],
+                                  Isotropic(state_dim, 1.0)))
+        graph.add(ControlCostFactor(U(k), input_dim,
+                                    Isotropic(input_dim, 2.0)))
+        if kinematics_indices:
+            graph.add(KinematicsFactor(X(k + 1), kinematics_indices,
+                                       kinematics_limits,
+                                       Isotropic(len(kinematics_indices),
+                                                 0.1)))
+        values.insert(U(k), np.zeros(input_dim))
+        values.insert(X(k + 1), reference.states[0].copy())
+    return graph, values
+
+
+# ----------------------------------------------------------------------
+# Linearized robot models (A, B) per application
+# ----------------------------------------------------------------------
+
+def unicycle_model(dt: float = 0.1, v0: float = 1.0):
+    """Mobile robot: state (x, y, theta), inputs (v, omega)."""
+    a = np.eye(3)
+    a[1, 2] = dt * v0
+    b = dt * np.array([[1.0, 0.0], [0.0, 0.0], [0.0, 1.0]])
+    return a, b
+
+
+def two_link_arm_model(dt: float = 0.05):
+    """Manipulator: joint angles under velocity control."""
+    return np.eye(2), dt * np.eye(2)
+
+
+def bicycle_model(dt: float = 0.1, v0: float = 5.0, wheelbase: float = 2.7):
+    """AutoVehicle: state (x, y, theta, v, delta), inputs (accel, steer)."""
+    a = np.eye(5)
+    a[0, 3] = dt            # x += v dt
+    a[1, 2] = dt * v0       # y += v0 theta dt
+    a[2, 4] = dt * v0 / wheelbase  # theta += v0/L delta dt
+    b = np.zeros((5, 2))
+    b[3, 0] = dt
+    b[4, 1] = dt
+    return a, b
+
+
+def quadrotor_model(dt: float = 0.05, gravity: float = 9.81):
+    """Quadrotor: 12-state (p, v, attitude, omega), 5 inputs (Tbl. 4)."""
+    a = np.eye(12)
+    for i in range(3):
+        a[i, 3 + i] = dt                 # p += v dt
+        a[6 + i, 9 + i] = dt             # att += omega dt
+    a[3, 7] = dt * gravity               # vx couples to pitch
+    a[4, 6] = -dt * gravity              # vy couples to roll
+    b = np.zeros((12, 5))
+    b[5, 0] = dt                         # collective thrust -> vz
+    b[9, 1] = dt                         # body torques -> omega
+    b[10, 2] = dt
+    b[11, 3] = dt
+    b[3, 4] = dt * 0.1                   # auxiliary forward actuator
+    return a, b

@@ -1,0 +1,16 @@
+"""Deterministic seed derivation.
+
+Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so it
+must never feed random seeds in reproducible experiments.  This helper
+derives stable 32-bit seeds from arbitrary label tuples via CRC32.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_seed(*parts) -> int:
+    """A process-stable 32-bit seed from a tuple of labels."""
+    text = "\x1f".join(repr(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))

@@ -1,0 +1,179 @@
+"""Workload generators: trajectories, landmarks, obstacles, references.
+
+Synthetic stand-ins for the paper's robot sensor data (see DESIGN.md,
+"Hardware substitutions"): ground-truth trajectories with configurable
+sensor noise, landmark fields for camera SLAM, obstacle fields for
+planning, and reference paths for control.  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.factors.planning import CircleObstacle, ObstacleField
+from repro.geometry import Pose, so3
+
+
+def planar_trajectory(num_poses: int, rng: np.random.Generator,
+                      step: float = 0.5,
+                      turn_sigma: float = 0.15) -> List[Pose]:
+    """A smooth random-walk trajectory in the plane."""
+    poses = [Pose.identity(2)]
+    heading_rate = 0.0
+    for _ in range(num_poses - 1):
+        heading_rate = 0.8 * heading_rate + turn_sigma * rng.standard_normal()
+        delta = Pose.from_xytheta(step, 0.0, heading_rate)
+        poses.append(poses[-1].compose(delta))
+    return poses
+
+
+def spatial_trajectory(num_poses: int, rng: np.random.Generator,
+                       step: float = 0.5,
+                       turn_sigma: float = 0.1) -> List[Pose]:
+    """A smooth random-walk trajectory in 3-D space."""
+    poses = [Pose.identity(3)]
+    rate = np.zeros(3)
+    for _ in range(num_poses - 1):
+        rate = 0.8 * rate + turn_sigma * rng.standard_normal(3)
+        delta = Pose(rate, np.array([step, 0.0, 0.0]))
+        poses.append(poses[-1].compose(delta))
+    return poses
+
+
+def sphere_trajectory(layers: int = 10, points_per_layer: int = 20,
+                      radius: float = 50.0) -> List[Pose]:
+    """The Sec. 4.3 validation benchmark: a multi-layer sphere.
+
+    "The ground-truth trajectory forms a sphere composed of multiple
+    layers ascending from bottom to top.  Each layer should form a
+    perfect circle."  Poses face along the direction of travel.
+    """
+    poses: List[Pose] = []
+    for layer in range(layers):
+        # Polar angle sweeps from near the south pole to near the north.
+        polar = np.pi * (layer + 1) / (layers + 1)
+        z = radius * np.cos(polar)
+        ring_radius = radius * np.sin(polar)
+        for i in range(points_per_layer):
+            azimuth = 2.0 * np.pi * i / points_per_layer
+            position = np.array([
+                ring_radius * np.cos(azimuth),
+                ring_radius * np.sin(azimuth),
+                z,
+            ])
+            # Yaw to face the direction of travel around the ring.
+            yaw = azimuth + np.pi / 2.0
+            phi = so3.log(so3.exp(np.array([0.0, 0.0, yaw])))
+            poses.append(Pose(phi, position))
+    return poses
+
+
+def corrupt_trajectory(truth: List[Pose], rng: np.random.Generator,
+                       rot_sigma: float = 0.02,
+                       trans_sigma: float = 0.1) -> List[Pose]:
+    """Integrate noisy odometry to produce a drifted initial estimate.
+
+    Mirrors how real front-ends obtain initial values: the first pose is
+    kept, each subsequent pose is the previous estimate composed with the
+    noisy relative measurement, so error accumulates along the path
+    (Fig. 9a's corkscrew drift).
+    """
+    if not truth:
+        return []
+    k = truth[0].phi.shape[0]
+    n = truth[0].n
+    noisy = [truth[0]]
+    for prev, cur in zip(truth, truth[1:]):
+        relative = cur.ominus(prev)
+        noise = np.concatenate([
+            rot_sigma * rng.standard_normal(k),
+            trans_sigma * rng.standard_normal(n),
+        ])
+        noisy.append(noisy[-1].compose(relative.retract(noise)))
+    return noisy
+
+
+def landmark_field(truth: List[Pose], rng: np.random.Generator,
+                   num_landmarks: int, spread: float = 5.0,
+                   forward: float = 6.0) -> List[np.ndarray]:
+    """Landmarks scattered in front of the trajectory (3-D only)."""
+    landmarks = []
+    for i in range(num_landmarks):
+        anchor = truth[(i * max(1, len(truth) // num_landmarks))
+                       % len(truth)]
+        offset = np.array([0.0, 0.0, forward]) + spread * (
+            rng.standard_normal(3)
+        )
+        landmarks.append(anchor.transform_point(offset))
+    return landmarks
+
+
+def obstacle_course(rng: np.random.Generator, num_obstacles: int,
+                    area: float = 10.0, radius_range=(0.4, 1.0),
+                    keepout: float = 1.5) -> ObstacleField:
+    """Random circular obstacles, keeping start (origin) and goal clear."""
+    goal = np.array([area, 0.0])
+    obstacles = []
+    attempts = 0
+    while len(obstacles) < num_obstacles and attempts < 200:
+        attempts += 1
+        center = np.array([rng.uniform(1.0, area - 1.0),
+                           rng.uniform(-area / 3, area / 3)])
+        radius = rng.uniform(*radius_range)
+        if np.linalg.norm(center) < keepout + radius:
+            continue
+        if np.linalg.norm(center - goal) < keepout + radius:
+            continue
+        obstacles.append(CircleObstacle((center[0], center[1]), radius))
+    return ObstacleField(obstacles)
+
+
+@dataclass
+class ReferencePath:
+    """A time-parameterized reference for tracking control."""
+
+    states: np.ndarray  # (horizon + 1, state_dim)
+
+    @property
+    def horizon(self) -> int:
+        return self.states.shape[0] - 1
+
+    @property
+    def state_dim(self) -> int:
+        return self.states.shape[1]
+
+
+def reference_path(horizon: int, state_dim: int,
+                   rng: np.random.Generator,
+                   decay: float = 0.85) -> ReferencePath:
+    """A smooth reference converging toward the origin (regulation task)."""
+    start = rng.standard_normal(state_dim)
+    states = np.zeros((horizon + 1, state_dim))
+    states[0] = start
+    for k in range(horizon):
+        states[k + 1] = decay * states[k]
+    return ReferencePath(states)
+
+
+def absolute_trajectory_errors(estimate: List[Pose],
+                               truth: List[Pose]) -> np.ndarray:
+    """Per-pose translation error (the ATE of Tbl. 1)."""
+    if len(estimate) != len(truth):
+        raise ValueError("trajectories must have equal length")
+    return np.array([
+        float(np.linalg.norm(e.t - t.t)) for e, t in zip(estimate, truth)
+    ])
+
+
+def ate_statistics(errors: np.ndarray) -> dict:
+    """Max / mean / min / std of an ATE series (Tbl. 1 columns)."""
+    return {
+        "max": float(np.max(errors)),
+        "mean": float(np.mean(errors)),
+        "min": float(np.min(errors)),
+        "std": float(np.std(errors)),
+    }

@@ -1,0 +1,41 @@
+"""Baseline execution models for the Sec. 7 comparisons."""
+
+from repro.baselines.cost import (
+    dense_backsub_cycles,
+    dense_backsub_flops,
+    dense_qr_cycles,
+    dense_qr_flops,
+    instruction_flops,
+    phase_flops,
+    program_flops,
+    program_op_count,
+)
+from repro.baselines.cpu import (
+    ARM,
+    BaselineResult,
+    CpuModel,
+    INTEL,
+    ORIANNA_SW,
+    construct_share,
+    se3_construct_inflation,
+)
+from repro.baselines.gpu import GpuModel, TX1_GPU
+from repro.baselines.gtsam_like import GtsamLikeSolver
+from repro.baselines.stack import STACK_CONFIGS, StackAccelerators, StackResult
+from repro.baselines.vanilla_hls import (
+    VanillaHls,
+    VanillaHlsResult,
+    vanilla_config,
+)
+
+__all__ = [
+    "BaselineResult", "CpuModel", "INTEL", "ARM", "ORIANNA_SW",
+    "se3_construct_inflation", "construct_share",
+    "GpuModel", "TX1_GPU",
+    "GtsamLikeSolver",
+    "VanillaHls", "VanillaHlsResult", "vanilla_config",
+    "StackAccelerators", "StackResult", "STACK_CONFIGS",
+    "instruction_flops", "program_flops", "program_op_count", "phase_flops",
+    "dense_qr_flops", "dense_qr_cycles", "dense_backsub_flops",
+    "dense_backsub_cycles",
+]

@@ -1,0 +1,112 @@
+"""Graphviz (DOT) export of MO-DFGs and compiled programs.
+
+Renders Fig. 11-style data-flow graphs: primitive operation nodes ranked
+by their BFS dependency level (same-level nodes can execute in parallel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.compiler.exprs import (
+    Expr,
+    RotConst,
+    RotVar,
+    TransVar,
+    VecConst,
+    VecVar,
+)
+from repro.compiler.isa import Opcode, Program
+from repro.compiler.modfg import MoDFG
+
+_LEAF_COLOR = "lightblue"
+_CONST_COLOR = "lightyellow"
+_OP_COLOR = "white"
+
+
+def _node_label(node: Expr) -> str:
+    name = type(node).__name__
+    labels = {
+        "RotRot": "RR", "RotT": "RT", "RotVec": "RV", "VecAdd": "VP",
+        "LogMap": "Log", "ExpMap": "Exp", "GenMatVec": "A@v",
+    }
+    if name in labels:
+        return labels[name]
+    return repr(node)
+
+
+def modfg_to_dot(dfg: MoDFG, title: Optional[str] = None) -> str:
+    """DOT text for one factor's matrix-operation data-flow graph."""
+    lines = [
+        "digraph modfg {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=11, shape=ellipse];',
+    ]
+    if title:
+        lines.append(f'  label="{title}"; labelloc=top;')
+    ids: Dict[int, str] = {}
+    for idx, node in enumerate(dfg.nodes):
+        ids[id(node)] = f"n{idx}"
+        if isinstance(node, (RotVar, TransVar, VecVar)):
+            color = _LEAF_COLOR
+        elif isinstance(node, (RotConst, VecConst)):
+            color = _CONST_COLOR
+        else:
+            color = _OP_COLOR
+        lines.append(
+            f'  n{idx} [label="{_node_label(node)}", style=filled, '
+            f'fillcolor={color}];'
+        )
+    for node in dfg.nodes:
+        for child in node.children:
+            lines.append(f"  {ids[id(child)]} -> {ids[id(node)]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_dot(program: Program, title: Optional[str] = None,
+                   include_consts: bool = False,
+                   max_instructions: int = 400) -> str:
+    """DOT text for a compiled program's dependency DAG, ranked by level."""
+    lines = [
+        "digraph program {",
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica", fontsize=10, shape=box];',
+    ]
+    if title:
+        lines.append(f'  label="{title}"; labelloc=top;')
+
+    shown = []
+    for instr in program.instructions:
+        if instr.op is Opcode.CONST and not include_consts:
+            continue
+        shown.append(instr)
+        if len(shown) >= max_instructions:
+            break
+    shown_uids = {i.uid for i in shown}
+
+    phase_color = {"construct": "lightblue", "decompose": "salmon",
+                   "backsub": "lightgreen"}
+    for instr in shown:
+        color = phase_color.get(instr.phase, "white")
+        lines.append(
+            f'  i{instr.uid} [label="{instr.op.value}", style=filled, '
+            f'fillcolor={color}];'
+        )
+
+    # Rank same-level instructions together (the Fig. 11 layers).
+    levels = program.levels()
+    by_level: Dict[int, List[int]] = {}
+    for instr in shown:
+        by_level.setdefault(levels[instr.uid], []).append(instr.uid)
+    for level, uids in sorted(by_level.items()):
+        members = "; ".join(f"i{u}" for u in uids)
+        lines.append(f"  {{ rank=same; {members}; }}")
+
+    deps = program.dependencies()
+    for instr in shown:
+        for pred in deps[instr.uid]:
+            if pred in shown_uids:
+                lines.append(f"  i{pred} -> i{instr.uid};")
+    lines.append("}")
+    return "\n".join(lines)

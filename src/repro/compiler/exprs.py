@@ -1,0 +1,359 @@
+"""Symbolic expressions over the nine primitive operations of Tbl. 3.
+
+Two expression levels exist:
+
+- **Pose level** — what users write: pose variables, pose constants, and
+  the ``(+)`` / ``(-)`` operators of Equ. 2 (classes :class:`PoseVar`,
+  :class:`PoseConst`, :class:`OPlus`, :class:`OMinus`).
+- **Matrix level** — what the compiler lowers to: a DAG whose nodes are
+  the Tbl. 3 primitives over rotation matrices and vectors (``RR``,
+  ``RT``, ``RV``, ``VP``, ``Log``, ``Exp``; ``Skew``/``Jr``/``Jr^{-1}``
+  appear during backward propagation only).
+
+Matrix-level nodes compare by identity: the lowering deliberately shares
+subexpressions (e.g. ``R_j^T`` used by both the orientation and position
+error of Equ. 4), which is what makes the MO-DFG a DAG rather than a tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.factorgraph.keys import Key
+from repro.geometry.pose import Pose
+
+# Expression value kinds.
+ROT = "rot"      # an n x n rotation matrix
+VEC = "vec"      # a plain vector (translations, landmarks, residuals)
+
+
+class Expr:
+    """Base matrix-level expression node.
+
+    Attributes
+    ----------
+    kind:
+        ``ROT`` or ``VEC``.
+    n:
+        Spatial dimension (2 or 3) for rotation-related nodes; for plain
+        vectors ``n`` is the vector length.
+    """
+
+    kind: str = VEC
+    n: int = 0
+
+    @property
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    @property
+    def tangent_dim(self) -> int:
+        """Dimension of this node's tangent space.
+
+        Rotations use the right-perturbation tangent (1 in 2-D, 3 in
+        3-D); vectors are additive.
+        """
+        if self.kind == ROT:
+            return 1 if self.n == 2 else 3
+        return self.n
+
+    def _check_space(self, n: int) -> None:
+        if n not in (2, 3):
+            raise CompileError(f"rotations exist for n in (2, 3), got {n}")
+
+
+class RotVar(Expr):
+    """The rotation of a pose variable — an autodiff *leaf*.
+
+    Its value is ``Exp(phi)`` (one EXP instruction at runtime), but the
+    backward pass stops here: the optimizer's chart perturbs the rotation
+    on the right, so the leaf tangent *is* the rotation tangent.
+    """
+
+    kind = ROT
+
+    def __init__(self, key: Key, n: int):
+        self._check_space(n)
+        self.key = key
+        self.n = n
+
+    def __repr__(self) -> str:
+        return f"R({self.key})"
+
+
+class TransVar(Expr):
+    """The translation of a pose variable — an additive autodiff leaf."""
+
+    kind = VEC
+
+    def __init__(self, key: Key, n: int):
+        self._check_space(n)
+        self.key = key
+        self.n = n
+
+    def __repr__(self) -> str:
+        return f"t({self.key})"
+
+
+class VecVar(Expr):
+    """A plain vector variable (landmark, velocity, control input)."""
+
+    kind = VEC
+
+    def __init__(self, key: Key, dim: int):
+        if dim < 1:
+            raise CompileError("vector variables need dim >= 1")
+        self.key = key
+        self.n = dim
+
+    def __repr__(self) -> str:
+        return f"v({self.key})"
+
+
+class RotConst(Expr):
+    """A constant rotation (e.g. a measurement's rotation part)."""
+
+    kind = ROT
+
+    def __init__(self, name: str, value: np.ndarray):
+        value = np.asarray(value, dtype=float)
+        if value.shape not in ((2, 2), (3, 3)):
+            raise CompileError(f"rotation constants are 2x2 or 3x3, got "
+                               f"{value.shape}")
+        self.name = name
+        self.value = value
+        self.n = value.shape[0]
+
+    def __repr__(self) -> str:
+        return f"const:{self.name}"
+
+
+class VecConst(Expr):
+    """A constant vector (e.g. a measured translation)."""
+
+    kind = VEC
+
+    def __init__(self, name: str, value: np.ndarray):
+        value = np.asarray(value, dtype=float)
+        if value.ndim != 1:
+            raise CompileError("vector constants must be 1-D")
+        self.name = name
+        self.value = value
+        self.n = value.shape[0]
+
+    def __repr__(self) -> str:
+        return f"const:{self.name}"
+
+
+class RotRot(Expr):
+    """RR primitive: rotation matrix multiplication."""
+
+    kind = ROT
+
+    def __init__(self, a: Expr, b: Expr):
+        if a.kind != ROT or b.kind != ROT or a.n != b.n:
+            raise CompileError("RR needs two rotations of the same dimension")
+        self.a = a
+        self.b = b
+        self.n = a.n
+
+    @property
+    def children(self):
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"RR({self.a!r}, {self.b!r})"
+
+
+class RotT(Expr):
+    """RT primitive: rotation matrix transpose."""
+
+    kind = ROT
+
+    def __init__(self, a: Expr):
+        if a.kind != ROT:
+            raise CompileError("RT needs a rotation")
+        self.a = a
+        self.n = a.n
+
+    @property
+    def children(self):
+        return (self.a,)
+
+    def __repr__(self) -> str:
+        return f"RT({self.a!r})"
+
+
+class RotVec(Expr):
+    """RV primitive: rotation matrix-vector multiplication."""
+
+    kind = VEC
+
+    def __init__(self, r: Expr, v: Expr):
+        if r.kind != ROT or v.kind != VEC or r.n != v.n:
+            raise CompileError("RV needs a rotation and a matching vector")
+        self.r = r
+        self.v = v
+        self.n = v.n
+
+    @property
+    def children(self):
+        return (self.r, self.v)
+
+    def __repr__(self) -> str:
+        return f"RV({self.r!r}, {self.v!r})"
+
+
+class VecAdd(Expr):
+    """VP primitive: vector addition (sign=+1) or subtraction (sign=-1)."""
+
+    kind = VEC
+
+    def __init__(self, a: Expr, b: Expr, sign: int = 1):
+        if a.kind != VEC or b.kind != VEC or a.n != b.n:
+            raise CompileError("VP needs two vectors of equal length")
+        if sign not in (1, -1):
+            raise CompileError("VP sign must be +1 or -1")
+        self.a = a
+        self.b = b
+        self.sign = sign
+        self.n = a.n
+
+    @property
+    def children(self):
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        op = "+" if self.sign > 0 else "-"
+        return f"({self.a!r} {op} {self.b!r})"
+
+
+class LogMap(Expr):
+    """Log primitive: rotation matrix to Lie-algebra vector."""
+
+    kind = VEC
+
+    def __init__(self, r: Expr):
+        if r.kind != ROT:
+            raise CompileError("Log needs a rotation")
+        self.r = r
+        self.n = 1 if r.n == 2 else 3
+
+    @property
+    def children(self):
+        return (self.r,)
+
+    def __repr__(self) -> str:
+        return f"Log({self.r!r})"
+
+
+class ExpMap(Expr):
+    """Exp primitive: Lie-algebra vector to rotation matrix."""
+
+    kind = ROT
+
+    def __init__(self, t: Expr):
+        if t.kind != VEC or t.n not in (1, 3):
+            raise CompileError("Exp needs a so(2) (dim 1) or so(3) (dim 3) "
+                               "vector")
+        self.t = t
+        self.n = 2 if t.n == 1 else 3
+
+    @property
+    def children(self):
+        return (self.t,)
+
+    def __repr__(self) -> str:
+        return f"Exp({self.t!r})"
+
+
+# ----------------------------------------------------------------------
+# Pose-level expressions (the user-facing algebra of Equ. 2)
+# ----------------------------------------------------------------------
+
+class PoseExpr:
+    """Base class for pose-level expressions."""
+
+    n: int = 0
+
+    def oplus(self, other: "PoseExpr") -> "OPlus":
+        return OPlus(self, other)
+
+    def ominus(self, other: "PoseExpr") -> "OMinus":
+        return OMinus(self, other)
+
+
+class PoseVar(PoseExpr):
+    """A pose variable to be optimized."""
+
+    def __init__(self, key: Key, n: int):
+        if n not in (2, 3):
+            raise CompileError(f"poses exist for n in (2, 3), got {n}")
+        self.key = key
+        self.n = n
+
+    def __repr__(self) -> str:
+        return f"pose({self.key})"
+
+
+class PoseConst(PoseExpr):
+    """A constant pose (e.g. a relative-pose measurement ``z_ij``)."""
+
+    def __init__(self, name: str, value: Pose):
+        if not isinstance(value, Pose):
+            raise CompileError("PoseConst needs a Pose value")
+        self.name = name
+        self.value = value
+        self.n = value.n
+
+    def __repr__(self) -> str:
+        return f"poseconst:{self.name}"
+
+
+class OPlus(PoseExpr):
+    """The (+) composition of Equ. 2."""
+
+    def __init__(self, a: PoseExpr, b: PoseExpr):
+        if a.n != b.n:
+            raise CompileError("(+) operands must share the spatial dimension")
+        self.a = a
+        self.b = b
+        self.n = a.n
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} (+) {self.b!r})"
+
+
+class OMinus(PoseExpr):
+    """The (-) difference of Equ. 2."""
+
+    def __init__(self, a: PoseExpr, b: PoseExpr):
+        if a.n != b.n:
+            raise CompileError("(-) operands must share the spatial dimension")
+        self.a = a
+        self.b = b
+        self.n = a.n
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} (-) {self.b!r})"
+
+
+def topological_order(outputs: List[Expr]) -> List[Expr]:
+    """Nodes of the DAG reachable from ``outputs``, children first."""
+    order: List[Expr] = []
+    seen = set()
+
+    def visit(node: Expr) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children:
+            visit(child)
+        order.append(node)
+
+    for out in outputs:
+        visit(out)
+    return order

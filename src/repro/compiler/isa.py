@@ -1,0 +1,302 @@
+"""The ORIANNA instruction set architecture.
+
+The ISA is matrix-oriented (Sec. 1, Sec. 5.2): the nine primitives of
+Tbl. 3 for constructing the linear equations, generic small matrix
+products for the chain-rule derivative computations (these reuse the same
+systolic multiply unit as RR/RV), and QR / back-substitution instructions
+for factor-graph inference.
+
+Every instruction is SSA-like: it defines fresh destination registers and
+reads previously defined sources, so data dependencies are exactly
+register def-use edges — the basis of both the out-of-order scheduler and
+the BFS level analysis of Fig. 11.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CompileError
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes, grouped by executing unit."""
+
+    # Tbl. 3 primitives (factor computing block).
+    VP = "vp"          # vector add/subtract
+    RT = "rt"          # rotation transpose
+    LOG = "log"        # logarithmic map
+    RR = "rr"          # rotation-rotation product
+    RV = "rv"          # rotation-vector product
+    EXP = "exp"        # exponential map
+    SKEW = "skew"      # (.)^ skew operator
+    JR = "jr"          # right Jacobian
+    JRINV = "jrinv"    # right Jacobian inverse
+    # Generic small matrix ops (execute on the same multiply unit).
+    MM = "mm"          # general matrix-matrix product (optional negate)
+    MV = "mv"          # general matrix-vector product (optional negate)
+    # Data movement / host interface.
+    CONST = "const"    # load an immediate (measurement, initial value)
+    STACK = "stack"    # vertical concatenation of blocks
+    COPY = "copy"      # register copy (adjoint fan-out)
+    ADD = "add"        # elementwise matrix add (adjoint accumulation)
+    EMBED = "embed"    # host-side sensor front-end (projection, SDF, ...)
+    # Factor-graph inference block.
+    QR = "qr"          # partial QR of one stacked elimination front
+    BSUB = "bsub"      # back substitution for one variable
+
+
+# Unit classes for hardware mapping (Sec. 6.1).
+UNIT_MATMUL = "matmul"
+UNIT_VECTOR = "vector"
+UNIT_SPECIAL = "special"
+UNIT_QR = "qr"
+UNIT_BSUB = "bsub"
+UNIT_NONE = "none"     # free at runtime (constants are preloaded)
+
+UNIT_OF_OPCODE: Dict[Opcode, str] = {
+    Opcode.VP: UNIT_VECTOR,
+    Opcode.RT: UNIT_VECTOR,
+    Opcode.LOG: UNIT_SPECIAL,
+    Opcode.RR: UNIT_MATMUL,
+    Opcode.RV: UNIT_MATMUL,
+    Opcode.EXP: UNIT_SPECIAL,
+    Opcode.SKEW: UNIT_VECTOR,
+    Opcode.JR: UNIT_SPECIAL,
+    Opcode.JRINV: UNIT_SPECIAL,
+    Opcode.MM: UNIT_MATMUL,
+    Opcode.MV: UNIT_MATMUL,
+    Opcode.CONST: UNIT_NONE,
+    Opcode.STACK: UNIT_VECTOR,
+    Opcode.COPY: UNIT_VECTOR,
+    Opcode.ADD: UNIT_VECTOR,
+    Opcode.EMBED: UNIT_SPECIAL,
+    Opcode.QR: UNIT_QR,
+    Opcode.BSUB: UNIT_BSUB,
+}
+
+# Phases of the per-iteration pipeline (Fig. 3 / Sec. 7.3 breakdown).
+PHASE_CONSTRUCT = "construct"
+PHASE_DECOMPOSE = "decompose"
+PHASE_BACKSUB = "backsub"
+
+
+@dataclass
+class Instruction:
+    """One ORIANNA instruction.
+
+    Attributes
+    ----------
+    uid:
+        Unique, program-wide instruction id (issue order = program order).
+    op:
+        The opcode.
+    srcs / dsts:
+        Source and destination register names.
+    meta:
+        Opcode-specific payload (constant values, signs, column layouts
+        for QR/BSUB, shapes).
+    phase:
+        ``construct`` / ``decompose`` / ``backsub``.
+    algorithm:
+        Tag of the owning algorithm stream (e.g. ``localization``) for
+        coarse-grained out-of-order execution.
+    """
+
+    uid: int
+    op: Opcode
+    srcs: List[str]
+    dsts: List[str]
+    meta: Dict[str, Any] = field(default_factory=dict)
+    phase: str = PHASE_CONSTRUCT
+    algorithm: str = ""
+
+    @property
+    def unit(self) -> str:
+        return UNIT_OF_OPCODE[self.op]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srcs = ", ".join(self.srcs)
+        dsts = ", ".join(self.dsts)
+        return f"#{self.uid} {self.op.value} {srcs} -> {dsts}"
+
+
+class Program:
+    """An ordered list of instructions plus register shape bookkeeping."""
+
+    def __init__(self, algorithm: str = ""):
+        self.instructions: List[Instruction] = []
+        self.register_shapes: Dict[str, Tuple[int, ...]] = {}
+        self.algorithm = algorithm
+        self._counter = 0
+        self._reg_counter = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def new_register(self, prefix: str, shape: Tuple[int, ...]) -> str:
+        name = f"{prefix}{self._reg_counter}"
+        self._reg_counter += 1
+        self.register_shapes[name] = tuple(shape)
+        return name
+
+    def emit(
+        self,
+        op: Opcode,
+        srcs: Sequence[str],
+        dsts: Sequence[str],
+        meta: Optional[Dict[str, Any]] = None,
+        phase: str = PHASE_CONSTRUCT,
+    ) -> Instruction:
+        for s in srcs:
+            if s not in self.register_shapes:
+                raise CompileError(f"source register {s} is undefined")
+        instr = Instruction(
+            uid=self._counter,
+            op=op,
+            srcs=list(srcs),
+            dsts=list(dsts),
+            meta=dict(meta or {}),
+            phase=phase,
+            algorithm=self.algorithm,
+        )
+        self._counter += 1
+        self.instructions.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def count_by_opcode(self) -> Dict[Opcode, int]:
+        counts: Dict[Opcode, int] = {}
+        for instr in self.instructions:
+            counts[instr.op] = counts.get(instr.op, 0) + 1
+        return counts
+
+    def count_by_phase(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for instr in self.instructions:
+            counts[instr.phase] = counts.get(instr.phase, 0) + 1
+        return counts
+
+    def dependencies(self) -> Dict[int, List[int]]:
+        """Map uid -> uids of instructions it depends on (register def-use)."""
+        producer: Dict[str, int] = {}
+        deps: Dict[int, List[int]] = {}
+        for instr in self.instructions:
+            deps[instr.uid] = sorted(
+                {producer[s] for s in instr.srcs if s in producer}
+            )
+            for d in instr.dsts:
+                producer[d] = instr.uid
+        return deps
+
+    def levels(self) -> Dict[int, int]:
+        """BFS dependency level of each instruction (Fig. 11's L1, L2...).
+
+        Zero-latency CONST loads do not occupy a level of their own.
+        """
+        deps = self.dependencies()
+        level: Dict[int, int] = {}
+        for instr in self.instructions:
+            if instr.op is Opcode.CONST:
+                level[instr.uid] = 0
+                continue
+            preds = [level[d] + (0 if self._op_of(d) is Opcode.CONST else 1)
+                     for d in deps[instr.uid]]
+            level[instr.uid] = max(preds, default=1) if preds else 1
+        return level
+
+    def critical_path_length(self) -> int:
+        lv = self.levels()
+        return max(lv.values(), default=0)
+
+    def _op_of(self, uid: int) -> Opcode:
+        return self.instructions[uid].op
+
+    def disassemble(self, limit: Optional[int] = None,
+                    show_levels: bool = True) -> str:
+        """Human-readable listing, optionally grouped by BFS level.
+
+        With ``show_levels`` the output mirrors Fig. 11: instructions in
+        the same level have no mutual dependencies and may execute in
+        parallel.
+        """
+        levels = self.levels() if show_levels else {}
+        lines = []
+        count = 0
+        current_level = None
+        for instr in self.instructions:
+            if limit is not None and count >= limit:
+                lines.append(f"... ({len(self.instructions) - count} more)")
+                break
+            if show_levels and levels.get(instr.uid) != current_level:
+                current_level = levels[instr.uid]
+                lines.append(f"L{current_level}:")
+            srcs = ", ".join(instr.srcs) if instr.srcs else "-"
+            dsts = ", ".join(instr.dsts)
+            tag = f" [{instr.phase}" + (
+                f"/{instr.algorithm}]" if instr.algorithm else "]"
+            )
+            lines.append(
+                f"  #{instr.uid:<4} {instr.op.value:<6} {srcs} -> {dsts}{tag}"
+            )
+            count += 1
+        return "\n".join(lines)
+
+    def subset_by_algorithm(self, algorithm: str) -> "Program":
+        """A standalone program with only one algorithm's instructions.
+
+        Valid because register namespaces are disjoint per algorithm;
+        instruction ids are renumbered to stay position-consistent.
+        """
+        sub = Program(algorithm=algorithm)
+        for instr in self.instructions:
+            if instr.algorithm != algorithm:
+                continue
+            clone = Instruction(
+                uid=sub._counter,
+                op=instr.op,
+                srcs=list(instr.srcs),
+                dsts=list(instr.dsts),
+                meta=dict(instr.meta),
+                phase=instr.phase,
+                algorithm=instr.algorithm,
+            )
+            sub._counter += 1
+            sub.instructions.append(clone)
+            for reg in list(instr.srcs) + list(instr.dsts):
+                if reg in self.register_shapes:
+                    sub.register_shapes[reg] = self.register_shapes[reg]
+        return sub
+
+    def extend(self, other: "Program") -> None:
+        """Append another program's instructions (register names must not
+        collide; callers use distinct prefixes per algorithm)."""
+        overlap = set(self.register_shapes) & set(other.register_shapes)
+        if overlap:
+            raise CompileError(
+                f"register collision while merging programs: {sorted(overlap)[:5]}"
+            )
+        base = self._counter
+        for instr in other.instructions:
+            clone = Instruction(
+                uid=base + instr.uid,
+                op=instr.op,
+                srcs=list(instr.srcs),
+                dsts=list(instr.dsts),
+                meta=dict(instr.meta),
+                phase=instr.phase,
+                algorithm=instr.algorithm or other.algorithm,
+            )
+            self.instructions.append(clone)
+        self._counter += other._counter
+        self.register_shapes.update(other.register_shapes)

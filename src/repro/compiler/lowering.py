@@ -1,0 +1,109 @@
+"""Lowering of pose-level expressions to the Tbl. 3 primitives.
+
+Applies Equ. 2 structurally: each pose-level expression becomes a pair of
+matrix-level expressions (its rotation and its translation).  The final
+error extraction applies ``Log`` to the rotation part, yielding exactly
+the expanded Equ. 4 form — e.g. lowering ``(x_i (-) x_j) (-) z_ij``
+produces ``e_o = Log(dR^T R_j^T R_i)`` and
+``e_p = dR^T (R_j^T (t_i - t_j) - dt)``.
+
+Shared subexpressions (like ``R_j^T``) are cached so the result is a DAG,
+which is what makes the MO-DFG instruction levels of Fig. 11 nontrivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import CompileError
+from repro.compiler.exprs import (
+    Expr,
+    LogMap,
+    OMinus,
+    OPlus,
+    PoseConst,
+    PoseExpr,
+    PoseVar,
+    RotConst,
+    RotRot,
+    RotT,
+    RotVar,
+    RotVec,
+    TransVar,
+    VecAdd,
+    VecConst,
+)
+
+
+class Lowering:
+    """Stateful lowering context with subexpression sharing."""
+
+    def __init__(self):
+        self._pose_cache: Dict[int, Tuple[Expr, Expr]] = {}
+        self._transpose_cache: Dict[int, Expr] = {}
+
+    def lower_pose(self, expr: PoseExpr) -> Tuple[Expr, Expr]:
+        """Return the (rotation, translation) pair for a pose expression."""
+        cached = self._pose_cache.get(id(expr))
+        if cached is not None:
+            return cached
+
+        if isinstance(expr, PoseVar):
+            result = (RotVar(expr.key, expr.n), TransVar(expr.key, expr.n))
+        elif isinstance(expr, PoseConst):
+            result = (
+                RotConst(f"{expr.name}.R", expr.value.rotation),
+                VecConst(f"{expr.name}.t", expr.value.t),
+            )
+        elif isinstance(expr, OPlus):
+            ra, ta = self.lower_pose(expr.a)
+            rb, tb = self.lower_pose(expr.b)
+            # <Log(R1 R2), t1 + R1 t2> -- the Log is deferred to error
+            # extraction so chained compositions stay in matrix form.
+            result = (RotRot(ra, rb), VecAdd(ta, RotVec(ra, tb), sign=1))
+        elif isinstance(expr, OMinus):
+            ra, ta = self.lower_pose(expr.a)
+            rb, tb = self.lower_pose(expr.b)
+            rbt = self.transpose(rb)
+            result = (
+                RotRot(rbt, ra),
+                RotVec(rbt, VecAdd(ta, tb, sign=-1)),
+            )
+        else:
+            raise CompileError(f"cannot lower {type(expr).__name__}")
+
+        self._pose_cache[id(expr)] = result
+        return result
+
+    def transpose(self, rot: Expr) -> Expr:
+        """Shared ``R^T`` node (collapses double transposes)."""
+        if isinstance(rot, RotT):
+            return rot.a
+        cached = self._transpose_cache.get(id(rot))
+        if cached is None:
+            cached = RotT(rot)
+            self._transpose_cache[id(rot)] = cached
+        return cached
+
+
+def pose_error(expr: PoseExpr) -> List[Expr]:
+    """Lower a pose-valued error expression to its components.
+
+    Returns ``[e_o, e_p]``: the Log of the rotation part and the
+    translation part, matching the residual layout ``[phi, t]`` used by
+    :meth:`repro.geometry.Pose.vector`.
+    """
+    lowering = Lowering()
+    rot, trans = lowering.lower_pose(expr)
+    return [LogMap(rot), trans]
+
+
+def vector_error(*components: Expr) -> List[Expr]:
+    """Assemble a residual from already-lowered vector expressions."""
+    out = list(components)
+    for c in out:
+        if c.kind != "vec":
+            raise CompileError("error components must be vector-valued")
+    if not out:
+        raise CompileError("an error needs at least one component")
+    return out

@@ -1,0 +1,362 @@
+"""Matrix-operation data-flow graphs (MO-DFGs) and instruction emission.
+
+Every factor node owns one MO-DFG (Sec. 5.2).  A forward traversal emits
+the instructions computing the error vector (the factor's slice of the RHS
+``b``); backward propagation over the same DAG emits the derivative
+instructions building the factor's Jacobian blocks (its slice of ``A``),
+using the chain rule with the local vector-Jacobian rules of Fig. 10:
+
+=========  =====================================================
+node       adjoint rules (3-D; right-perturbation tangents)
+=========  =====================================================
+RR(a, b)   G_a = G B^T            G_b = G
+RT(a)      G_a = -(G A)
+RV(r, v)   G_r = -G (R [v]x)      G_v = G R
+VP(a, b)   G_a = G                G_b = sign * G
+Log(r)     G_r = G Jr^{-1}(Log R)
+Exp(t)     G_t = G Jr(t)
+A @ v      G_v = G A              (constant general matrix; footnote 1)
+=========  =====================================================
+
+In 2-D, rotation tangents are one-dimensional and the rules degenerate to
+scalars (SO(2) is abelian): RR/VP/Log/Exp pass the adjoint through, RT
+negates it, and RV uses the perp vector ``[-v_y, v_x]`` (the 2-D ``(.)^``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.compiler.exprs import (
+    Expr,
+    ExpMap,
+    LogMap,
+    RotConst,
+    RotRot,
+    RotT,
+    RotVar,
+    RotVec,
+    TransVar,
+    VecAdd,
+    VecConst,
+    VecVar,
+    topological_order,
+)
+from repro.compiler.isa import Opcode, Program
+from repro.factorgraph.keys import Key
+from repro.factorgraph.values import Values
+
+
+class GenMatVec(Expr):
+    """``A @ v`` with a constant general matrix A (reuses the RV unit)."""
+
+    kind = "vec"
+
+    def __init__(self, name: str, matrix: np.ndarray, v: Expr):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise CompileError("GenMatVec needs a 2-D constant matrix")
+        if v.kind != "vec" or matrix.shape[1] != v.n:
+            raise CompileError(
+                f"matrix cols {matrix.shape[1]} do not match vector dim {v.n}"
+            )
+        self.name = name
+        self.matrix = matrix
+        self.v = v
+        self.n = matrix.shape[0]
+
+    @property
+    def children(self):
+        return (self.v,)
+
+    def __repr__(self) -> str:
+        return f"{self.name}@{self.v!r}"
+
+
+class MoDFG:
+    """The MO-DFG of one factor: error components over a primitive DAG."""
+
+    def __init__(self, components: List[Expr]):
+        if not components:
+            raise CompileError("a MO-DFG needs at least one error component")
+        for c in components:
+            if c.kind != "vec":
+                raise CompileError("error components must be vector-valued")
+        self.components = components
+        self.nodes = topological_order(components)
+
+    @property
+    def error_dim(self) -> int:
+        return sum(c.n for c in self.components)
+
+    def leaf_keys(self) -> List[Key]:
+        """Variable keys reachable from the error, in first-seen order."""
+        seen: Dict[Key, None] = {}
+        for node in self.nodes:
+            if isinstance(node, (RotVar, TransVar, VecVar)):
+                seen.setdefault(node.key, None)
+        return list(seen)
+
+
+class _Adjoint:
+    """A lazily materialized adjoint: either the identity seed or a register."""
+
+    __slots__ = ("reg", "rows")
+
+    def __init__(self, rows: int, reg: Optional[str] = None):
+        self.rows = rows
+        self.reg = reg  # None means "identity of size rows"
+
+    @property
+    def is_identity(self) -> bool:
+        return self.reg is None
+
+
+class ModfgEmitter:
+    """Emits forward (error) and backward (derivative) instructions."""
+
+    def __init__(self, program: Program, values: Values, phase: str):
+        self.program = program
+        self.values = values
+        self.phase = phase
+        self._value_regs: Dict[int, str] = {}
+        self._transpose_regs: Dict[str, str] = {}
+        self._const_regs: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Forward traversal: error instructions
+    # ------------------------------------------------------------------
+    def emit_forward(self, dfg: MoDFG) -> List[str]:
+        """Emit value computation for every node; return component regs."""
+        for node in dfg.nodes:
+            self._emit_node(node)
+        return [self._value_regs[id(c)] for c in dfg.components]
+
+    def _const(self, value: np.ndarray, label: str) -> str:
+        value = np.asarray(value, dtype=float)
+        reg = self.program.new_register("c", value.shape)
+        self.program.emit(Opcode.CONST, [], [reg],
+                          {"value": value, "label": label}, self.phase)
+        return reg
+
+    def _emit_node(self, node: Expr) -> str:
+        existing = self._value_regs.get(id(node))
+        if existing is not None:
+            return existing
+        emit = self.program.emit
+
+        if isinstance(node, RotVar):
+            # R = Exp(phi): load the current estimate, one EXP instruction.
+            pose = self.values.pose(node.key)
+            phi_reg = self._const(pose.phi, f"phi:{node.key}")
+            reg = self.program.new_register("r", (node.n, node.n))
+            emit(Opcode.EXP, [phi_reg], [reg], {}, self.phase)
+        elif isinstance(node, TransVar):
+            reg = self._const(self.values.pose(node.key).t, f"t:{node.key}")
+        elif isinstance(node, VecVar):
+            reg = self._const(self.values.vector(node.key), f"v:{node.key}")
+        elif isinstance(node, RotConst):
+            reg = self._const(node.value, node.name)
+        elif isinstance(node, VecConst):
+            reg = self._const(node.value, node.name)
+        elif isinstance(node, RotRot):
+            a = self._emit_node(node.a)
+            b = self._emit_node(node.b)
+            reg = self.program.new_register("r", (node.n, node.n))
+            emit(Opcode.RR, [a, b], [reg], {}, self.phase)
+        elif isinstance(node, RotT):
+            a = self._emit_node(node.a)
+            reg = self._transpose(a, node.n)
+        elif isinstance(node, RotVec):
+            r = self._emit_node(node.r)
+            v = self._emit_node(node.v)
+            reg = self.program.new_register("v", (node.n,))
+            emit(Opcode.RV, [r, v], [reg], {}, self.phase)
+        elif isinstance(node, VecAdd):
+            a = self._emit_node(node.a)
+            b = self._emit_node(node.b)
+            reg = self.program.new_register("v", (node.n,))
+            emit(Opcode.VP, [a, b], [reg], {"sign": node.sign}, self.phase)
+        elif isinstance(node, LogMap):
+            r = self._emit_node(node.r)
+            reg = self.program.new_register("v", (node.n,))
+            emit(Opcode.LOG, [r], [reg], {}, self.phase)
+        elif isinstance(node, ExpMap):
+            t = self._emit_node(node.t)
+            reg = self.program.new_register("r", (node.n, node.n))
+            emit(Opcode.EXP, [t], [reg], {}, self.phase)
+        elif isinstance(node, GenMatVec):
+            m_reg = self._const(node.matrix, node.name)
+            v = self._emit_node(node.v)
+            reg = self.program.new_register("v", (node.n,))
+            emit(Opcode.MV, [m_reg, v], [reg], {}, self.phase)
+        else:
+            raise CompileError(f"cannot emit {type(node).__name__}")
+
+        self._value_regs[id(node)] = reg
+        return reg
+
+    def _transpose(self, reg: str, n: int) -> str:
+        cached = self._transpose_regs.get(reg)
+        if cached is None:
+            cached = self.program.new_register("r", (n, n))
+            self.program.emit(Opcode.RT, [reg], [cached], {}, self.phase)
+            self._transpose_regs[reg] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Backward propagation: derivative instructions
+    # ------------------------------------------------------------------
+    def emit_backward(self, dfg: MoDFG, component: Expr) -> Dict[Key, Dict[str, str]]:
+        """Backward pass for one error component.
+
+        Returns ``{key: {"rot": reg, "trans": reg, "vec": reg}}`` with the
+        adjoint (Jacobian) register of each reachable leaf.  Leaves not
+        reached have no entry (their block is structurally zero).
+        """
+        if id(component) not in self._value_regs:
+            raise CompileError("emit_forward must run before emit_backward")
+        rows = component.n
+
+        contributions: Dict[int, List[_Adjoint]] = {id(component): [
+            _Adjoint(rows)
+        ]}
+        order = topological_order([component])
+        leaf_blocks: Dict[Key, Dict[str, str]] = {}
+
+        for node in reversed(order):
+            contribs = contributions.pop(id(node), [])
+            if not contribs:
+                continue
+            adjoint = self._merge(contribs, rows, node.tangent_dim)
+
+            if isinstance(node, (RotVar, TransVar, VecVar)):
+                slot = ("rot" if isinstance(node, RotVar)
+                        else "trans" if isinstance(node, TransVar) else "vec")
+                reg = self._materialize(adjoint, node.tangent_dim)
+                leaf_blocks.setdefault(node.key, {})[slot] = reg
+                continue
+            if isinstance(node, (RotConst, VecConst)):
+                continue
+
+            for child, child_adj in self._propagate(node, adjoint, rows):
+                contributions.setdefault(id(child), []).append(child_adj)
+
+        return leaf_blocks
+
+    def _propagate(self, node: Expr, g: _Adjoint, rows: int):
+        """Yield (child, adjoint contribution) pairs for one node."""
+        if isinstance(node, RotRot):
+            if node.n == 3:
+                b_val = self._value_regs[id(node.b)]
+                bt = self._transpose(b_val, 3)
+                yield node.a, self._mm(g, bt, rows, 3)
+            else:
+                yield node.a, g
+            yield node.b, g
+        elif isinstance(node, RotT):
+            if node.n == 3:
+                a_val = self._value_regs[id(node.a)]
+                yield node.a, self._mm(g, a_val, rows, 3, negate=True)
+            else:
+                yield node.a, self._negate(g, rows, 1)
+        elif isinstance(node, RotVec):
+            r_val = self._value_regs[id(node.r)]
+            v_val = self._value_regs[id(node.v)]
+            if node.n == 3:
+                skew = self.program.new_register("m", (3, 3))
+                self.program.emit(Opcode.SKEW, [v_val], [skew], {}, self.phase)
+                r_skew = self.program.new_register("m", (3, 3))
+                self.program.emit(Opcode.MM, [r_val, skew], [r_skew], {},
+                                  self.phase)
+                yield node.r, self._mm(g, r_skew, rows, 3, negate=True)
+            else:
+                # Column c = R perp(v); perp is the 2-D (.)^ applied to v.
+                perp = self.program.new_register("v", (2,))
+                self.program.emit(Opcode.SKEW, [v_val], [perp], {}, self.phase)
+                col = self.program.new_register("v", (2,))
+                self.program.emit(Opcode.RV, [r_val, perp], [col], {},
+                                  self.phase)
+                yield node.r, self._mm(g, col, rows, 1, b_as_column=True)
+            yield node.v, self._mm(g, r_val, rows, node.n)
+        elif isinstance(node, VecAdd):
+            yield node.a, g
+            if node.sign > 0:
+                yield node.b, g
+            else:
+                yield node.b, self._negate(g, rows, node.b.tangent_dim)
+        elif isinstance(node, LogMap):
+            if node.n == 3:
+                out_val = self._value_regs[id(node)]
+                jrinv = self.program.new_register("m", (3, 3))
+                self.program.emit(Opcode.JRINV, [out_val], [jrinv], {},
+                                  self.phase)
+                yield node.r, self._mm(g, jrinv, rows, 3)
+            else:
+                yield node.r, g
+        elif isinstance(node, ExpMap):
+            if node.n == 3:
+                t_val = self._value_regs[id(node.t)]
+                jr = self.program.new_register("m", (3, 3))
+                self.program.emit(Opcode.JR, [t_val], [jr], {}, self.phase)
+                yield node.t, self._mm(g, jr, rows, 3)
+            else:
+                yield node.t, g
+        elif isinstance(node, GenMatVec):
+            m_reg = self._const_for_matrix(node)
+            yield node.v, self._mm(g, m_reg, rows, node.v.n)
+        else:
+            raise CompileError(
+                f"no backward rule for {type(node).__name__}"
+            )
+
+    def _const_for_matrix(self, node: GenMatVec) -> str:
+        cached = self._const_regs.get(id(node))
+        if cached is None:
+            cached = self._const(node.matrix, node.name)
+            self._const_regs[id(node)] = cached
+        return cached
+
+    def _mm(self, g: _Adjoint, rhs_reg: str, rows: int, out_cols: int,
+            negate: bool = False, b_as_column: bool = False) -> _Adjoint:
+        """Adjoint @ rhs, exploiting the identity seed."""
+        meta = {}
+        if negate:
+            meta["negate"] = True
+        if b_as_column:
+            meta["b_as_column"] = True
+        if g.is_identity and not b_as_column:
+            if not negate:
+                return _Adjoint(rows, rhs_reg)
+            out = self.program.new_register("g", (rows, out_cols))
+            self.program.emit(Opcode.COPY, [rhs_reg], [out],
+                              {"negate": True}, self.phase)
+            return _Adjoint(rows, out)
+        g_reg = self._materialize(g, None)
+        out = self.program.new_register("g", (rows, out_cols))
+        self.program.emit(Opcode.MM, [g_reg, rhs_reg], [out], meta, self.phase)
+        return _Adjoint(rows, out)
+
+    def _negate(self, g: _Adjoint, rows: int, cols: int) -> _Adjoint:
+        reg = self._materialize(g, cols)
+        out = self.program.new_register("g", (rows, cols))
+        self.program.emit(Opcode.COPY, [reg], [out], {"negate": True},
+                          self.phase)
+        return _Adjoint(rows, out)
+
+    def _merge(self, contribs: List[_Adjoint], rows: int,
+               cols: int) -> _Adjoint:
+        if len(contribs) == 1:
+            return contribs[0]
+        regs = [self._materialize(c, cols) for c in contribs]
+        out = self.program.new_register("g", (rows, cols))
+        self.program.emit(Opcode.ADD, regs, [out], {}, self.phase)
+        return _Adjoint(rows, out)
+
+    def _materialize(self, g: _Adjoint, cols: Optional[int]) -> str:
+        if not g.is_identity:
+            return g.reg
+        return self._const(np.eye(g.rows), f"I{g.rows}")

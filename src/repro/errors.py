@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ORIANNA reproduction.
+
+All library-raised exceptions derive from :class:`OriannaError` so callers
+can catch framework failures without swallowing unrelated bugs.
+"""
+
+
+class OriannaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(OriannaError):
+    """Invalid geometric quantity (non-rotation matrix, bad dimension...)."""
+
+
+class GraphError(OriannaError):
+    """Structural problem in a factor graph (unknown key, duplicate...)."""
+
+
+class LinearizationError(OriannaError):
+    """A factor failed to produce a valid linearization."""
+
+class OptimizationError(OriannaError):
+    """The nonlinear optimizer could not make progress."""
+
+
+class CompileError(OriannaError):
+    """The compiler rejected an expression or factor graph."""
+
+
+class ExecutionError(OriannaError):
+    """The functional ISA executor hit an inconsistent program."""
+
+
+class HardwareError(OriannaError):
+    """Hardware generation failed (infeasible constraints, bad template)."""
+
+
+class SimulationError(OriannaError):
+    """The cycle-level simulator detected an inconsistency."""

@@ -1,0 +1,41 @@
+"""Evaluation harness: one experiment per paper table/figure (Sec. 7)."""
+
+from repro.eval.experiments import (
+    IO_POLICY,
+    OOO_POLICY,
+    ORIANNA_CONFIG,
+    experiment_ablation_ooo,
+    experiment_fig13_fig14,
+    experiment_fig15,
+    experiment_fig16,
+    experiment_fig17_fig18,
+    experiment_fig19,
+    experiment_fig20,
+    experiment_latency_breakdown,
+    experiment_sec43,
+    experiment_table1,
+    experiment_table5,
+    manual_designs,
+)
+from repro.eval.harness import ExperimentTable, geometric_mean, print_tables
+from repro.eval.scaling import experiment_scaling
+from repro.eval.sphere import (
+    Se3BetweenFactor,
+    SphereProblem,
+    build_graph,
+    generate_sphere_problem,
+    run_sphere_benchmark,
+)
+
+__all__ = [
+    "ExperimentTable", "geometric_mean", "print_tables",
+    "ORIANNA_CONFIG", "IO_POLICY", "OOO_POLICY",
+    "experiment_table1", "experiment_sec43", "experiment_table5",
+    "experiment_fig13_fig14", "experiment_fig15", "experiment_fig16",
+    "experiment_fig17_fig18", "experiment_fig19", "experiment_fig20",
+    "experiment_latency_breakdown", "experiment_ablation_ooo",
+    "experiment_scaling",
+    "manual_designs",
+    "Se3BetweenFactor", "SphereProblem", "generate_sphere_problem",
+    "build_graph", "run_sphere_benchmark",
+]

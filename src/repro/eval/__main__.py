@@ -1,0 +1,126 @@
+"""Command-line experiment runner: ``python -m repro.eval``.
+
+Runs the paper-reproduction experiments and prints their tables.  By
+default the fast subset runs; ``--all`` includes the slow sweeps
+(mission success over 30 seeds, the Fig. 19/20 hardware-generation
+sweeps, the full-size sphere benchmark).
+
+Examples::
+
+    python -m repro.eval                 # fast subset
+    python -m repro.eval --all           # everything
+    python -m repro.eval --only F13 F14  # specific experiment ids
+    python -m repro.eval --markdown      # markdown instead of plain text
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval import experiments
+from repro.eval.harness import ExperimentTable
+
+
+def _fig13(args):
+    return experiments.experiment_fig13_fig14(seed=args.seed)
+
+
+def _fig16(args):
+    return experiments.experiment_fig16(seed=args.seed)
+
+
+def _fig17(args):
+    return experiments.experiment_fig17_fig18(seed=args.seed)
+
+
+# id -> (slow?, runner returning a table or tuple of tables)
+EXPERIMENTS = {
+    "S43": (False, lambda args: experiments.experiment_sec43()),
+    "T1": (True, lambda args: experiments.experiment_table1(seed=args.seed)),
+    "T5": (True, lambda args: experiments.experiment_table5(
+        num_missions=args.missions)),
+    "F13": (False, _fig13),
+    "F14": (False, _fig13),
+    "F15": (False, lambda args: experiments.experiment_fig15(
+        seed=args.seed)),
+    "F16a": (False, _fig16),
+    "F16b": (False, _fig16),
+    "F16c": (False, _fig16),
+    "F17": (False, _fig17),
+    "F18": (False, _fig17),
+    "F19": (True, lambda args: experiments.experiment_fig19(
+        seed=args.seed)),
+    "F20": (True, lambda args: experiments.experiment_fig20(
+        seed=args.seed)),
+    "LBRK": (False, lambda args: experiments.experiment_latency_breakdown(
+        seed=args.seed)),
+    "AOOO": (False, lambda args: experiments.experiment_ablation_ooo(
+        seed=args.seed)),
+    "SCAL": (False, lambda args: _scaling(args)),
+}
+
+
+def _scaling(args):
+    from repro.eval.scaling import experiment_scaling
+
+    return experiment_scaling(seed=args.seed)
+
+
+def _tables_of(result):
+    if isinstance(result, ExperimentTable):
+        return [result]
+    return list(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the ORIANNA paper's evaluation tables.",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="include the slow experiments")
+    parser.add_argument("--only", nargs="+", metavar="ID",
+                        help=f"run only these ids "
+                             f"({', '.join(EXPERIMENTS)})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--missions", type=int, default=30,
+                        help="missions per application for T5")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit GitHub markdown tables")
+    args = parser.parse_args(argv)
+
+    if args.only:
+        unknown = [x for x in args.only if x not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiment ids: {unknown}")
+        selected = list(dict.fromkeys(args.only))
+    else:
+        selected = [eid for eid, (slow, _) in EXPERIMENTS.items()
+                    if args.all or not slow]
+
+    cache = {}
+    for eid in selected:
+        _, runner = EXPERIMENTS[eid]
+        key = runner  # shared runners (F13/F14, F16*, F17/F18) cache
+        if key not in cache:
+            started = time.time()
+            cache[key] = (_tables_of(runner(args)), time.time() - started)
+        tables, elapsed = cache[key]
+        for table in tables:
+            if table.experiment_id != eid:
+                continue
+            if args.markdown:
+                print(f"### {table.title}\n")
+                print(table.to_markdown())
+                print()
+            else:
+                print(table.format())
+                print(f"[{eid} in {elapsed:.1f}s]")
+                print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,488 @@
+"""One experiment per paper table and figure (the Sec. 7 evaluation).
+
+Each ``experiment_*`` function regenerates the rows/series of one paper
+artifact.  Absolute numbers come from our simulator and analytical models
+(see DESIGN.md, "Hardware substitutions"); EXPERIMENTS.md records the
+paper-reported versus measured values side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps import (
+    CONTROL,
+    LOCALIZATION,
+    PLANNING,
+    RoboticApplication,
+    all_applications,
+)
+from repro.apps.missions import (
+    APPLICATION_NAMES,
+    ORIANNA_SOLVER,
+    REFERENCE_SOLVER,
+    success_rate,
+)
+from repro.baselines import (
+    ARM,
+    INTEL,
+    ORIANNA_SW,
+    StackAccelerators,
+    TX1_GPU,
+    VanillaHls,
+)
+from repro.compiler import Program, compile_graph
+from repro.compiler.isa import (
+    PHASE_BACKSUB,
+    PHASE_CONSTRUCT,
+    PHASE_DECOMPOSE,
+    UNIT_BSUB,
+    UNIT_MATMUL,
+    UNIT_QR,
+    UNIT_SPECIAL,
+    UNIT_VECTOR,
+)
+from repro.eval.harness import ExperimentTable, geometric_mean
+from repro.eval.sphere import run_sphere_benchmark
+from repro.factorgraph import eliminate, min_degree_ordering
+from repro.geometry import macs
+from repro.hw import AcceleratorConfig, generate_accelerator, dsp_budget
+from repro.sim import Simulator
+
+# The representative ORIANNA accelerator: the Equ. 5 flow run on the
+# application suite under the ZC706 budget converges to this unit mix.
+ORIANNA_CONFIG = AcceleratorConfig(unit_counts={
+    UNIT_MATMUL: 2, UNIT_VECTOR: 2, UNIT_SPECIAL: 1,
+    UNIT_QR: 3, UNIT_BSUB: 2,
+})
+
+# ORIANNA-IO: the same datapath driven by a naive in-order controller
+# (no overlap between instructions).
+IO_POLICY = "sequential"
+OOO_POLICY = "ooo"
+
+
+def _frame(app: RoboticApplication, seed: int,
+           include_planning: bool = False) -> Program:
+    return app.compile_frame(seed, include_planning=include_planning)
+
+
+def _simulate(program: Program, policy: str,
+              config: Optional[AcceleratorConfig] = None):
+    return Simulator(config or ORIANNA_CONFIG).run(program, policy)
+
+
+# ----------------------------------------------------------------------
+# Tbl. 1 / Fig. 9 -- sphere trajectory accuracy
+# ----------------------------------------------------------------------
+
+def experiment_table1(seed: int = 0, layers: int = 8,
+                      points_per_layer: int = 16) -> ExperimentTable:
+    rows = run_sphere_benchmark(seed=seed, layers=layers,
+                                points_per_layer=points_per_layer)
+    table = ExperimentTable(
+        "T1", "Tbl. 1: absolute trajectory error on the sphere benchmark "
+              "(meters)",
+        ["trajectory", "max", "mean", "min", "std"],
+    )
+    label_order = [("initial", "Initial Error"),
+                   ("<so(3), T(3)>", "<so(3), T(3)>"),
+                   ("SE(3)", "SE(3)")]
+    for key, label in label_order:
+        stats = rows[key]
+        table.add_row(trajectory=label, max=stats["max"], mean=stats["mean"],
+                      min=stats["min"], std=stats["std"])
+    table.notes.append(
+        "paper: initial 62.695/17.671/0.595/9.998; both optimized rows "
+        "0.036-0.037/0.007/0.000/0.005 -- the reproduction target is the "
+        "equality of the two optimized rows and the orders-of-magnitude "
+        "drop from the initial error"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Sec. 4.3 -- MAC savings of the unified representation
+# ----------------------------------------------------------------------
+
+def experiment_sec43() -> ExperimentTable:
+    table = ExperimentTable(
+        "S43", "Sec. 4.3: MAC cost of one pose-graph linearization",
+        ["representation", "macs_per_factor", "saving_vs_se3"],
+    )
+    unified = macs.pose_graph_iteration(1, "unified").macs
+    se3 = macs.pose_graph_iteration(1, "se3").macs
+    table.add_row(representation="<so(3), T(3)>", macs_per_factor=unified,
+                  saving_vs_se3=macs.mac_savings())
+    table.add_row(representation="SE(3)/se(3)", macs_per_factor=se3,
+                  saving_vs_se3=0.0)
+    table.notes.append("paper reports a 52.7% MAC saving")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Tbl. 5 -- mission success rates
+# ----------------------------------------------------------------------
+
+def experiment_table5(num_missions: int = 30) -> ExperimentTable:
+    table = ExperimentTable(
+        "T5", "Tbl. 5: mission success rate",
+        ["application", "software_reference", "orianna"],
+    )
+    for app in APPLICATION_NAMES:
+        table.add_row(
+            application=app,
+            software_reference=success_rate(app, num_missions,
+                                            REFERENCE_SOLVER),
+            orianna=success_rate(app, num_missions, ORIANNA_SOLVER),
+        )
+    table.notes.append(
+        "paper: 100% / 96.7% / 100% / 93.3% for both implementations"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 / Fig. 14 -- speedup and energy vs CPUs and GPU
+# ----------------------------------------------------------------------
+
+def experiment_fig13_fig14(seed: int = 0) -> Tuple[ExperimentTable,
+                                                   ExperimentTable]:
+    speed = ExperimentTable(
+        "F13", "Fig. 13: per-frame latency speedup over ARM",
+        ["application", "ARM", "Intel", "ORIANNA-SW", "GPU", "ORIANNA-IO",
+         "ORIANNA-OoO"],
+    )
+    energy = ExperimentTable(
+        "F14", "Fig. 14: energy reduction over ARM",
+        ["application", "ARM", "Intel", "ORIANNA-SW", "GPU", "ORIANNA-IO",
+         "ORIANNA-OoO"],
+    )
+    for app in all_applications():
+        program = _frame(app, seed)
+        ooo = _simulate(program, OOO_POLICY)
+        io = _simulate(program, IO_POLICY)
+        arm = ARM.estimate(program)
+        rows_t = {
+            "ARM": arm.time_s,
+            "Intel": INTEL.estimate(program).time_s,
+            "ORIANNA-SW": ORIANNA_SW.estimate(program).time_s,
+            "GPU": TX1_GPU.estimate(program).time_s,
+            "ORIANNA-IO": io.time_ms * 1e-3,
+            "ORIANNA-OoO": ooo.time_ms * 1e-3,
+        }
+        rows_e = {
+            "ARM": arm.energy_j,
+            "Intel": INTEL.estimate(program).energy_j,
+            "ORIANNA-SW": ORIANNA_SW.estimate(program).energy_j,
+            "GPU": TX1_GPU.estimate(program).energy_j,
+            "ORIANNA-IO": io.energy_mj * 1e-3,
+            "ORIANNA-OoO": ooo.energy_mj * 1e-3,
+        }
+        speed.add_row(application=app.name, **{
+            k: rows_t["ARM"] / v for k, v in rows_t.items()
+        })
+        energy.add_row(application=app.name, **{
+            k: rows_e["ARM"] / v for k, v in rows_e.items()
+        })
+    speed.notes.append(
+        "paper averages: OoO 53.5x over ARM, 6.5x over Intel, 28.6x over "
+        "GPU, 6.3x over IO"
+    )
+    energy.notes.append(
+        "paper averages: OoO 3.4x over ARM, 15.1x over Intel, 12.3x over "
+        "GPU, 2.2x over IO"
+    )
+    return speed, energy
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 -- per-algorithm speedup breakdown
+# ----------------------------------------------------------------------
+
+def experiment_fig15(seed: int = 0) -> ExperimentTable:
+    table = ExperimentTable(
+        "F15", "Fig. 15: ORIANNA-OoO speedup over ARM per algorithm",
+        ["application", LOCALIZATION, PLANNING, CONTROL],
+    )
+    for app in all_applications():
+        cells = {}
+        for algorithm in (LOCALIZATION, PLANNING, CONTROL):
+            compiled = app.compile_algorithm(algorithm, seed)
+            ooo = _simulate(compiled.program, OOO_POLICY)
+            arm = ARM.estimate(compiled.program)
+            cells[algorithm] = arm.time_s / (ooo.time_ms * 1e-3)
+        table.add_row(application=app.name, **cells)
+    table.notes.append(
+        "paper averages: localization 48.2x, planning 50.6x, control 60.7x"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 -- against state-of-the-art accelerators
+# ----------------------------------------------------------------------
+
+def experiment_fig16(seed: int = 0) -> Tuple[ExperimentTable,
+                                             ExperimentTable,
+                                             ExperimentTable]:
+    speed = ExperimentTable(
+        "F16a", "Fig. 16a: speedup over Intel",
+        ["application", "ORIANNA-IO", "ORIANNA-OoO", "VANILLA-HLS", "STACK"],
+    )
+    energy = ExperimentTable(
+        "F16b", "Fig. 16b: energy reduction over Intel",
+        ["application", "ORIANNA-IO", "ORIANNA-OoO", "VANILLA-HLS", "STACK"],
+    )
+    vanilla = VanillaHls()
+    stack = StackAccelerators()
+
+    for app in all_applications():
+        program = _frame(app, seed)
+        intel = INTEL.estimate(program)
+        ooo = _simulate(program, OOO_POLICY)
+        io = _simulate(program, IO_POLICY)
+
+        dense_shapes = []
+        composition = app.frame_composition()
+        graphs = app.build_graphs(seed)
+        for name, (graph, values) in graphs.items():
+            repeats = composition.get(name, 0)
+            if name == PLANNING:
+                continue  # planning amortized out of the frame
+            for _ in range(max(repeats, 0)):
+                dense_shapes.append(graph.linearize(values).shape())
+        vh = vanilla.estimate(program, dense_shapes)
+
+        per_alg = {}
+        for name, repeats in composition.items():
+            if name == PLANNING:
+                continue
+            for r in range(repeats):
+                from repro.apps.seeding import stable_seed
+
+                rng = np.random.default_rng(
+                    stable_seed(app.name, name, seed, r))
+                graph, values = app.spec(name).build(rng)
+                label = name if repeats == 1 else f"{name}#{r}"
+                per_alg[label] = compile_graph(
+                    graph, values, algorithm=name,
+                    register_prefix=label).program
+        st = stack.estimate(per_alg)
+
+        speed.add_row(
+            application=app.name,
+            **{"ORIANNA-IO": intel.time_s / (io.time_ms * 1e-3),
+               "ORIANNA-OoO": intel.time_s / (ooo.time_ms * 1e-3),
+               "VANILLA-HLS": intel.time_s / vh.time_s,
+               "STACK": intel.time_s / st.time_s},
+        )
+        energy.add_row(
+            application=app.name,
+            **{"ORIANNA-IO": intel.energy_j / (io.energy_mj * 1e-3),
+               "ORIANNA-OoO": intel.energy_j / (ooo.energy_mj * 1e-3),
+               "VANILLA-HLS": intel.energy_j / vh.energy_j,
+               "STACK": intel.energy_j / st.energy_j},
+        )
+
+    resources = ExperimentTable(
+        "F16c", "Fig. 16c: FPGA resource consumption",
+        ["accelerator", "lut", "ff", "bram", "dsp"],
+    )
+    for name, res in (
+        ("ORIANNA", ORIANNA_CONFIG.resources()),
+        ("VANILLA-HLS", vanilla.config.resources()),
+        ("STACK", sum((c.resources() for c in stack.configs.values()),
+                      start=type(ORIANNA_CONFIG.resources())())),
+    ):
+        resources.add_row(accelerator=name, lut=res.lut, ff=res.ff,
+                          bram=res.bram, dsp=res.dsp)
+    speed.notes.append(
+        "paper: OoO 25.6x over VANILLA-HLS; STACK fastest with ORIANNA "
+        "within ~1%"
+    )
+    resources.notes.append(
+        "paper: STACK uses 3.4x LUT / 3.0x FF / 3.2x BRAM / 2.0x DSP of "
+        "ORIANNA"
+    )
+    return speed, energy, resources
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 / Fig. 18 -- matrix operation size and density
+# ----------------------------------------------------------------------
+
+def experiment_fig17_fig18(seed: int = 0) -> Tuple[ExperimentTable,
+                                                   ExperimentTable]:
+    from repro.apps import mobile_robot
+
+    app = mobile_robot()
+    size = ExperimentTable(
+        "F17", "Fig. 17: matrix-operation size, MobileRobot "
+               "(rows x cols)",
+        ["algorithm", "vanilla_rows", "vanilla_cols", "orianna_max_rows",
+         "orianna_max_cols", "size_reduction"],
+    )
+    density = ExperimentTable(
+        "F18", "Fig. 18: matrix-operation density, MobileRobot",
+        ["algorithm", "vanilla_density", "orianna_mean_density",
+         "density_gain"],
+    )
+    graphs = app.build_graphs(seed)
+    for algorithm, (graph, values) in graphs.items():
+        linear = graph.linearize(values)
+        rows, cols = linear.shape()
+        dense_density = linear.density()
+        _, stats = eliminate(linear, min_degree_ordering(linear))
+        max_rows, max_cols = stats.max_qr_shape()
+        mean_density = stats.mean_density()
+        size.add_row(
+            algorithm=algorithm, vanilla_rows=rows, vanilla_cols=cols,
+            orianna_max_rows=max_rows, orianna_max_cols=max_cols,
+            size_reduction=(rows * cols) / max(1, max_rows * max_cols),
+        )
+        density.add_row(
+            algorithm=algorithm, vanilla_density=dense_density,
+            orianna_mean_density=mean_density,
+            density_gain=mean_density / max(dense_density, 1e-12),
+        )
+    size.notes.append(
+        "paper: localization 147x90 dense vs 11.1x smaller fronts on "
+        "average; planning max 41x12 (12.2x smaller); control 16.4x"
+    )
+    density.notes.append(
+        "paper: localization density 5.3% dense vs 58.5% in ORIANNA "
+        "fronts; planning 10.8x gain; control 22.6x"
+    )
+    return size, density
+
+
+# ----------------------------------------------------------------------
+# Fig. 19 / Fig. 20 -- hardware generation under DSP constraints
+# ----------------------------------------------------------------------
+
+def manual_designs() -> Dict[str, AcceleratorConfig]:
+    """Hand-built accelerators a designer might pick (Fig. 19 baselines)."""
+    return {
+        "manual-minimal": AcceleratorConfig(),
+        "manual-balanced": AcceleratorConfig(unit_counts={
+            UNIT_MATMUL: 2, UNIT_VECTOR: 2, UNIT_SPECIAL: 1,
+            UNIT_QR: 1, UNIT_BSUB: 1,
+        }),
+        "manual-matmul-heavy": AcceleratorConfig(unit_counts={
+            UNIT_MATMUL: 4, UNIT_VECTOR: 1, UNIT_SPECIAL: 1,
+            UNIT_QR: 1, UNIT_BSUB: 1,
+        }),
+        "manual-qr-heavy": AcceleratorConfig(unit_counts={
+            UNIT_MATMUL: 1, UNIT_VECTOR: 1, UNIT_SPECIAL: 1,
+            UNIT_QR: 3, UNIT_BSUB: 1,
+        }),
+    }
+
+
+def experiment_fig19(seed: int = 0,
+                     dsp_values: Tuple[int, ...] = (450, 600, 750, 900),
+                     objective: str = "latency") -> ExperimentTable:
+    from repro.apps import mobile_robot
+
+    app = mobile_robot()
+    program = _frame(app, seed)
+    intel_time = INTEL.estimate(program).time_s
+
+    designs = manual_designs()
+    columns = ["dsp_budget", "orianna_generated"] + sorted(designs)
+    metric = "speedup over Intel" if objective == "latency" else (
+        "energy reduction over Intel"
+    )
+    table = ExperimentTable(
+        "F19" if objective == "latency" else "F20",
+        f"Fig. {'19' if objective == 'latency' else '20'}: {metric} under "
+        f"DSP constraints (MobileRobot)",
+        columns,
+    )
+    intel_energy = INTEL.estimate(program).energy_j
+
+    for dsp in dsp_values:
+        budget = dsp_budget(dsp)
+        generated = generate_accelerator(program, budget,
+                                         objective=objective)
+        cells = {"dsp_budget": dsp}
+
+        def score(config: AcceleratorConfig) -> float:
+            result = Simulator(config).run(program, OOO_POLICY)
+            if objective == "latency":
+                return intel_time / (result.time_ms * 1e-3)
+            return intel_energy / (result.energy_mj * 1e-3)
+
+        cells["orianna_generated"] = score(generated.config)
+        for name, config in designs.items():
+            cells[name] = (score(config) if config.fits(budget) else 0.0)
+        table.add_row(**cells)
+    table.notes.append(
+        "0 means the manual design does not fit the DSP budget; the paper "
+        "shows the generated design dominating every manual one at every "
+        "budget"
+    )
+    return table
+
+
+def experiment_fig20(seed: int = 0,
+                     dsp_values: Tuple[int, ...] = (450, 600, 750, 900)
+                     ) -> ExperimentTable:
+    return experiment_fig19(seed, dsp_values, objective="energy")
+
+
+# ----------------------------------------------------------------------
+# Sec. 7.3 -- latency breakdown by pipeline phase
+# ----------------------------------------------------------------------
+
+def experiment_latency_breakdown(seed: int = 0) -> ExperimentTable:
+    from repro.apps import quadrotor
+
+    app = quadrotor()
+    program = _frame(app, seed)
+    result = _simulate(program, OOO_POLICY)
+    table = ExperimentTable(
+        "LBRK", "Sec. 7.3: latency breakdown by phase (Quadrotor)",
+        ["phase", "share"],
+    )
+    for phase in (PHASE_DECOMPOSE, PHASE_CONSTRUCT, PHASE_BACKSUB):
+        table.add_row(phase=phase, share=result.phase_share(phase))
+    table.notes.append(
+        "paper (drone): decomposition 74.0%, construction 16.0%, back "
+        "substitution 10.0%"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Ablation: out-of-order granularity
+# ----------------------------------------------------------------------
+
+def experiment_ablation_ooo(seed: int = 0) -> ExperimentTable:
+    """Fine-grained only vs +coarse-grained OoO (DESIGN.md ablation)."""
+    table = ExperimentTable(
+        "AOOO", "Ablation: out-of-order granularity (cycles per frame)",
+        ["application", "sequential", "inorder", "ooo_single_stream",
+         "ooo_full"],
+    )
+    for app in all_applications():
+        program = _frame(app, seed)
+        seq = _simulate(program, "sequential").total_cycles
+        inorder = _simulate(program, "inorder").total_cycles
+        full = _simulate(program, OOO_POLICY).total_cycles
+        # Fine-grained only: each algorithm stream scheduled OoO on the
+        # shared hardware, but streams run back to back.
+        single = 0
+        for name in sorted({i.algorithm for i in program}):
+            sub = program.subset_by_algorithm(name)
+            single += _simulate(sub, OOO_POLICY).total_cycles
+        table.add_row(application=app.name, sequential=seq, inorder=inorder,
+                      ooo_single_stream=single, ooo_full=full)
+    table.notes.append(
+        "coarse-grained OoO (ooo_full < ooo_single_stream) is Sec. 6.3's "
+        "cross-algorithm overlap"
+    )
+    return table

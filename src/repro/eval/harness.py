@@ -1,0 +1,101 @@
+"""Experiment harness utilities: tabular results and printers.
+
+Every experiment in :mod:`repro.eval.experiments` returns an
+:class:`ExperimentTable` whose rows mirror the corresponding paper table
+or figure series, so the benchmark harness can print exactly the rows the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """A labeled table of experiment results."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells) -> None:
+        missing = [c for c in self.columns if c not in cells]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[object]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def row_by(self, key_column: str, value) -> Dict[str, object]:
+        for row in self.rows:
+            if row[key_column] == value:
+                return row
+        raise KeyError(f"no row with {key_column} == {value!r}")
+
+    # ------------------------------------------------------------------
+    def _formatted(self, value) -> str:
+        if isinstance(value, float):
+            if value == 0.0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def format(self) -> str:
+        """Plain-text rendering with aligned columns."""
+        header = [self.title, "=" * len(self.title)]
+        widths = {
+            c: max(len(c), *(len(self._formatted(r[c])) for r in self.rows))
+            if self.rows else len(c)
+            for c in self.columns
+        }
+        line = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "  ".join("-" * widths[c] for c in self.columns)
+        body = [
+            "  ".join(self._formatted(r[c]).ljust(widths[c])
+                      for c in self.columns)
+            for r in self.rows
+        ]
+        parts = header + [line, rule] + body
+        if self.notes:
+            parts += [""] + [f"note: {n}" for n in self.notes]
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering."""
+        head = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(self._formatted(r[c]) for c in self.columns)
+            + " |"
+            for r in self.rows
+        ]
+        return "\n".join([head, sep] + body)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def print_tables(tables, stream=None) -> None:
+    """Print a sequence of experiment tables separated by blank lines."""
+    import sys
+
+    stream = stream or sys.stdout
+    for table in tables:
+        stream.write(table.format())
+        stream.write("\n\n")

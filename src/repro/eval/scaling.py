@@ -1,0 +1,53 @@
+"""Scalability analysis: cost growth with problem size.
+
+The factor-graph abstraction's payoff grows with problem size: dense
+decomposition cost grows roughly cubically with the window, while the
+incremental elimination's cost grows with the number of (small) fronts.
+This experiment sweeps the localization window and reports simulated
+ORIANNA cycles against the dense-accelerator cycles for the same window —
+the scalability story behind Fig. 17/18.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps import builders
+from repro.baselines.cost import dense_backsub_cycles, dense_qr_cycles
+from repro.compiler import compile_graph
+from repro.eval.harness import ExperimentTable
+from repro.sim import Simulator
+
+
+def experiment_scaling(window_sizes: Sequence[int] = (6, 10, 14, 18),
+                       seed: int = 0) -> ExperimentTable:
+    """Sweep the 2-D localization window size (MobileRobot-style)."""
+    from repro.eval.experiments import ORIANNA_CONFIG
+
+    table = ExperimentTable(
+        "SCAL", "Scaling: cycles vs localization window size",
+        ["window", "dense_rows", "dense_cols", "orianna_cycles",
+         "dense_cycles", "advantage"],
+    )
+    sim = Simulator(ORIANNA_CONFIG)
+    for window in window_sizes:
+        rng = np.random.default_rng(seed)
+        graph, values = builders.lidar_gps_localization(rng, window=window)
+        compiled = compile_graph(graph, values)
+        orianna = sim.run(compiled.program, "ooo").total_cycles
+
+        linear = graph.linearize(values)
+        rows, cols = linear.shape()
+        dense = dense_qr_cycles(rows, cols) + dense_backsub_cycles(cols)
+
+        table.add_row(window=window, dense_rows=rows, dense_cols=cols,
+                      orianna_cycles=orianna, dense_cycles=dense,
+                      advantage=dense / max(orianna, 1))
+    table.notes.append(
+        "the dense decomposition's cost grows superlinearly with the "
+        "window while the factor-graph fronts stay small, so the "
+        "advantage widens with problem size"
+    )
+    return table

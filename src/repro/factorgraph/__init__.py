@@ -1,0 +1,66 @@
+"""Factor-graph engine: variables, factors, elimination, back substitution.
+
+This package implements the abstraction at the heart of ORIANNA
+(Sec. 2.2): bipartite graphs of variable and factor nodes, their
+correspondence to the sparse linear system ``A delta = b``, and the
+incremental QR-based inference of Fig. 5 / Fig. 6.
+"""
+
+from repro.factorgraph.elimination import (
+    BackSubRecord,
+    BayesNet,
+    EliminationStats,
+    GaussianConditional,
+    QRRecord,
+    eliminate,
+    eliminate_variable,
+    solve,
+)
+from repro.factorgraph.factor import (
+    Factor,
+    FunctionFactor,
+    numerical_jacobian,
+    prior_on_vector,
+)
+from repro.factorgraph.g2o import load_g2o, save_g2o
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.incremental import IncrementalSolver, conditional_to_factor
+from repro.factorgraph.marginals import Marginals
+from repro.factorgraph.robust import (
+    CauchyEstimator,
+    HuberEstimator,
+    MEstimator,
+    RobustNoiseModel,
+    TukeyEstimator,
+)
+from repro.factorgraph.keys import Key, U, V, X, Y, key
+from repro.factorgraph.linear import GaussianFactor, GaussianFactorGraph
+from repro.factorgraph.noise import (
+    Diagonal,
+    FullCovariance,
+    Isotropic,
+    NoiseModel,
+    Unit,
+)
+from repro.factorgraph.ordering import (
+    min_degree_ordering,
+    natural_ordering,
+    validate_ordering,
+)
+from repro.factorgraph.values import Values
+
+__all__ = [
+    "Key", "key", "X", "Y", "U", "V",
+    "Values",
+    "NoiseModel", "Unit", "Isotropic", "Diagonal", "FullCovariance",
+    "Factor", "FunctionFactor", "numerical_jacobian", "prior_on_vector",
+    "GaussianFactor", "GaussianFactorGraph",
+    "FactorGraph",
+    "natural_ordering", "min_degree_ordering", "validate_ordering",
+    "GaussianConditional", "BayesNet", "eliminate", "eliminate_variable",
+    "solve", "EliminationStats", "QRRecord", "BackSubRecord",
+    "IncrementalSolver", "conditional_to_factor", "Marginals",
+    "MEstimator", "HuberEstimator", "TukeyEstimator", "CauchyEstimator",
+    "RobustNoiseModel",
+    "load_g2o", "save_g2o",
+]

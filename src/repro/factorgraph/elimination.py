@@ -1,0 +1,257 @@
+"""Factor-graph inference: incremental variable elimination via partial QR.
+
+Implements the process of Fig. 5 and Fig. 6: for each variable in an
+elimination order, stack the rows of its adjacent factors into a small
+dense matrix ``A-bar``, run a partial QR decomposition, keep the
+upper-triangular conditional for the eliminated variable, and reinsert the
+remaining rows as a new factor on the separator.  Back substitution over
+the resulting Bayes net yields the solution ``delta``.
+
+Every QR step is recorded in :class:`EliminationStats` with its matrix
+shape and structural density — the raw data behind Fig. 17 and Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.errors import GraphError, LinearizationError
+from repro.factorgraph.keys import Key
+from repro.factorgraph.linear import GaussianFactor, GaussianFactorGraph
+from repro.factorgraph.ordering import validate_ordering
+
+
+@dataclass
+class QRRecord:
+    """Shape and sparsity of one partial QR step (one Fig. 5 elimination)."""
+
+    variable: Key
+    rows: int
+    cols: int                 # frontal + separator columns (rhs excluded)
+    frontal_dim: int
+    separator: Tuple[Key, ...]
+    structural_nnz: int
+
+    @property
+    def density(self) -> float:
+        if self.rows == 0 or self.cols == 0:
+            return 0.0
+        return self.structural_nnz / (self.rows * self.cols)
+
+
+@dataclass
+class BackSubRecord:
+    """Shape of one back-substitution step (one Fig. 6 arrow chain)."""
+
+    variable: Key
+    frontal_dim: int
+    separator_dim: int
+
+
+@dataclass
+class EliminationStats:
+    """Aggregate statistics over an elimination run."""
+
+    qr_steps: List[QRRecord] = field(default_factory=list)
+    backsub_steps: List[BackSubRecord] = field(default_factory=list)
+
+    def max_qr_shape(self) -> Tuple[int, int]:
+        if not self.qr_steps:
+            return (0, 0)
+        biggest = max(self.qr_steps, key=lambda r: r.rows * r.cols)
+        return (biggest.rows, biggest.cols)
+
+    def mean_density(self) -> float:
+        if not self.qr_steps:
+            return 0.0
+        return float(np.mean([r.density for r in self.qr_steps]))
+
+
+class GaussianConditional:
+    """``R delta_v + sum_p S_p delta_p = d`` for one eliminated variable."""
+
+    def __init__(
+        self,
+        key: Key,
+        r: np.ndarray,
+        parents: Sequence[Tuple[Key, np.ndarray]],
+        d: np.ndarray,
+    ):
+        r = np.asarray(r, dtype=float)
+        d = np.asarray(d, dtype=float)
+        if r.shape[0] != r.shape[1] or r.shape[0] != d.shape[0]:
+            raise LinearizationError("conditional R must be square matching d")
+        if np.any(np.abs(np.diag(r)) < 1e-12):
+            raise LinearizationError(
+                f"variable {key} is under-determined (singular R diagonal)"
+            )
+        self.key = key
+        self.r = r
+        self.parents = [(k, np.asarray(s, dtype=float)) for k, s in parents]
+        self.d = d
+
+    @property
+    def dim(self) -> int:
+        return self.r.shape[0]
+
+    def parent_keys(self) -> List[Key]:
+        return [k for k, _ in self.parents]
+
+    def solve(self, solution: Dict[Key, np.ndarray]) -> np.ndarray:
+        """Back-substitute given already-solved parent variables."""
+        rhs = self.d.copy()
+        for k, s in self.parents:
+            if k not in solution:
+                raise GraphError(f"parent {k} of {self.key} not yet solved")
+            rhs = rhs - s @ solution[k]
+        return solve_triangular(self.r, rhs, lower=False)
+
+
+class BayesNet:
+    """Conditionals in elimination order; solving runs in reverse."""
+
+    def __init__(self, conditionals: Sequence[GaussianConditional]):
+        self.conditionals = list(conditionals)
+
+    def back_substitute(
+        self, stats: Optional[EliminationStats] = None
+    ) -> Dict[Key, np.ndarray]:
+        """Solve all variables by reverse-order back substitution (Fig. 6)."""
+        solution: Dict[Key, np.ndarray] = {}
+        for conditional in reversed(self.conditionals):
+            solution[conditional.key] = conditional.solve(solution)
+            if stats is not None:
+                stats.backsub_steps.append(
+                    BackSubRecord(
+                        variable=conditional.key,
+                        frontal_dim=conditional.dim,
+                        separator_dim=sum(
+                            s.shape[1] for _, s in conditional.parents
+                        ),
+                    )
+                )
+        return solution
+
+    def __len__(self) -> int:
+        return len(self.conditionals)
+
+
+def eliminate_variable(
+    factors: Sequence[GaussianFactor], key: Key
+) -> Tuple[GaussianConditional, Optional[GaussianFactor], QRRecord]:
+    """One Fig. 5 step: partial QR on the rows adjacent to ``key``.
+
+    Returns the conditional for ``key``, the marginal factor on the
+    separator (None when the separator is empty and no rows remain), and
+    the shape/density record of the dense stacked matrix.
+    """
+    if not factors:
+        raise GraphError(f"no factors adjacent to {key}")
+    frontal_dim = factors[0].key_dim(key)
+
+    # Column layout: frontal variable first, then separator keys in
+    # first-seen order.
+    separator: List[Key] = []
+    sep_dims: Dict[Key, int] = {}
+    for f in factors:
+        for k in f.keys:
+            if k != key and k not in sep_dims:
+                separator.append(k)
+                sep_dims[k] = f.key_dim(k)
+
+    cols = frontal_dim + sum(sep_dims.values())
+    rows = sum(f.rows for f in factors)
+    stacked = np.zeros((rows, cols + 1))  # last column is the RHS
+
+    col_of: Dict[Key, int] = {key: 0}
+    offset = frontal_dim
+    for k in separator:
+        col_of[k] = offset
+        offset += sep_dims[k]
+
+    nnz = 0
+    row = 0
+    for f in factors:
+        for k in f.keys:
+            block = f.block(k)
+            stacked[row : row + f.rows, col_of[k] : col_of[k] + block.shape[1]] = (
+                block
+            )
+            nnz += block.size
+        stacked[row : row + f.rows, cols] = f.rhs
+        row += f.rows
+
+    if rows < frontal_dim:
+        raise LinearizationError(
+            f"variable {key} has {rows} residual rows but dimension "
+            f"{frontal_dim}; it is under-constrained"
+        )
+
+    # Partial QR: numpy's reduced QR gives R with min(rows, cols+1) rows.
+    _, r = np.linalg.qr(stacked, mode="reduced")
+    r_rows = r.shape[0]
+
+    cond_r = r[:frontal_dim, :frontal_dim]
+    cond_d = r[:frontal_dim, cols]
+    parents = [
+        (k, r[:frontal_dim, col_of[k] : col_of[k] + sep_dims[k]])
+        for k in separator
+    ]
+    conditional = GaussianConditional(key, cond_r, parents, cond_d)
+
+    new_factor: Optional[GaussianFactor] = None
+    remaining = r[frontal_dim:r_rows]
+    if separator and remaining.shape[0] > 0:
+        # Drop trailing all-zero rows produced by the orthogonalization.
+        keep = np.any(np.abs(remaining) > 1e-12, axis=1)
+        remaining = remaining[keep]
+        if remaining.shape[0] > 0:
+            blocks = {
+                k: remaining[:, col_of[k] : col_of[k] + sep_dims[k]]
+                for k in separator
+            }
+            new_factor = GaussianFactor(separator, blocks, remaining[:, cols])
+
+    record = QRRecord(
+        variable=key,
+        rows=rows,
+        cols=cols,
+        frontal_dim=frontal_dim,
+        separator=tuple(separator),
+        structural_nnz=nnz,
+    )
+    return conditional, new_factor, record
+
+
+def eliminate(
+    graph: GaussianFactorGraph, ordering: Sequence[Key]
+) -> Tuple[BayesNet, EliminationStats]:
+    """Eliminate all variables of a linear graph in the given order."""
+    validate_ordering(graph, ordering)
+    stats = EliminationStats()
+    conditionals: List[GaussianConditional] = []
+    active: List[GaussianFactor] = graph.factors
+
+    for key in ordering:
+        adjacent = [f for f in active if f.touches(key)]
+        active = [f for f in active if not f.touches(key)]
+        conditional, new_factor, record = eliminate_variable(adjacent, key)
+        conditionals.append(conditional)
+        stats.qr_steps.append(record)
+        if new_factor is not None:
+            active.append(new_factor)
+
+    return BayesNet(conditionals), stats
+
+
+def solve(
+    graph: GaussianFactorGraph, ordering: Sequence[Key]
+) -> Tuple[Dict[Key, np.ndarray], EliminationStats]:
+    """Eliminate and back-substitute: the full linear solve of Sec. 2.2."""
+    bayes_net, stats = eliminate(graph, ordering)
+    solution = bayes_net.back_substitute(stats)
+    return solution, stats

@@ -1,0 +1,192 @@
+"""g2o-format pose-graph I/O.
+
+The g2o text format is the lingua franca of pose-graph SLAM benchmarks
+(sphere, intel, manhattan...).  This module reads and writes the 2-D and
+3-D pose-graph subset:
+
+- ``VERTEX_SE2 id x y theta``
+- ``EDGE_SE2 i j dx dy dtheta  <upper-triangular 3x3 information>``
+- ``VERTEX_SE3:QUAT id x y z qx qy qz qw``
+- ``EDGE_SE3:QUAT i j dx dy dz qx qy qz qw  <upper-tri 6x6 information>``
+
+Loaded edges become :class:`~repro.factors.BetweenFactor`s over the
+unified ``<so(n), T(n)>`` representation, so any downloaded benchmark can
+flow straight into the optimizer and the compiler.
+
+Note on conventions: g2o orders the SE3 information matrix as
+(translation, rotation) while this library's residuals are
+``[rotation, translation]``; blocks are re-ordered on load and save.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.factorgraph.factor import Factor
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.keys import Key, X
+from repro.factorgraph.noise import FullCovariance, NoiseModel
+from repro.factorgraph.values import Values
+from repro.factors.between import BetweenFactor
+from repro.geometry import quaternion as quat
+from repro.geometry.pose import Pose
+
+
+def _parse_information(numbers: List[float], dim: int) -> np.ndarray:
+    """Upper-triangular row-major listing to a full symmetric matrix."""
+    expected = dim * (dim + 1) // 2
+    if len(numbers) != expected:
+        raise GraphError(
+            f"expected {expected} information entries, got {len(numbers)}"
+        )
+    info = np.zeros((dim, dim))
+    it = iter(numbers)
+    for i in range(dim):
+        for j in range(i, dim):
+            value = next(it)
+            info[i, j] = value
+            info[j, i] = value
+    return info
+
+
+def _info_to_noise(info: np.ndarray) -> NoiseModel:
+    """Information matrix to a noise model (covariance = info^{-1})."""
+    try:
+        covariance = np.linalg.inv(info)
+    except np.linalg.LinAlgError as exc:
+        raise GraphError("edge information matrix is singular") from exc
+    return FullCovariance(covariance)
+
+
+def _reorder_se3_info(info: np.ndarray) -> np.ndarray:
+    """g2o (t, r) block order -> this library's (r, t) residual order."""
+    perm = [3, 4, 5, 0, 1, 2]
+    return info[np.ix_(perm, perm)]
+
+
+def load_g2o(source: Union[str, TextIO]) -> Tuple[FactorGraph, Values]:
+    """Parse g2o text into a factor graph and initial values.
+
+    ``source`` may be a path or an open text stream.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_g2o(handle)
+
+    graph = FactorGraph()
+    values = Values()
+    for line_number, raw in enumerate(source, start=1):
+        tokens = raw.split()
+        if not tokens or tokens[0].startswith("#"):
+            continue
+        tag = tokens[0]
+        try:
+            if tag == "VERTEX_SE2":
+                idx = int(tokens[1])
+                x, y, theta = map(float, tokens[2:5])
+                values.insert(X(idx), Pose.from_xytheta(x, y, theta))
+            elif tag == "VERTEX_SE3:QUAT":
+                idx = int(tokens[1])
+                t = np.array(list(map(float, tokens[2:5])))
+                qx, qy, qz, qw = map(float, tokens[5:9])
+                rotation = quat.to_rotation(np.array([qw, qx, qy, qz]))
+                values.insert(X(idx), Pose.from_rotation(rotation, t))
+            elif tag == "EDGE_SE2":
+                i, j = int(tokens[1]), int(tokens[2])
+                dx, dy, dtheta = map(float, tokens[3:6])
+                info = _parse_information(
+                    list(map(float, tokens[6:12])), 3)
+                # g2o SE2 order (x, y, theta) -> ours (theta, x, y).
+                perm = [2, 0, 1]
+                info = info[np.ix_(perm, perm)]
+                measured = Pose.from_xytheta(dx, dy, dtheta)
+                graph.add(BetweenFactor(X(j), X(i), measured,
+                                        _info_to_noise(info)))
+            elif tag == "EDGE_SE3:QUAT":
+                i, j = int(tokens[1]), int(tokens[2])
+                t = np.array(list(map(float, tokens[3:6])))
+                qx, qy, qz, qw = map(float, tokens[6:10])
+                rotation = quat.to_rotation(np.array([qw, qx, qy, qz]))
+                info = _parse_information(
+                    list(map(float, tokens[10:31])), 6)
+                measured = Pose.from_rotation(rotation, t)
+                graph.add(BetweenFactor(X(j), X(i), measured,
+                                        _info_to_noise(
+                                            _reorder_se3_info(info))))
+            else:
+                raise GraphError(f"unsupported g2o tag {tag!r}")
+        except (ValueError, IndexError) as exc:
+            raise GraphError(
+                f"malformed g2o line {line_number}: {raw.strip()!r}"
+            ) from exc
+    return graph, values
+
+
+def _information_of(factor: Factor, dim: int) -> np.ndarray:
+    w = factor.noise.sqrt_information
+    return w.T @ w if w.shape[0] == dim else np.eye(dim)
+
+
+def _upper_triangular(info: np.ndarray) -> List[float]:
+    dim = info.shape[0]
+    return [float(info[i, j]) for i in range(dim) for j in range(i, dim)]
+
+
+def save_g2o(graph: FactorGraph, values: Values,
+             destination: Union[str, TextIO]) -> None:
+    """Write a pose graph (BetweenFactors over Pose variables) as g2o."""
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            save_g2o(graph, values, handle)
+            return
+
+    index_of: Dict[Key, int] = {}
+    for key in sorted(values.keys()):
+        pose = values.at(key)
+        if not isinstance(pose, Pose):
+            raise GraphError("g2o export supports pose variables only")
+        index_of[key] = key.index
+        if pose.n == 2:
+            destination.write(
+                f"VERTEX_SE2 {key.index} {pose.t[0]:.9g} {pose.t[1]:.9g} "
+                f"{pose.phi[0]:.9g}\n"
+            )
+        else:
+            qw, qx, qy, qz = quat.from_rotation(pose.rotation)
+            destination.write(
+                f"VERTEX_SE3:QUAT {key.index} "
+                f"{pose.t[0]:.9g} {pose.t[1]:.9g} {pose.t[2]:.9g} "
+                f"{qx:.9g} {qy:.9g} {qz:.9g} {qw:.9g}\n"
+            )
+
+    for factor in graph:
+        if not isinstance(factor, BetweenFactor):
+            raise GraphError(
+                "g2o export supports between factors only; got "
+                f"{type(factor).__name__}"
+            )
+        key_j, key_i = factor.keys  # BetweenFactor stores (to, from)
+        z = factor.measured
+        if z.n == 2:
+            info = _information_of(factor, 3)
+            perm = [1, 2, 0]  # ours (theta, x, y) -> g2o (x, y, theta)
+            entries = _upper_triangular(info[np.ix_(perm, perm)])
+            destination.write(
+                f"EDGE_SE2 {index_of[key_i]} {index_of[key_j]} "
+                f"{z.t[0]:.9g} {z.t[1]:.9g} {z.phi[0]:.9g} "
+                + " ".join(f"{e:.9g}" for e in entries) + "\n"
+            )
+        else:
+            info = _reorder_se3_info(_information_of(factor, 6))
+            # _reorder_se3_info is its own inverse for this permutation.
+            entries = _upper_triangular(info)
+            qw, qx, qy, qz = quat.from_rotation(z.rotation)
+            destination.write(
+                f"EDGE_SE3:QUAT {index_of[key_i]} {index_of[key_j]} "
+                f"{z.t[0]:.9g} {z.t[1]:.9g} {z.t[2]:.9g} "
+                f"{qx:.9g} {qy:.9g} {qz:.9g} {qw:.9g} "
+                + " ".join(f"{e:.9g}" for e in entries) + "\n"
+            )

@@ -1,0 +1,113 @@
+"""Incremental factor-graph inference (iSAM-style, linear level).
+
+The factor-graph abstraction solves linear systems *incrementally*
+(Sec. 2.2); this module exposes that ability across updates: when new
+factors arrive, only the variables transitively affected — the keys the
+new factors touch plus their ancestors toward the root of the Bayes net —
+are re-eliminated.  Everything else's conditionals remain valid because
+each conditional ``P(x_i | parents)`` is unaffected by new information
+about its parents.
+
+This is the classic iSAM update at a fixed linearization point;
+relinearization-aware fluid updates (iSAM2) are out of scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.factorgraph.elimination import (
+    BayesNet,
+    GaussianConditional,
+    eliminate,
+)
+from repro.factorgraph.keys import Key
+from repro.factorgraph.linear import GaussianFactor, GaussianFactorGraph
+
+
+def conditional_to_factor(conditional: GaussianConditional) -> GaussianFactor:
+    """Reconstitute a conditional as the Gaussian factor it summarizes.
+
+    The conditional's row block ``[R | S_1 ... S_p | d]`` *is* a valid
+    factor on ``{key} + parents`` — exactly what gets handed back to the
+    elimination when the variable must be redone.
+    """
+    keys = [conditional.key] + conditional.parent_keys()
+    blocks: Dict[Key, np.ndarray] = {conditional.key: conditional.r}
+    for parent, s_block in conditional.parents:
+        blocks[parent] = s_block
+    return GaussianFactor(keys, blocks, conditional.d)
+
+
+class IncrementalSolver:
+    """Maintains a Bayes net across factor additions (iSAM-style)."""
+
+    def __init__(self):
+        self._conditionals: Dict[Key, GaussianConditional] = {}
+        self._order: List[Key] = []
+        self.last_reeliminated: int = 0
+
+    @property
+    def order(self) -> List[Key]:
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # ------------------------------------------------------------------
+    def update(self, factors: Iterable[GaussianFactor]) -> None:
+        """Fold new factors in, re-eliminating only the affected set."""
+        factors = list(factors)
+        if not factors:
+            self.last_reeliminated = 0
+            return
+
+        known = set(self._order)
+        new_keys: List[Key] = []
+        for f in factors:
+            for k in f.keys:
+                if k not in known and k not in new_keys:
+                    new_keys.append(k)
+
+        # Directly affected existing variables, then ancestor closure:
+        # if a variable is redone, every parent (eliminated later) must
+        # be redone too, transitively toward the root.
+        affected: Set[Key] = {
+            k for f in factors for k in f.keys if k in known
+        }
+        for key in self._order:
+            if key in affected:
+                affected.update(self._conditionals[key].parent_keys())
+
+        redo_factors = [conditional_to_factor(self._conditionals[k])
+                        for k in self._order if k in affected]
+        redo_factors.extend(factors)
+
+        sub_order = [k for k in self._order if k in affected] + new_keys
+        if not sub_order:
+            raise GraphError("update factors reference no variables")
+
+        sub_net, _ = eliminate(GaussianFactorGraph(redo_factors), sub_order)
+
+        # Splice: unaffected prefix keeps its order; redone go to the end.
+        self._order = [k for k in self._order if k not in affected]
+        for k in affected:
+            self._conditionals.pop(k, None)
+        for conditional in sub_net.conditionals:
+            self._order.append(conditional.key)
+            self._conditionals[conditional.key] = conditional
+
+        self.last_reeliminated = len(sub_order)
+
+    # ------------------------------------------------------------------
+    def bayes_net(self) -> BayesNet:
+        return BayesNet([self._conditionals[k] for k in self._order])
+
+    def solve(self) -> Dict[Key, np.ndarray]:
+        """Back-substitute the current Bayes net (all variables)."""
+        if not self._order:
+            return {}
+        return self.bayes_net().back_substitute()

@@ -1,0 +1,48 @@
+"""Variable keys for factor graphs.
+
+A :class:`Key` names one variable node, e.g. ``x1`` for the first robot
+pose or ``y2`` for the second landmark, mirroring the notation of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Key:
+    """An immutable, hashable variable identifier (symbol + index)."""
+
+    symbol: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.symbol}{self.index}"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+def key(symbol: str, index: int) -> Key:
+    """Convenience constructor: ``key('x', 1) == Key('x', 1)``."""
+    return Key(symbol, index)
+
+
+def X(index: int) -> Key:
+    """Robot pose key, matching the paper's ``x_i`` notation."""
+    return Key("x", index)
+
+
+def Y(index: int) -> Key:
+    """Landmark key, matching the paper's ``y_i`` notation."""
+    return Key("y", index)
+
+
+def U(index: int) -> Key:
+    """Control-input key for control factor graphs (Fig. 7b)."""
+    return Key("u", index)
+
+
+def V(index: int) -> Key:
+    """Velocity/derivative key for planning factor graphs (Fig. 7a)."""
+    return Key("v", index)

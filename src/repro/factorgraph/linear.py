@@ -1,0 +1,186 @@
+"""Linearized (Gaussian) factors and sparse block linear systems.
+
+A :class:`GaussianFactor` is one block row of the linear system
+``A delta = b`` of Fig. 4: a map from variable keys to dense Jacobian
+blocks plus a right-hand-side vector.  A :class:`GaussianFactorGraph`
+collects them and can assemble the full (sparse or dense) system, which is
+what the VANILLA-HLS baseline operates on and what the Fig. 17/18 size and
+density statistics are measured from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, LinearizationError
+from repro.factorgraph.keys import Key
+
+
+class GaussianFactor:
+    """One whitened block row ``||sum_k A_k delta_k - b||^2``."""
+
+    def __init__(
+        self,
+        keys: Sequence[Key],
+        blocks: Mapping[Key, np.ndarray],
+        rhs: np.ndarray,
+    ):
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.ndim != 1:
+            raise LinearizationError("rhs must be a vector")
+        self._keys = list(keys)
+        if set(self._keys) != set(blocks):
+            raise LinearizationError("blocks must cover exactly the factor keys")
+        self._blocks: Dict[Key, np.ndarray] = {}
+        for k in self._keys:
+            block = np.asarray(blocks[k], dtype=float)
+            if block.ndim != 2 or block.shape[0] != rhs.shape[0]:
+                raise LinearizationError(
+                    f"block for {k} has shape {block.shape}, rows must be "
+                    f"{rhs.shape[0]}"
+                )
+            self._blocks[k] = block
+        self._rhs = rhs
+
+    @property
+    def keys(self) -> List[Key]:
+        return list(self._keys)
+
+    @property
+    def rows(self) -> int:
+        return self._rhs.shape[0]
+
+    @property
+    def rhs(self) -> np.ndarray:
+        return self._rhs
+
+    def block(self, key: Key) -> np.ndarray:
+        try:
+            return self._blocks[key]
+        except KeyError:
+            raise GraphError(f"factor has no block for {key}") from None
+
+    def key_dim(self, key: Key) -> int:
+        return self.block(key).shape[1]
+
+    def touches(self, key: Key) -> bool:
+        return key in self._blocks
+
+    def error(self, delta: Mapping[Key, np.ndarray]) -> float:
+        """Residual norm^2 of this row at a given solution."""
+        r = -self._rhs.copy()
+        for k in self._keys:
+            r = r + self._blocks[k] @ np.asarray(delta[k], dtype=float)
+        return float(r @ r)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        keys = ", ".join(str(k) for k in self._keys)
+        return f"GaussianFactor({keys}; rows={self.rows})"
+
+
+class GaussianFactorGraph:
+    """A collection of Gaussian factors forming ``A delta = b``."""
+
+    def __init__(self, factors: Iterable[GaussianFactor] = ()):
+        self._factors: List[GaussianFactor] = list(factors)
+
+    def add(self, factor: GaussianFactor) -> None:
+        self._factors.append(factor)
+
+    @property
+    def factors(self) -> List[GaussianFactor]:
+        return list(self._factors)
+
+    def __len__(self) -> int:
+        return len(self._factors)
+
+    def __iter__(self):
+        return iter(self._factors)
+
+    def keys(self) -> List[Key]:
+        """All variable keys, in first-seen order."""
+        seen: Dict[Key, None] = {}
+        for f in self._factors:
+            for k in f.keys:
+                seen.setdefault(k, None)
+        return list(seen)
+
+    def key_dims(self) -> Dict[Key, int]:
+        dims: Dict[Key, int] = {}
+        for f in self._factors:
+            for k in f.keys:
+                d = f.key_dim(k)
+                if dims.setdefault(k, d) != d:
+                    raise GraphError(f"inconsistent dims for {k}")
+        return dims
+
+    # ------------------------------------------------------------------
+    # Dense assembly (used by baselines and the Fig. 17/18 statistics)
+    # ------------------------------------------------------------------
+    def column_layout(
+        self, ordering: Sequence[Key] = None
+    ) -> Tuple[List[Key], Dict[Key, slice]]:
+        """Column order and per-key column slices of the assembled matrix."""
+        order = list(ordering) if ordering is not None else self.keys()
+        dims = self.key_dims()
+        missing = [k for k in order if k not in dims]
+        if missing:
+            raise GraphError(f"ordering contains unknown keys: {missing}")
+        extra = set(dims) - set(order)
+        if extra:
+            raise GraphError(f"ordering is missing keys: {sorted(map(str, extra))}")
+        slices: Dict[Key, slice] = {}
+        col = 0
+        for k in order:
+            slices[k] = slice(col, col + dims[k])
+            col += dims[k]
+        return order, slices
+
+    def dense_system(
+        self, ordering: Sequence[Key] = None
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[Key, slice]]:
+        """Assemble the full dense ``(A, b)`` with the given column order."""
+        _, slices = self.column_layout(ordering)
+        total_cols = max((s.stop for s in slices.values()), default=0)
+        total_rows = sum(f.rows for f in self._factors)
+        a = np.zeros((total_rows, total_cols))
+        b = np.zeros(total_rows)
+        row = 0
+        for f in self._factors:
+            for k in f.keys:
+                a[row : row + f.rows, slices[k]] = f.block(k)
+            b[row : row + f.rows] = f.rhs
+            row += f.rows
+        return a, b, slices
+
+    def solve_dense(
+        self, ordering: Sequence[Key] = None
+    ) -> Dict[Key, np.ndarray]:
+        """Reference solve of the full system by dense least squares."""
+        a, b, slices = self.dense_system(ordering)
+        if a.size == 0:
+            return {}
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return {k: solution[s] for k, s in slices.items()}
+
+    # ------------------------------------------------------------------
+    # Sparsity statistics
+    # ------------------------------------------------------------------
+    def structural_nnz(self) -> int:
+        """Number of structurally nonzero entries of the assembled A."""
+        return sum(f.rows * f.key_dim(k) for f in self._factors for k in f.keys)
+
+    def density(self) -> float:
+        """Structural density of the assembled A (paper quotes e.g. 5.3%)."""
+        dims = self.key_dims()
+        cols = sum(dims.values())
+        rows = sum(f.rows for f in self._factors)
+        if rows == 0 or cols == 0:
+            return 0.0
+        return self.structural_nnz() / (rows * cols)
+
+    def shape(self) -> Tuple[int, int]:
+        dims = self.key_dims()
+        return sum(f.rows for f in self._factors), sum(dims.values())

@@ -1,0 +1,85 @@
+"""Marginal covariance recovery from an eliminated Bayes net.
+
+After elimination, the square-root information factor ``R`` (block
+upper-triangular over the elimination order) encodes the full posterior:
+``Sigma = (R^T R)^{-1}``.  This module recovers per-variable marginal
+covariance blocks by back-substituting unit vectors through the Bayes net
+— the standard square-root-SAM covariance recovery, reusing the same
+conditionals the solver produced (no extra factorization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.errors import GraphError
+from repro.factorgraph.elimination import BayesNet
+from repro.factorgraph.keys import Key
+
+
+class Marginals:
+    """Marginal covariances of an eliminated linear system."""
+
+    def __init__(self, bayes_net: BayesNet):
+        if not bayes_net.conditionals:
+            raise GraphError("cannot compute marginals of an empty Bayes net")
+        self._bayes_net = bayes_net
+        # Column layout of the stacked square-root factor, in elimination
+        # order.
+        self._offset: Dict[Key, int] = {}
+        offset = 0
+        for conditional in bayes_net.conditionals:
+            self._offset[conditional.key] = offset
+            offset += conditional.dim
+        self._total = offset
+        self._r = self._assemble_r()
+        self._sigma_cache: Dict[Key, np.ndarray] = {}
+
+    def _assemble_r(self) -> np.ndarray:
+        """Stack conditionals into the full upper-triangular R."""
+        r = np.zeros((self._total, self._total))
+        for conditional in self._bayes_net.conditionals:
+            row = self._offset[conditional.key]
+            dim = conditional.dim
+            r[row : row + dim, row : row + dim] = conditional.r
+            for parent, s_block in conditional.parents:
+                col = self._offset[parent]
+                r[row : row + dim, col : col + s_block.shape[1]] = s_block
+        return r
+
+    def keys(self) -> List[Key]:
+        return [c.key for c in self._bayes_net.conditionals]
+
+    def joint_covariance(self) -> np.ndarray:
+        """The full dense covariance ``(R^T R)^{-1}`` (small systems)."""
+        r_inv = solve_triangular(self._r, np.eye(self._total), lower=False)
+        return r_inv @ r_inv.T
+
+    def marginal_covariance(self, key: Key) -> np.ndarray:
+        """Marginal covariance block of one variable.
+
+        ``Sigma = R^{-1} R^{-T}``, so the block is ``B^T B`` with
+        ``B = R^{-T} E_key`` (unit columns of the variable) — a handful of
+        triangular solves against ``R^T``.
+        """
+        cached = self._sigma_cache.get(key)
+        if cached is not None:
+            return cached
+        if key not in self._offset:
+            raise GraphError(f"unknown key {key} in marginals")
+        start = self._offset[key]
+        dim = next(c.dim for c in self._bayes_net.conditionals
+                   if c.key == key)
+        unit = np.zeros((self._total, dim))
+        unit[start : start + dim] = np.eye(dim)
+        b = solve_triangular(self._r, unit, lower=False, trans="T")
+        sigma = b.T @ b
+        self._sigma_cache[key] = sigma
+        return sigma
+
+    def standard_deviations(self, key: Key) -> np.ndarray:
+        """Per-component posterior standard deviations of a variable."""
+        return np.sqrt(np.diag(self.marginal_covariance(key)))

@@ -1,0 +1,95 @@
+"""Gaussian noise models.
+
+Every measurement factor carries a noise model that whitens its residual
+and Jacobians so the Gauss-Newton normal equations weight each factor by
+its information.  Whitening multiplies by the square-root information
+matrix ``W`` with ``W^T W = Sigma^{-1}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinearizationError
+
+
+class NoiseModel:
+    """Base Gaussian noise model defined by a square-root information matrix."""
+
+    def __init__(self, sqrt_information: np.ndarray):
+        w = np.asarray(sqrt_information, dtype=float)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise LinearizationError("sqrt information must be square")
+        self._w = w
+
+    @property
+    def dim(self) -> int:
+        return self._w.shape[0]
+
+    @property
+    def sqrt_information(self) -> np.ndarray:
+        return self._w
+
+    def whiten(self, residual: np.ndarray) -> np.ndarray:
+        """Scale a residual vector into whitened (unit-covariance) space."""
+        residual = np.asarray(residual, dtype=float)
+        if residual.shape != (self.dim,):
+            raise LinearizationError(
+                f"residual shape {residual.shape} does not match noise dim {self.dim}"
+            )
+        return self._w @ residual
+
+    def whiten_jacobian(self, jacobian: np.ndarray) -> np.ndarray:
+        """Scale a Jacobian block into whitened space."""
+        jacobian = np.asarray(jacobian, dtype=float)
+        if jacobian.shape[0] != self.dim:
+            raise LinearizationError(
+                f"jacobian rows {jacobian.shape[0]} do not match noise dim {self.dim}"
+            )
+        return self._w @ jacobian
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+class Unit(NoiseModel):
+    """Identity noise: the residual is already whitened."""
+
+    def __init__(self, dim: int):
+        super().__init__(np.eye(dim))
+
+
+class Isotropic(NoiseModel):
+    """Same standard deviation ``sigma`` on every residual component."""
+
+    def __init__(self, dim: int, sigma: float):
+        if sigma <= 0.0:
+            raise LinearizationError("sigma must be positive")
+        super().__init__(np.eye(dim) / sigma)
+        self.sigma = sigma
+
+
+class Diagonal(NoiseModel):
+    """Independent per-component standard deviations."""
+
+    def __init__(self, sigmas):
+        sigmas = np.asarray(sigmas, dtype=float)
+        if sigmas.ndim != 1 or np.any(sigmas <= 0.0):
+            raise LinearizationError("sigmas must be a positive 1-D array")
+        super().__init__(np.diag(1.0 / sigmas))
+        self.sigmas = sigmas
+
+
+class FullCovariance(NoiseModel):
+    """Correlated noise given by a full covariance matrix."""
+
+    def __init__(self, covariance: np.ndarray):
+        covariance = np.asarray(covariance, dtype=float)
+        try:
+            chol = np.linalg.cholesky(covariance)
+        except np.linalg.LinAlgError as exc:
+            raise LinearizationError("covariance is not positive definite") from exc
+        # W = L^{-1} so that W^T W = Sigma^{-1}.
+        w = np.linalg.solve(chol, np.eye(covariance.shape[0]))
+        super().__init__(w)
+        self.covariance = covariance

@@ -1,0 +1,126 @@
+"""Robust (M-estimator) noise models.
+
+Real sensor pipelines contain outliers (bad loop closures, mismatched
+features).  A robust noise model down-weights large whitened residuals via
+an M-estimator weight ``w(||r||)``, implemented by rescaling the whitened
+residual and Jacobians at each linearization — the iteratively reweighted
+least squares (IRLS) scheme used by GTSAM-style solvers.  Because the
+reweighting is just another row scaling, robust factors compile and
+eliminate exactly like plain ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinearizationError
+
+
+class MEstimator:
+    """Base class: maps a whitened residual norm to a weight in (0, 1]."""
+
+    def weight(self, norm: float) -> float:
+        raise NotImplementedError
+
+    def loss(self, norm: float) -> float:
+        """The rho-function value (for objective reporting)."""
+        raise NotImplementedError
+
+
+class HuberEstimator(MEstimator):
+    """Huber: quadratic inside ``k``, linear outside."""
+
+    def __init__(self, k: float = 1.345):
+        if k <= 0.0:
+            raise LinearizationError("Huber threshold k must be positive")
+        self.k = k
+
+    def weight(self, norm: float) -> float:
+        if norm <= self.k:
+            return 1.0
+        return self.k / norm
+
+    def loss(self, norm: float) -> float:
+        if norm <= self.k:
+            return 0.5 * norm * norm
+        return self.k * (norm - 0.5 * self.k)
+
+
+class TukeyEstimator(MEstimator):
+    """Tukey biweight: redescending; rejects gross outliers entirely."""
+
+    def __init__(self, c: float = 4.685):
+        if c <= 0.0:
+            raise LinearizationError("Tukey threshold c must be positive")
+        self.c = c
+
+    def weight(self, norm: float) -> float:
+        if norm >= self.c:
+            return 1e-6  # fully rejected (tiny weight keeps A well-posed)
+        u = 1.0 - (norm / self.c) ** 2
+        return u * u
+
+    def loss(self, norm: float) -> float:
+        c2 = self.c * self.c
+        if norm >= self.c:
+            return c2 / 6.0
+        u = 1.0 - (norm / self.c) ** 2
+        return c2 / 6.0 * (1.0 - u ** 3)
+
+
+class CauchyEstimator(MEstimator):
+    """Cauchy/Lorentzian: heavy-tailed, smooth down-weighting."""
+
+    def __init__(self, c: float = 2.3849):
+        if c <= 0.0:
+            raise LinearizationError("Cauchy scale c must be positive")
+        self.c = c
+
+    def weight(self, norm: float) -> float:
+        return 1.0 / (1.0 + (norm / self.c) ** 2)
+
+    def loss(self, norm: float) -> float:
+        c2 = self.c * self.c
+        return 0.5 * c2 * np.log1p(norm * norm / c2)
+
+
+class RobustNoiseModel:
+    """Wraps a Gaussian noise model with an M-estimator.
+
+    Quacks like :class:`~repro.factorgraph.noise.NoiseModel` but its
+    whitening depends on the current residual: factors must call
+    :meth:`whiten` before :meth:`whiten_jacobian` at each linearization
+    (which :meth:`repro.factorgraph.factor.Factor.linearize` does).
+    """
+
+    def __init__(self, base, estimator: MEstimator):
+        self._base = base
+        self._estimator = estimator
+        self._last_weight = 1.0
+
+    @property
+    def dim(self) -> int:
+        return self._base.dim
+
+    @property
+    def sqrt_information(self) -> np.ndarray:
+        return np.sqrt(self._last_weight) * self._base.sqrt_information
+
+    @property
+    def estimator(self) -> MEstimator:
+        return self._estimator
+
+    def whiten(self, residual: np.ndarray) -> np.ndarray:
+        whitened = self._base.whiten(residual)
+        norm = float(np.linalg.norm(whitened))
+        self._last_weight = self._estimator.weight(norm)
+        return np.sqrt(self._last_weight) * whitened
+
+    def whiten_jacobian(self, jacobian: np.ndarray) -> np.ndarray:
+        return np.sqrt(self._last_weight) * self._base.whiten_jacobian(
+            jacobian)
+
+    def robust_loss(self, residual: np.ndarray) -> float:
+        """The rho-function objective contribution of a raw residual."""
+        norm = float(np.linalg.norm(self._base.whiten(residual)))
+        return self._estimator.loss(norm)

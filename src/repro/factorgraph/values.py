@@ -1,0 +1,148 @@
+"""Assignments of values to factor-graph variables.
+
+A :class:`Values` maps each :class:`~repro.factorgraph.keys.Key` to either
+a :class:`~repro.geometry.Pose` (a ``<so(n), T(n)>`` pose variable) or a
+plain ``numpy`` vector (landmarks, velocities, control inputs).  It also
+implements the manifold chart used by the optimizer: ``retract`` applies a
+stacked tangent-space update, ``local`` computes the difference between two
+assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.factorgraph.keys import Key
+from repro.geometry.pose import Pose
+
+Value = Union[Pose, np.ndarray]
+
+
+def value_dim(value: Value) -> int:
+    """Tangent-space dimension of a variable value."""
+    if isinstance(value, Pose):
+        return value.dim
+    return int(np.asarray(value).shape[0])
+
+
+def retract_value(value: Value, delta: np.ndarray) -> Value:
+    """Apply a tangent update to a single value."""
+    if isinstance(value, Pose):
+        return value.retract(delta)
+    return np.asarray(value, dtype=float) + delta
+
+
+def local_value(origin: Value, target: Value) -> np.ndarray:
+    """Tangent difference between two values of the same variable."""
+    if isinstance(origin, Pose):
+        if not isinstance(target, Pose):
+            raise GraphError("cannot take local() between a Pose and a vector")
+        return origin.local(target)
+    return np.asarray(target, dtype=float) - np.asarray(origin, dtype=float)
+
+
+class Values:
+    """A mutable map from keys to variable values."""
+
+    def __init__(self, data: Mapping[Key, Value] = None):
+        self._data: Dict[Key, Value] = {}
+        if data:
+            for k, v in data.items():
+                self.insert(k, v)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: Value) -> None:
+        """Add a new variable; re-inserting an existing key is an error."""
+        if key in self._data:
+            raise GraphError(f"key {key} already present; use update()")
+        self._data[key] = self._coerce(value)
+
+    def update(self, key: Key, value: Value) -> None:
+        """Replace the value of an existing variable."""
+        if key not in self._data:
+            raise GraphError(f"cannot update unknown key {key}")
+        self._data[key] = self._coerce(value)
+
+    def at(self, key: Key) -> Value:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise GraphError(f"unknown key {key}") from None
+
+    def pose(self, key: Key) -> Pose:
+        """Typed accessor: the value must be a Pose."""
+        value = self.at(key)
+        if not isinstance(value, Pose):
+            raise GraphError(f"value at {key} is not a Pose")
+        return value
+
+    def vector(self, key: Key) -> np.ndarray:
+        """Typed accessor: the value must be a vector."""
+        value = self.at(key)
+        if isinstance(value, Pose):
+            raise GraphError(f"value at {key} is a Pose, not a vector")
+        return value
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self):
+        return self._data.items()
+
+    def dim(self, key: Key) -> int:
+        return value_dim(self.at(key))
+
+    def total_dim(self) -> int:
+        """Sum of tangent dimensions over all variables."""
+        return sum(value_dim(v) for v in self._data.values())
+
+    def copy(self) -> "Values":
+        out = Values()
+        for k, v in self._data.items():
+            out._data[k] = v if isinstance(v, Pose) else v.copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # Manifold chart
+    # ------------------------------------------------------------------
+    def retract(self, delta: Mapping[Key, np.ndarray]) -> "Values":
+        """Apply per-variable tangent updates; missing keys stay unchanged."""
+        out = self.copy()
+        for k, d in delta.items():
+            if k not in out._data:
+                raise GraphError(f"retract update for unknown key {k}")
+            out._data[k] = retract_value(out._data[k], np.asarray(d, dtype=float))
+        return out
+
+    def local(self, other: "Values") -> Dict[Key, np.ndarray]:
+        """Per-variable tangent difference ``other (-) self``."""
+        if set(self._data) != set(other._data):
+            raise GraphError("local() requires identical key sets")
+        return {k: local_value(v, other._data[k]) for k, v in self._data.items()}
+
+    @staticmethod
+    def _coerce(value: Value) -> Value:
+        if isinstance(value, Pose):
+            return value
+        arr = np.asarray(value, dtype=float)
+        if arr.ndim != 1:
+            raise GraphError(f"vector values must be 1-D, got shape {arr.shape}")
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(str(k) for k in sorted(self._data))
+        return f"Values({parts})"

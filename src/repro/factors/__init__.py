@@ -1,0 +1,52 @@
+"""The ORIANNA factor library (Tbl. 2).
+
+Measurement factors (localization): :class:`PriorFactor`,
+:class:`GPSFactor`, :class:`LiDARFactor`, :class:`CameraFactor`,
+:class:`IMUFactor`.
+
+Constraint factors (planning, control): :class:`SmoothnessFactor`,
+:class:`CollisionFreeFactor`, :class:`VelocityLimitFactor`,
+:class:`DynamicsFactor`, :class:`KinematicsFactor`, plus the cost factors
+of the LQR formulation.
+
+Users may also define customized factors from an error expression
+(Equ. 3) via :class:`repro.compiler.ExpressionFactor`.
+"""
+
+from repro.factors.between import (
+    BetweenFactor,
+    IMUFactor,
+    LiDARFactor,
+    odometry_measurement,
+)
+from repro.factors.camera import CameraFactor, PinholeCamera
+from repro.factors.control import (
+    ControlCostFactor,
+    DynamicsFactor,
+    KinematicsFactor,
+    StateCostFactor,
+)
+from repro.factors.planning import (
+    CircleObstacle,
+    CollisionFreeFactor,
+    GoalFactor,
+    ObstacleField,
+    SmoothnessFactor,
+    VelocityLimitFactor,
+)
+from repro.factors.priors import GPSFactor, PriorFactor
+from repro.factors.range_bearing import (
+    RangeBearingFactor,
+    range_bearing_measurement,
+)
+
+__all__ = [
+    "PriorFactor", "GPSFactor",
+    "BetweenFactor", "LiDARFactor", "IMUFactor", "odometry_measurement",
+    "CameraFactor", "PinholeCamera",
+    "SmoothnessFactor", "CollisionFreeFactor", "VelocityLimitFactor",
+    "GoalFactor", "CircleObstacle", "ObstacleField",
+    "DynamicsFactor", "StateCostFactor", "ControlCostFactor",
+    "KinematicsFactor",
+    "RangeBearingFactor", "range_bearing_measurement",
+]

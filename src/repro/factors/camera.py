@@ -1,0 +1,137 @@
+"""Camera projection factors (``f1``-``f3`` in Fig. 4).
+
+A :class:`CameraFactor` connects one pose variable and one landmark
+variable; its residual is the reprojection error of the landmark in the
+camera at that pose.  As the paper notes (Sec. 5.1), the factor's
+underlying matrix blocks are 2x6 (pose) and 2x3 (landmark) with a length-2
+residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import LinearizationError
+from repro.factorgraph.factor import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.noise import Isotropic, NoiseModel
+from repro.factorgraph.values import Values
+from repro.geometry import so3
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """Intrinsic calibration of an ideal pinhole camera."""
+
+    fx: float = 500.0
+    fy: float = 500.0
+    cx: float = 320.0
+    cy: float = 240.0
+
+    def project(self, p_cam: np.ndarray) -> np.ndarray:
+        """Project a camera-frame point to pixel coordinates."""
+        x, y, z = p_cam
+        if z <= 1e-9:
+            raise LinearizationError(
+                f"point behind the camera (z={z:.3g}); cheirality violated"
+            )
+        return np.array([
+            self.fx * x / z + self.cx,
+            self.fy * y / z + self.cy,
+        ])
+
+    def projection_jacobian(self, p_cam: np.ndarray) -> np.ndarray:
+        """d pixel / d p_cam, the classic 2x3 pinhole Jacobian."""
+        x, y, z = p_cam
+        if z <= 1e-9:
+            raise LinearizationError("cannot linearize behind the camera")
+        return np.array([
+            [self.fx / z, 0.0, -self.fx * x / (z * z)],
+            [0.0, self.fy / z, -self.fy * y / (z * z)],
+        ])
+
+
+class CameraFactor(Factor):
+    """Reprojection error of one landmark observed from one pose.
+
+    Parameters
+    ----------
+    pose_key:
+        The 3-D robot pose; the camera is assumed body-mounted at the
+        pose origin.
+    landmark_key:
+        A 3-vector world landmark.
+    measured:
+        The observed pixel coordinates (length-2).
+    """
+
+    def __init__(self, pose_key: Key, landmark_key: Key,
+                 measured: np.ndarray,
+                 camera: PinholeCamera = None,
+                 noise: NoiseModel = None,
+                 strict: bool = False,
+                 min_depth: float = 0.01):
+        self._measured = np.asarray(measured, dtype=float)
+        if self._measured.shape != (2,):
+            raise LinearizationError("pixel measurements are 2-vectors")
+        self._camera = camera or PinholeCamera()
+        # Robust cheirality handling: when the landmark falls behind the
+        # camera at the current linearization point (common with drifted
+        # initial estimates), the observation is dropped for this
+        # iteration (zero residual and Jacobian) instead of aborting, as
+        # production VIO front-ends do.  strict=True restores the raise.
+        self._strict = strict
+        self._min_depth = min_depth
+        super().__init__([pose_key, landmark_key], noise or Isotropic(2, 1.0))
+
+    @property
+    def measured(self) -> np.ndarray:
+        return self._measured
+
+    @property
+    def camera(self) -> PinholeCamera:
+        return self._camera
+
+    def _point_in_camera(self, values: Values) -> np.ndarray:
+        pose = values.pose(self.keys[0])
+        if pose.n != 3:
+            raise LinearizationError("camera factors require 3-D poses")
+        landmark = values.vector(self.keys[1])
+        if landmark.shape != (3,):
+            raise LinearizationError("landmarks must be 3-vectors")
+        return pose.rotation.T @ (landmark - pose.t)
+
+    def _behind_camera(self, p_cam: np.ndarray) -> bool:
+        if p_cam[2] > self._min_depth:
+            return False
+        if self._strict:
+            raise LinearizationError(
+                f"point behind the camera (z={p_cam[2]:.3g}); cheirality "
+                f"violated"
+            )
+        return True
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        p_cam = self._point_in_camera(values)
+        if self._behind_camera(p_cam):
+            return np.zeros(2)
+        return self._camera.project(p_cam) - self._measured
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        pose = values.pose(self.keys[0])
+        p_cam = self._point_in_camera(values)
+        if self._behind_camera(p_cam):
+            return [np.zeros((2, 6)), np.zeros((2, 3))]
+        d_pix = self._camera.projection_jacobian(p_cam)
+        rt = pose.rotation.T
+
+        # Right perturbation R <- R Exp(dphi):
+        #   p_cam = Exp(-dphi) R^T (l - t)  ~  p_cam + [p_cam]x dphi.
+        j_pose = np.zeros((2, 6))
+        j_pose[:, :3] = d_pix @ so3.skew(p_cam)
+        j_pose[:, 3:] = d_pix @ (-rt)
+        j_landmark = d_pix @ rt
+        return [j_pose, j_landmark]

@@ -1,0 +1,140 @@
+"""Control constraint factors: the LQR-as-factor-graph of Fig. 7b.
+
+Following [65] (equality-constrained linear optimal control with factor
+graphs), a finite-horizon control problem becomes a chain where state
+variables ``x_k`` and input variables ``u_k`` alternate:
+
+- :class:`DynamicsFactor` ties ``x_{k+1}`` to ``A x_k + B u_k`` (the
+  "dynamic factor node models robot dynamics");
+- :class:`StateCostFactor` pulls states toward the reference (``Q`` cost);
+- :class:`ControlCostFactor` penalizes control effort (``R`` cost);
+- :class:`KinematicsFactor` bounds state components such as speed — the
+  "kinematics" constraint of Tbl. 2 used by AutoVehicle and Quadrotor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import LinearizationError
+from repro.factorgraph.factor import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.noise import Isotropic, NoiseModel
+from repro.factorgraph.values import Values
+
+
+class DynamicsFactor(Factor):
+    """Linear(ized) dynamics constraint ``x_{k+1} = A x_k + B u_k``.
+
+    The noise model's sigma expresses how hard the constraint is; the
+    default is near-equality, matching the equality-constrained LQR
+    formulation.
+    """
+
+    def __init__(self, x_k: Key, u_k: Key, x_next: Key,
+                 a: np.ndarray, b: np.ndarray,
+                 noise: NoiseModel = None):
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise LinearizationError("A must be square")
+        if b.ndim != 2 or b.shape[0] != a.shape[0]:
+            raise LinearizationError("B rows must match A")
+        self.a = a
+        self.b = b
+        super().__init__([x_k, u_k, x_next],
+                         noise or Isotropic(a.shape[0], 1e-3))
+
+    @property
+    def state_dim(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def input_dim(self) -> int:
+        return self.b.shape[1]
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        x_k = values.vector(self.keys[0])
+        u_k = values.vector(self.keys[1])
+        x_next = values.vector(self.keys[2])
+        return x_next - (self.a @ x_k + self.b @ u_k)
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        return [-self.a, -self.b, np.eye(self.state_dim)]
+
+
+class StateCostFactor(Factor):
+    """Quadratic state cost ``||Q^{1/2} (x_k - x_ref)||^2``."""
+
+    def __init__(self, x_k: Key, reference: np.ndarray,
+                 noise: NoiseModel = None):
+        self._reference = np.asarray(reference, dtype=float)
+        dim = self._reference.shape[0]
+        super().__init__([x_k], noise or Isotropic(dim, 1.0))
+
+    @property
+    def reference(self) -> np.ndarray:
+        return self._reference
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        return values.vector(self.keys[0]) - self._reference
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        return [np.eye(self._reference.shape[0])]
+
+
+class ControlCostFactor(Factor):
+    """Quadratic control-effort cost ``||R^{1/2} u_k||^2``."""
+
+    def __init__(self, u_k: Key, input_dim: int, noise: NoiseModel = None):
+        if input_dim < 1:
+            raise LinearizationError("input_dim must be >= 1")
+        self._input_dim = input_dim
+        super().__init__([u_k], noise or Isotropic(input_dim, 1.0))
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        u = values.vector(self.keys[0])
+        if u.shape != (self._input_dim,):
+            raise LinearizationError(
+                f"input must have length {self._input_dim}, got {u.shape}"
+            )
+        return u.copy()
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        return [np.eye(self._input_dim)]
+
+
+class KinematicsFactor(Factor):
+    """Hinge bound on selected state components (e.g. a speed limit).
+
+    Residual (length = number of selected components):
+    ``max(0, |x[i]| - limit_i)`` per selected index — zero inside the
+    feasible box, growing linearly outside it.
+    """
+
+    def __init__(self, x_k: Key, indices, limits, noise: NoiseModel = None):
+        self._indices = list(indices)
+        self._limits = np.asarray(limits, dtype=float)
+        if len(self._indices) != self._limits.shape[0]:
+            raise LinearizationError("indices and limits lengths differ")
+        if np.any(self._limits <= 0.0):
+            raise LinearizationError("limits must be positive")
+        super().__init__([x_k],
+                         noise or Isotropic(len(self._indices), 0.1))
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        x = values.vector(self.keys[0])
+        out = np.zeros(len(self._indices))
+        for row, (i, limit) in enumerate(zip(self._indices, self._limits)):
+            out[row] = max(0.0, abs(x[i]) - limit)
+        return out
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        x = values.vector(self.keys[0])
+        jac = np.zeros((len(self._indices), x.shape[0]))
+        for row, (i, limit) in enumerate(zip(self._indices, self._limits)):
+            if abs(x[i]) > limit:
+                jac[row, i] = np.sign(x[i])
+        return [jac]

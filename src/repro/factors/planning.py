@@ -1,0 +1,226 @@
+"""Planning constraint factors: smoothness and collision avoidance (Fig. 7a).
+
+Trajectory states are vector variables ``s_i = [q_i, qdot_i]`` stacking a
+configuration and its velocity.  Smoothness factors realize a constant-
+velocity Gauss-Markov prior between consecutive states (the GPMP-style
+smooth factor of [40]); collision-free factors apply a hinge loss on the
+signed distance to the nearest obstacle; velocity-limit factors are the
+"kinematics" constraint of Tbl. 2 for planning graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import LinearizationError
+from repro.factorgraph.factor import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.noise import Isotropic, NoiseModel
+from repro.factorgraph.values import Values
+
+
+class SmoothnessFactor(Factor):
+    """Constant-velocity prior between consecutive trajectory states.
+
+    Residual (dimension ``2 * dof``)::
+
+        e = [ q_{i+1}   - q_i - dt * qdot_i
+              qdot_{i+1} - qdot_i            ]
+
+    This is linear, so the Jacobians are constant.
+    """
+
+    def __init__(self, key_i: Key, key_j: Key, dof: int, dt: float,
+                 noise: NoiseModel = None):
+        if dof < 1:
+            raise LinearizationError("dof must be >= 1")
+        if dt <= 0.0:
+            raise LinearizationError("dt must be positive")
+        self._dof = dof
+        self._dt = dt
+        super().__init__([key_i, key_j],
+                         noise or Isotropic(2 * dof, 0.1))
+
+    @property
+    def dof(self) -> int:
+        return self._dof
+
+    @property
+    def dt(self) -> float:
+        return self._dt
+
+    def _split(self, state: np.ndarray):
+        if state.shape != (2 * self._dof,):
+            raise LinearizationError(
+                f"state must have length {2 * self._dof}, got {state.shape}"
+            )
+        return state[: self._dof], state[self._dof :]
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        qi, vi = self._split(values.vector(self.keys[0]))
+        qj, vj = self._split(values.vector(self.keys[1]))
+        return np.concatenate([qj - qi - self._dt * vi, vj - vi])
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        d = self._dof
+        eye = np.eye(d)
+        ji = np.zeros((2 * d, 2 * d))
+        ji[:d, :d] = -eye
+        ji[:d, d:] = -self._dt * eye
+        ji[d:, d:] = -eye
+        jj = np.eye(2 * d)
+        return [ji, jj]
+
+
+@dataclass(frozen=True)
+class CircleObstacle:
+    """A circular (2-D) or spherical (3-D) obstacle."""
+
+    center: tuple
+    radius: float
+
+    def signed_distance(self, point: np.ndarray) -> float:
+        center = np.asarray(self.center, dtype=float)
+        return float(np.linalg.norm(point - center) - self.radius)
+
+    def gradient(self, point: np.ndarray) -> np.ndarray:
+        center = np.asarray(self.center, dtype=float)
+        diff = point - center
+        norm = np.linalg.norm(diff)
+        if norm < 1e-12:
+            # Degenerate: at the exact center the gradient is undefined;
+            # push along the first axis.
+            g = np.zeros_like(diff)
+            g[0] = 1.0
+            return g
+        return diff / norm
+
+
+class ObstacleField:
+    """Signed distance to the nearest of a set of obstacles."""
+
+    def __init__(self, obstacles: Sequence[CircleObstacle]):
+        self.obstacles = list(obstacles)
+
+    def signed_distance(self, point: np.ndarray) -> float:
+        point = np.asarray(point, dtype=float)
+        if not self.obstacles:
+            return float("inf")
+        return min(o.signed_distance(point) for o in self.obstacles)
+
+    def gradient(self, point: np.ndarray) -> np.ndarray:
+        point = np.asarray(point, dtype=float)
+        if not self.obstacles:
+            return np.zeros_like(point)
+        nearest = min(self.obstacles, key=lambda o: o.signed_distance(point))
+        return nearest.gradient(point)
+
+
+class CollisionFreeFactor(Factor):
+    """Hinge penalty on obstacle clearance (the collision-free factor).
+
+    Residual (length 1): ``max(0, eps - d(q))`` where ``d`` is the signed
+    distance of the configuration's position to the nearest obstacle and
+    ``eps`` the safety margin.  Zero residual (and Jacobian) in free
+    space beyond the margin — obstacles only push when close, exactly the
+    "lower probability near obstacles" behaviour of Fig. 7a.
+    """
+
+    def __init__(self, key: Key, field: ObstacleField, position_dims: int,
+                 epsilon: float = 0.5, noise: NoiseModel = None):
+        if epsilon <= 0.0:
+            raise LinearizationError("safety margin epsilon must be positive")
+        self._field = field
+        self._position_dims = position_dims
+        self._epsilon = epsilon
+        super().__init__([key], noise or Isotropic(1, 0.1))
+
+    def _position(self, values: Values) -> np.ndarray:
+        state = values.vector(self.keys[0])
+        if state.shape[0] < self._position_dims:
+            raise LinearizationError(
+                f"state dim {state.shape[0]} smaller than position dims "
+                f"{self._position_dims}"
+            )
+        return state[: self._position_dims]
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        distance = self._field.signed_distance(self._position(values))
+        return np.array([max(0.0, self._epsilon - distance)])
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        state = values.vector(self.keys[0])
+        position = self._position(values)
+        jac = np.zeros((1, state.shape[0]))
+        if self._field.signed_distance(position) < self._epsilon:
+            jac[0, : self._position_dims] = -self._field.gradient(position)
+        return [jac]
+
+
+class VelocityLimitFactor(Factor):
+    """Hinge penalty on speed above a limit (planning "kinematics" factor).
+
+    Residual (length 1): ``max(0, ||qdot|| - v_max)``.
+    """
+
+    def __init__(self, key: Key, dof: int, v_max: float,
+                 noise: NoiseModel = None):
+        if v_max <= 0.0:
+            raise LinearizationError("v_max must be positive")
+        self._dof = dof
+        self._v_max = v_max
+        super().__init__([key], noise or Isotropic(1, 0.1))
+
+    def _velocity(self, values: Values) -> np.ndarray:
+        state = values.vector(self.keys[0])
+        if state.shape[0] != 2 * self._dof:
+            raise LinearizationError(
+                f"state must have length {2 * self._dof}, got {state.shape}"
+            )
+        return state[self._dof :]
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        speed = float(np.linalg.norm(self._velocity(values)))
+        return np.array([max(0.0, speed - self._v_max)])
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        velocity = self._velocity(values)
+        speed = float(np.linalg.norm(velocity))
+        jac = np.zeros((1, 2 * self._dof))
+        if speed > self._v_max and speed > 1e-12:
+            jac[0, self._dof :] = velocity / speed
+        return [jac]
+
+
+class GoalFactor(Factor):
+    """Anchor the configuration part of a trajectory state to a waypoint."""
+
+    def __init__(self, key: Key, goal: np.ndarray, dof: int,
+                 noise: NoiseModel = None):
+        self._goal = np.asarray(goal, dtype=float)
+        if self._goal.shape != (dof,):
+            raise LinearizationError(
+                f"goal must have length {dof}, got {self._goal.shape}"
+            )
+        self._dof = dof
+        super().__init__([key], noise or Isotropic(dof, 0.01))
+
+    @property
+    def goal(self) -> np.ndarray:
+        return self._goal
+
+    @property
+    def dof(self) -> int:
+        return self._dof
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        state = values.vector(self.keys[0])
+        return state[: self._dof] - self._goal
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        jac = np.zeros((self._dof, 2 * self._dof))
+        jac[:, : self._dof] = np.eye(self._dof)
+        return [jac]

@@ -1,0 +1,102 @@
+"""Prior and GPS measurement factors (Tbl. 2, measurement class).
+
+A prior factor anchors a variable to a known value (``f6`` in Fig. 4 fixes
+the absolute pose of the robot); a GPS factor observes only the position
+component of a pose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import LinearizationError
+from repro.factorgraph.factor import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.noise import Isotropic, NoiseModel
+from repro.factorgraph.values import Values
+from repro.geometry import so3
+from repro.geometry.pose import Pose
+
+
+class PriorFactor(Factor):
+    """Anchor a pose or vector variable to a prior value.
+
+    The residual is the tangent-space difference ``prior.local(current)``
+    (``[e_phi, e_t]`` for poses, plain difference for vectors).
+    """
+
+    def __init__(self, key: Key, prior: Union[Pose, np.ndarray],
+                 noise: NoiseModel = None):
+        self._prior = prior if isinstance(prior, Pose) else (
+            np.asarray(prior, dtype=float)
+        )
+        dim = prior.dim if isinstance(prior, Pose) else self._prior.shape[0]
+        super().__init__([key], noise or Isotropic(dim, 1.0))
+        if self.noise.dim != dim:
+            raise LinearizationError(
+                f"noise dim {self.noise.dim} does not match prior dim {dim}"
+            )
+
+    @property
+    def prior(self):
+        return self._prior
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        current = values.at(self.keys[0])
+        if isinstance(self._prior, Pose):
+            if not isinstance(current, Pose):
+                raise LinearizationError("prior is a Pose but value is not")
+            return self._prior.local(current)
+        return np.asarray(current, dtype=float) - self._prior
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        if not isinstance(self._prior, Pose):
+            return [np.eye(self._prior.shape[0])]
+        current = values.pose(self.keys[0])
+        k = current.phi.shape[0]
+        jac = np.zeros((current.dim, current.dim))
+        if current.n == 3:
+            e_o = so3.log(self._prior.rotation.T @ current.rotation)
+            jac[:k, :k] = so3.right_jacobian_inv(e_o)
+        else:
+            jac[:k, :k] = np.eye(1)
+        jac[k:, k:] = np.eye(current.n)
+        return [jac]
+
+
+class GPSFactor(Factor):
+    """Observe the position component of a pose variable.
+
+    The residual is ``t - measured``; the Jacobian is ``[0 | I]`` because
+    the translation chart is additive.
+    """
+
+    def __init__(self, key: Key, measured: np.ndarray,
+                 noise: NoiseModel = None):
+        self._measured = np.asarray(measured, dtype=float)
+        n = self._measured.shape[0]
+        if n not in (2, 3):
+            raise LinearizationError("GPS measurements are 2-D or 3-D positions")
+        super().__init__([key], noise or Isotropic(n, 1.0))
+
+    @property
+    def measured(self) -> np.ndarray:
+        return self._measured
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        pose = values.pose(self.keys[0])
+        if pose.n != self._measured.shape[0]:
+            raise LinearizationError(
+                f"GPS measurement dim {self._measured.shape[0]} does not "
+                f"match pose space {pose.n}"
+            )
+        return pose.t - self._measured
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        pose = values.pose(self.keys[0])
+        k = pose.phi.shape[0]
+        jac = np.zeros((pose.n, pose.dim))
+        jac[:, k:] = np.eye(pose.n)
+        return [jac]

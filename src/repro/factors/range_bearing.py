@@ -1,0 +1,106 @@
+"""Range-bearing landmark measurements (planar LiDAR landmark SLAM).
+
+A 2-D robot observes a landmark at a measured range and bearing (angle in
+the body frame).  This is the planar analogue of the camera factor: one
+pose variable, one landmark variable, a 2-dimensional residual
+``[range_error, wrapped_bearing_error]``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import LinearizationError
+from repro.factorgraph.factor import Factor
+from repro.factorgraph.keys import Key
+from repro.factorgraph.noise import Diagonal, NoiseModel
+from repro.factorgraph.values import Values
+from repro.geometry import so2
+
+
+class RangeBearingFactor(Factor):
+    """Observe a 2-D landmark's range and body-frame bearing."""
+
+    def __init__(self, pose_key: Key, landmark_key: Key,
+                 measured_range: float, measured_bearing: float,
+                 noise: NoiseModel = None,
+                 min_range: float = 1e-6):
+        if measured_range <= 0.0:
+            raise LinearizationError("measured range must be positive")
+        self._range = float(measured_range)
+        self._bearing = so2.wrap_angle(float(measured_bearing))
+        self._min_range = min_range
+        super().__init__([pose_key, landmark_key],
+                         noise or Diagonal([0.1, 0.02]))
+
+    @property
+    def measured_range(self) -> float:
+        return self._range
+
+    @property
+    def measured_bearing(self) -> float:
+        return self._bearing
+
+    def _body_frame_offset(self, values: Values) -> np.ndarray:
+        pose = values.pose(self.keys[0])
+        if pose.n != 2:
+            raise LinearizationError("range-bearing factors require 2-D "
+                                     "poses")
+        landmark = values.vector(self.keys[1])
+        if landmark.shape != (2,):
+            raise LinearizationError("landmarks must be 2-vectors")
+        offset = pose.rotation.T @ (landmark - pose.t)
+        if np.linalg.norm(offset) < self._min_range:
+            raise LinearizationError(
+                "landmark coincides with the robot; range-bearing "
+                "measurement undefined"
+            )
+        return offset
+
+    def unwhitened_error(self, values: Values) -> np.ndarray:
+        offset = self._body_frame_offset(values)
+        predicted_range = float(np.linalg.norm(offset))
+        predicted_bearing = float(np.arctan2(offset[1], offset[0]))
+        return np.array([
+            predicted_range - self._range,
+            so2.wrap_angle(predicted_bearing - self._bearing),
+        ])
+
+    def jacobians(self, values: Values) -> List[np.ndarray]:
+        pose = values.pose(self.keys[0])
+        offset = self._body_frame_offset(values)
+        r = float(np.linalg.norm(offset))
+        rt = pose.rotation.T
+
+        # d(range)/d(offset) and d(bearing)/d(offset).
+        d_range = offset / r                       # 1x2
+        d_bearing = np.array([-offset[1], offset[0]]) / (r * r)
+        d_meas = np.vstack([d_range, d_bearing])   # 2x2
+
+        # Offset sensitivities: right perturbation on the heading gives
+        # d(offset)/d(dtheta) = -G offset; translations are additive.
+        d_offset_theta = -(so2.GENERATOR @ offset)          # 2x1
+        d_offset_t = -rt                                    # 2x2
+        d_offset_l = rt                                     # 2x2
+
+        j_pose = np.zeros((2, 3))
+        j_pose[:, 0] = d_meas @ d_offset_theta
+        j_pose[:, 1:] = d_meas @ d_offset_t
+        j_landmark = d_meas @ d_offset_l
+        return [j_pose, j_landmark]
+
+
+def range_bearing_measurement(pose, landmark,
+                              rng: np.random.Generator = None,
+                              range_sigma: float = 0.0,
+                              bearing_sigma: float = 0.0):
+    """Ground-truth (range, bearing) of a landmark, optionally noisy."""
+    offset = pose.rotation.T @ (np.asarray(landmark, dtype=float) - pose.t)
+    measured_range = float(np.linalg.norm(offset))
+    measured_bearing = float(np.arctan2(offset[1], offset[0]))
+    if rng is not None:
+        measured_range += range_sigma * rng.standard_normal()
+        measured_bearing += bearing_sigma * rng.standard_normal()
+    return measured_range, so2.wrap_angle(measured_bearing)

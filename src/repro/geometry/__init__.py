@@ -1,0 +1,41 @@
+"""Lie-group geometry: the unified pose representation and its baselines.
+
+Public surface:
+
+- :mod:`repro.geometry.so2`, :mod:`repro.geometry.so3` — rotation groups
+  and the primitive maps of Tbl. 3 (exp, log, skew, right Jacobians).
+- :class:`repro.geometry.Pose` — the unified ``<so(n), T(n)>``
+  representation of Sec. 4 with the ``(+)``/``(-)`` operations of Equ. 2.
+- :class:`repro.geometry.SE3` and the se(3) maps — the baseline
+  representations of Fig. 8, plus exact conversions between all three.
+- :mod:`repro.geometry.macs` — the MAC cost model behind Sec. 4.3.
+"""
+
+from repro.geometry import macs, quaternion, so2, so3
+from repro.geometry.pose import Pose, interpolate, poses_to_matrix
+from repro.geometry.se3 import (
+    SE3,
+    pose_to_se3,
+    pose_to_se3_algebra,
+    se3_algebra_to_pose,
+    se3_exp,
+    se3_log,
+    se3_to_pose,
+)
+
+__all__ = [
+    "so2",
+    "so3",
+    "quaternion",
+    "macs",
+    "Pose",
+    "interpolate",
+    "poses_to_matrix",
+    "SE3",
+    "se3_exp",
+    "se3_log",
+    "pose_to_se3",
+    "se3_to_pose",
+    "pose_to_se3_algebra",
+    "se3_algebra_to_pose",
+]

@@ -1,0 +1,231 @@
+"""The unified pose representation ``<so(n), T(n)>`` (paper Sec. 4).
+
+A :class:`Pose` stores orientation as a Lie-algebra vector ``phi`` (a heading
+angle for n=2, a rotation vector for n=3) and position as a plain translation
+vector ``t``.  The group operations of Equ. 2:
+
+    xi1 (+) xi2 = < Log(R1 R2),      t1 + R1 t2 >
+    xi1 (-) xi2 = < Log(R2^T R1),    R2^T (t1 - t2) >
+
+are exposed as :meth:`Pose.compose` and :meth:`Pose.ominus`.
+
+The optimizer's chart (``retract``/``local``) perturbs the rotation on the
+right (``R <- R Exp(dphi)``) and the translation additively
+(``t <- t + dt``); this is distinct from the group operations above, which
+are the primitives that appear inside factor error expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry import so2, so3
+
+
+class Pose:
+    """A robot pose in the unified ``<so(n), T(n)>`` representation.
+
+    Parameters
+    ----------
+    phi:
+        Orientation as a Lie-algebra vector: shape ``(1,)`` (or a scalar)
+        for planar poses, shape ``(3,)`` for spatial poses.
+    t:
+        Translation vector of shape ``(2,)`` or ``(3,)`` matching ``phi``.
+    """
+
+    __slots__ = ("phi", "t")
+
+    def __init__(self, phi, t):
+        phi = np.atleast_1d(np.asarray(phi, dtype=float))
+        t = np.asarray(t, dtype=float)
+        if phi.shape == (1,) and t.shape == (2,):
+            pass
+        elif phi.shape == (3,) and t.shape == (3,):
+            pass
+        else:
+            raise GeometryError(
+                f"invalid <so(n), T(n)> shapes: phi {phi.shape}, t {t.shape}"
+            )
+        self.phi = phi
+        self.t = t
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Pose":
+        """The identity pose in ``n``-dimensional space (n = 2 or 3)."""
+        if n == 2:
+            return cls(np.zeros(1), np.zeros(2))
+        if n == 3:
+            return cls(np.zeros(3), np.zeros(3))
+        raise GeometryError(f"poses exist for n in (2, 3), got n={n}")
+
+    @classmethod
+    def from_xytheta(cls, x: float, y: float, theta: float) -> "Pose":
+        """Planar pose from position and heading."""
+        return cls(np.array([theta]), np.array([x, y]))
+
+    @classmethod
+    def from_rotation(cls, rotation: np.ndarray, t: np.ndarray) -> "Pose":
+        """Pose from a rotation matrix and a translation vector."""
+        rotation = np.asarray(rotation, dtype=float)
+        if rotation.shape == (2, 2):
+            return cls(np.array([so2.log(rotation)]), t)
+        if rotation.shape == (3, 3):
+            return cls(so3.log(rotation), t)
+        raise GeometryError(f"rotation must be 2x2 or 3x3, got {rotation.shape}")
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator, scale: float = 1.0) -> "Pose":
+        """Draw a random pose (uniform rotation, Gaussian translation)."""
+        if n == 2:
+            theta = rng.uniform(-np.pi, np.pi)
+            return cls(np.array([theta]), scale * rng.standard_normal(2))
+        if n == 3:
+            return cls(
+                so3.log(so3.random_rotation(rng)), scale * rng.standard_normal(3)
+            )
+        raise GeometryError(f"poses exist for n in (2, 3), got n={n}")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Spatial dimension (2 or 3)."""
+        return self.t.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Tangent-space dimension: 3 for planar poses, 6 for spatial."""
+        return self.phi.shape[0] + self.t.shape[0]
+
+    @property
+    def rotation(self) -> np.ndarray:
+        """The rotation matrix ``Exp(phi)``."""
+        if self.n == 2:
+            return so2.exp(self.phi[0])
+        return so3.exp(self.phi)
+
+    def vector(self) -> np.ndarray:
+        """Flatten to ``[phi, t]`` (the storage order used by the compiler)."""
+        return np.concatenate([self.phi, self.t])
+
+    @classmethod
+    def from_vector(cls, v: np.ndarray) -> "Pose":
+        """Inverse of :meth:`vector`; length 3 => planar, length 6 => spatial."""
+        v = np.asarray(v, dtype=float)
+        if v.shape == (3,):
+            return cls(v[:1], v[1:])
+        if v.shape == (6,):
+            return cls(v[:3], v[3:])
+        raise GeometryError(f"pose vectors have length 3 or 6, got {v.shape}")
+
+    # ------------------------------------------------------------------
+    # Group operations (Equ. 2)
+    # ------------------------------------------------------------------
+    def compose(self, other: "Pose") -> "Pose":
+        """The (+) operation of Equ. 2: chain ``self`` then ``other``."""
+        self._check_same_space(other)
+        r1, r2 = self.rotation, other.rotation
+        if self.n == 2:
+            phi = np.array([so2.log(r1 @ r2)])
+        else:
+            phi = so3.log(r1 @ r2)
+        return Pose(phi, self.t + r1 @ other.t)
+
+    def ominus(self, other: "Pose") -> "Pose":
+        """The (-) operation of Equ. 2: ``self`` expressed in ``other``'s frame."""
+        self._check_same_space(other)
+        r1, r2 = self.rotation, other.rotation
+        if self.n == 2:
+            phi = np.array([so2.log(r2.T @ r1)])
+        else:
+            phi = so3.log(r2.T @ r1)
+        return Pose(phi, r2.T @ (self.t - other.t))
+
+    def inverse(self) -> "Pose":
+        """Group inverse: ``identity.ominus(self)``."""
+        r = self.rotation
+        return Pose(-self.phi, -(r.T @ self.t))
+
+    def transform_point(self, point: np.ndarray) -> np.ndarray:
+        """Map a point from this pose's body frame to the world frame."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != self.t.shape:
+            raise GeometryError(
+                f"point shape {point.shape} does not match pose dimension {self.n}"
+            )
+        return self.rotation @ point + self.t
+
+    # ------------------------------------------------------------------
+    # Optimizer chart
+    # ------------------------------------------------------------------
+    def retract(self, delta: np.ndarray) -> "Pose":
+        """Apply a tangent-space update ``[dphi, dt]``.
+
+        Rotation is perturbed on the right, translation additively.
+        """
+        delta = np.asarray(delta, dtype=float)
+        if delta.shape != (self.dim,):
+            raise GeometryError(
+                f"retract expects a {self.dim}-vector, got shape {delta.shape}"
+            )
+        k = self.phi.shape[0]
+        dphi, dt = delta[:k], delta[k:]
+        if self.n == 2:
+            phi = np.array([so2.wrap_angle(self.phi[0] + dphi[0])])
+        else:
+            phi = so3.log(so3.exp(self.phi) @ so3.exp(dphi))
+        return Pose(phi, self.t + dt)
+
+    def local(self, other: "Pose") -> np.ndarray:
+        """Tangent vector ``delta`` with ``self.retract(delta) == other``."""
+        self._check_same_space(other)
+        if self.n == 2:
+            dphi = np.array([so2.wrap_angle(other.phi[0] - self.phi[0])])
+        else:
+            dphi = so3.log(so3.exp(self.phi).T @ so3.exp(other.phi))
+        return np.concatenate([dphi, other.t - self.t])
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def almost_equal(self, other: "Pose", tol: float = 1e-9) -> bool:
+        """Compare poses as group elements (rotations compared as matrices)."""
+        if self.n != other.n:
+            return False
+        return bool(
+            np.allclose(self.rotation, other.rotation, atol=tol)
+            and np.allclose(self.t, other.t, atol=tol)
+        )
+
+    def _check_same_space(self, other: "Pose") -> None:
+        if self.n != other.n:
+            raise GeometryError(
+                f"mixing {self.n}-D and {other.n}-D poses is not allowed"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        phi = np.array2string(self.phi, precision=4)
+        t = np.array2string(self.t, precision=4)
+        return f"Pose(phi={phi}, t={t})"
+
+
+def interpolate(a: Pose, b: Pose, alpha: float) -> Pose:
+    """Geodesic interpolation between two poses (alpha in [0, 1])."""
+    delta = a.local(b)
+    return a.retract(alpha * delta)
+
+
+def poses_to_matrix(poses: Iterable[Pose]) -> np.ndarray:
+    """Stack pose vectors into a (num_poses, dim) array for analysis."""
+    rows = [p.vector() for p in poses]
+    if not rows:
+        return np.zeros((0, 0))
+    return np.vstack(rows)

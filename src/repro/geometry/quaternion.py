@@ -1,0 +1,148 @@
+"""Unit quaternions: the ``q + T(3)`` pose parameterization of Sec. 4.1.
+
+The paper surveys existing pose representations — VINS-Mono-style
+localization uses a 4-dimensional unit quaternion plus a translation
+vector.  This module provides quaternions (Hamilton convention, ``[w, x,
+y, z]`` storage) with exact conversions to and from rotation matrices and
+``so(3)``, completing the representation zoo around Fig. 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry import so3
+
+
+def identity() -> np.ndarray:
+    """The identity quaternion ``[1, 0, 0, 0]``."""
+    return np.array([1.0, 0.0, 0.0, 0.0])
+
+
+def normalize(q: np.ndarray) -> np.ndarray:
+    """Project onto the unit sphere (and fix the double-cover sign)."""
+    q = np.asarray(q, dtype=float)
+    if q.shape != (4,):
+        raise GeometryError(f"quaternions are 4-vectors, got {q.shape}")
+    norm = np.linalg.norm(q)
+    if norm < 1e-12:
+        raise GeometryError("cannot normalize a zero quaternion")
+    q = q / norm
+    # Canonical sign: nonnegative scalar part.
+    return -q if q[0] < 0.0 else q
+
+
+def multiply(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Hamilton product ``q1 * q2`` (composition of rotations)."""
+    w1, x1, y1, z1 = np.asarray(q1, dtype=float)
+    w2, x2, y2, z2 = np.asarray(q2, dtype=float)
+    return np.array([
+        w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+        w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+        w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+        w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+    ])
+
+
+def conjugate(q: np.ndarray) -> np.ndarray:
+    """The inverse rotation for unit quaternions."""
+    q = np.asarray(q, dtype=float)
+    return np.array([q[0], -q[1], -q[2], -q[3]])
+
+
+def rotate(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate a 3-vector: ``q v q*``."""
+    v = np.asarray(v, dtype=float)
+    if v.shape != (3,):
+        raise GeometryError(f"rotate expects a 3-vector, got {v.shape}")
+    qv = np.array([0.0, v[0], v[1], v[2]])
+    out = multiply(multiply(q, qv), conjugate(q))
+    return out[1:]
+
+
+def to_rotation(q: np.ndarray) -> np.ndarray:
+    """Unit quaternion to rotation matrix."""
+    w, x, y, z = normalize(q)
+    return np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+
+
+def from_rotation(rotation: np.ndarray) -> np.ndarray:
+    """Rotation matrix to unit quaternion (Shepperd's stable method)."""
+    r = np.asarray(rotation, dtype=float)
+    if r.shape != (3, 3):
+        raise GeometryError(f"expected a 3x3 matrix, got {r.shape}")
+    trace = np.trace(r)
+    if trace > 0.0:
+        s = 2.0 * np.sqrt(trace + 1.0)
+        q = np.array([0.25 * s,
+                      (r[2, 1] - r[1, 2]) / s,
+                      (r[0, 2] - r[2, 0]) / s,
+                      (r[1, 0] - r[0, 1]) / s])
+    else:
+        i = int(np.argmax(np.diag(r)))
+        j, k = (i + 1) % 3, (i + 2) % 3
+        s = 2.0 * np.sqrt(max(1e-12, 1.0 + r[i, i] - r[j, j] - r[k, k]))
+        q = np.empty(4)
+        q[0] = (r[k, j] - r[j, k]) / s
+        q[1 + i] = 0.25 * s
+        q[1 + j] = (r[j, i] + r[i, j]) / s
+        q[1 + k] = (r[k, i] + r[i, k]) / s
+    return normalize(q)
+
+
+def exp(phi: np.ndarray) -> np.ndarray:
+    """so(3) rotation vector to unit quaternion."""
+    phi = np.asarray(phi, dtype=float)
+    if phi.shape != (3,):
+        raise GeometryError(f"expected a 3-vector, got {phi.shape}")
+    theta = np.linalg.norm(phi)
+    if theta < 1e-10:
+        return normalize(np.concatenate([[1.0], 0.5 * phi]))
+    axis = phi / theta
+    half = theta / 2.0
+    return np.concatenate([[np.cos(half)], np.sin(half) * axis])
+
+
+def log(q: np.ndarray) -> np.ndarray:
+    """Unit quaternion to so(3) rotation vector."""
+    w, *xyz = normalize(q)
+    xyz = np.asarray(xyz)
+    sin_half = np.linalg.norm(xyz)
+    if sin_half < 1e-10:
+        return 2.0 * xyz
+    half = np.arctan2(sin_half, w)
+    return 2.0 * half * xyz / sin_half
+
+
+def slerp(q1: np.ndarray, q2: np.ndarray, alpha: float) -> np.ndarray:
+    """Spherical linear interpolation (alpha in [0, 1])."""
+    q1 = normalize(q1)
+    q2 = normalize(q2)
+    relative = multiply(conjugate(q1), q2)
+    return normalize(multiply(q1, exp(alpha * log(relative))))
+
+
+def is_unit(q: np.ndarray, tol: float = 1e-9) -> bool:
+    q = np.asarray(q, dtype=float)
+    return q.shape == (4,) and bool(
+        np.isclose(np.linalg.norm(q), 1.0, atol=tol))
+
+
+def quat_to_so3(q: np.ndarray) -> np.ndarray:
+    """Quaternion -> so(3): the Fig. 8-style bridge to the unified rep."""
+    return log(q)
+
+
+def so3_to_quat(phi: np.ndarray) -> np.ndarray:
+    """so(3) -> quaternion."""
+    return exp(phi)
+
+
+def random_quaternion(rng: np.random.Generator) -> np.ndarray:
+    """Uniformly distributed unit quaternion."""
+    return from_rotation(so3.random_rotation(rng))

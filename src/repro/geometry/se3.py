@@ -1,0 +1,137 @@
+"""SE(3) and se(3): the baseline pose representations of Fig. 8.
+
+The paper argues that the homogeneous ``SE(3)`` representation (a 4x4
+matrix padding a rotation and translation with zeros and ones) and its Lie
+algebra ``se(3)`` (a 6-vector twist) are convenient but computationally
+wasteful compared to the proposed ``<so(3), T(3)>``.  This module
+implements both baselines plus the exact conversions between all three
+(Fig. 8) so the equivalence and the MAC-count comparison of Sec. 4.3 can be
+reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry import so3
+from repro.geometry.pose import Pose
+
+
+class SE3:
+    """A rigid transform stored as a 4x4 homogeneous matrix."""
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (4, 4):
+            raise GeometryError(f"SE(3) expects a 4x4 matrix, got {matrix.shape}")
+        if not np.allclose(matrix[3], [0.0, 0.0, 0.0, 1.0], atol=1e-9):
+            raise GeometryError("SE(3) bottom row must be [0, 0, 0, 1]")
+        if not so3.is_rotation(matrix[:3, :3], tol=1e-6):
+            raise GeometryError("SE(3) upper-left block must be a rotation")
+        self.matrix = matrix
+
+    @classmethod
+    def from_rt(cls, rotation: np.ndarray, t: np.ndarray) -> "SE3":
+        """Build from a rotation matrix and translation vector."""
+        m = np.eye(4)
+        m[:3, :3] = np.asarray(rotation, dtype=float)
+        m[:3, 3] = np.asarray(t, dtype=float)
+        return cls(m)
+
+    @classmethod
+    def identity(cls) -> "SE3":
+        return cls(np.eye(4))
+
+    @property
+    def rotation(self) -> np.ndarray:
+        return self.matrix[:3, :3]
+
+    @property
+    def t(self) -> np.ndarray:
+        return self.matrix[:3, 3]
+
+    def compose(self, other: "SE3") -> "SE3":
+        """Group composition by plain 4x4 matrix multiplication."""
+        return SE3(self.matrix @ other.matrix)
+
+    def inverse(self) -> "SE3":
+        r, t = self.rotation, self.t
+        return SE3.from_rt(r.T, -(r.T @ t))
+
+    def between(self, other: "SE3") -> "SE3":
+        """Relative transform ``self^{-1} other``."""
+        return self.inverse().compose(other)
+
+    def transform_point(self, point: np.ndarray) -> np.ndarray:
+        point = np.asarray(point, dtype=float)
+        homogeneous = np.append(point, 1.0)
+        return (self.matrix @ homogeneous)[:3]
+
+    def almost_equal(self, other: "SE3", tol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.matrix, other.matrix, atol=tol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SE3({np.array2string(self.matrix, precision=4)})"
+
+
+# ----------------------------------------------------------------------
+# se(3) twists
+# ----------------------------------------------------------------------
+
+def se3_exp(xi: np.ndarray) -> SE3:
+    """Exponential map se(3) -> SE(3) for a twist ``xi = [rho, phi]``.
+
+    ``rho`` is the translational part, ``phi`` the rotational part; the
+    translation of the result is ``V(phi) rho`` with ``V = J_l(phi)``.
+    """
+    xi = np.asarray(xi, dtype=float)
+    if xi.shape != (6,):
+        raise GeometryError(f"se(3) exp expects a 6-vector, got {xi.shape}")
+    rho, phi = xi[:3], xi[3:]
+    rotation = so3.exp(phi)
+    v = so3.left_jacobian(phi)
+    return SE3.from_rt(rotation, v @ rho)
+
+
+def se3_log(transform: SE3) -> np.ndarray:
+    """Logarithmic map SE(3) -> se(3); inverse of :func:`se3_exp`."""
+    phi = so3.log(transform.rotation)
+    v_inv = so3.left_jacobian_inv(phi)
+    rho = v_inv @ transform.t
+    return np.concatenate([rho, phi])
+
+
+# ----------------------------------------------------------------------
+# Conversions of Fig. 8
+# ----------------------------------------------------------------------
+
+def pose_to_se3(pose: Pose) -> SE3:
+    """``<so(3), T(3)>`` -> SE(3): exponential map on the orientation."""
+    if pose.n != 3:
+        raise GeometryError("pose_to_se3 requires a spatial (3-D) pose")
+    return SE3.from_rt(so3.exp(pose.phi), pose.t)
+
+
+def se3_to_pose(transform: SE3) -> Pose:
+    """SE(3) -> ``<so(3), T(3)>``: logarithmic map on the rotation block."""
+    return Pose(so3.log(transform.rotation), transform.t.copy())
+
+
+def pose_to_se3_algebra(pose: Pose) -> np.ndarray:
+    """``<so(3), T(3)>`` -> se(3): linear map ``J_l^{-1}`` on the position."""
+    if pose.n != 3:
+        raise GeometryError("pose_to_se3_algebra requires a spatial pose")
+    rho = so3.left_jacobian_inv(pose.phi) @ pose.t
+    return np.concatenate([rho, pose.phi])
+
+
+def se3_algebra_to_pose(xi: np.ndarray) -> Pose:
+    """se(3) -> ``<so(3), T(3)>``: linear map ``J_l`` on the position."""
+    xi = np.asarray(xi, dtype=float)
+    if xi.shape != (6,):
+        raise GeometryError(f"expected a 6-vector twist, got {xi.shape}")
+    rho, phi = xi[:3], xi[3:]
+    return Pose(phi.copy(), so3.left_jacobian(phi) @ rho)

@@ -1,0 +1,75 @@
+"""SO(2) / so(2): planar rotations and their Lie algebra.
+
+The 2-D counterparts of the nine primitives of Tbl. 3.  In 2-D the Lie
+algebra is one-dimensional (a heading angle), all Jacobians of the
+exponential map are the scalar 1, and the ``(.)^`` primitive maps the
+angle rate to the generator matrix ``[[0, -w], [w, 0]]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+# Generator of SO(2): d/dtheta Exp(theta) at theta = 0.
+GENERATOR = np.array([[0.0, -1.0], [1.0, 0.0]])
+
+_I2 = np.eye(2)
+
+
+def exp(theta: float) -> np.ndarray:
+    """Exponential map: heading angle to 2x2 rotation matrix."""
+    theta = float(np.asarray(theta).reshape(()))
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s], [s, c]])
+
+
+def log(rotation: np.ndarray) -> float:
+    """Logarithmic map: 2x2 rotation matrix to heading angle in (-pi, pi]."""
+    rotation = np.asarray(rotation, dtype=float)
+    if rotation.shape != (2, 2):
+        raise GeometryError(f"so(2) log expects a 2x2 matrix, got {rotation.shape}")
+    return float(np.arctan2(rotation[1, 0], rotation[0, 0]))
+
+
+def skew(w: float) -> np.ndarray:
+    """2-D ``(.)^`` primitive: scalar rate to the so(2) generator matrix."""
+    w = float(np.asarray(w).reshape(()))
+    return w * GENERATOR
+
+
+def vee(m: np.ndarray) -> float:
+    """Inverse of :func:`skew`."""
+    m = np.asarray(m, dtype=float)
+    if m.shape != (2, 2):
+        raise GeometryError(f"so(2) vee expects a 2x2 matrix, got {m.shape}")
+    return float(m[1, 0])
+
+
+def right_jacobian(theta: float) -> np.ndarray:
+    """``J_r`` is the 1x1 identity in 2-D (SO(2) is abelian)."""
+    del theta
+    return np.eye(1)
+
+
+def right_jacobian_inv(theta: float) -> np.ndarray:
+    """``J_r^{-1}`` is the 1x1 identity in 2-D."""
+    del theta
+    return np.eye(1)
+
+
+def wrap_angle(theta: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    wrapped = float(np.arctan2(np.sin(theta), np.cos(theta)))
+    return wrapped
+
+
+def is_rotation(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """Check orthonormality and unit determinant for a 2x2 matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (2, 2):
+        return False
+    if not np.allclose(matrix @ matrix.T, _I2, atol=tol):
+        return False
+    return bool(np.isclose(np.linalg.det(matrix), 1.0, atol=tol))

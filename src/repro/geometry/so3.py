@@ -1,0 +1,157 @@
+"""SO(3) / so(3): rotations in 3-D and their Lie algebra.
+
+Implements the primitive operations of Tbl. 3 of the paper for the
+3-dimensional case:
+
+- ``skew`` / ``vee``    — the ``(.)^`` primitive and its inverse
+- ``exp``               — exponential map so(3) -> SO(3) (Rodrigues)
+- ``log``               — logarithmic map SO(3) -> so(3)
+- ``right_jacobian``    — ``J_r`` of [Sola et al. 2018]
+- ``right_jacobian_inv``— ``J_r^{-1}``
+- ``left_jacobian``     — ``J_l = J_r(-phi)``; also the SE(3) ``V`` matrix
+
+All functions accept and return plain ``numpy`` arrays.  Small-angle cases
+are handled with Taylor expansions so every function is smooth through
+``phi = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+# Below this angle (radians) Taylor expansions replace the closed forms.
+_SMALL_ANGLE = 1e-7
+
+_I3 = np.eye(3)
+
+
+def skew(v: np.ndarray) -> np.ndarray:
+    """Return the skew-symmetric matrix ``[v]x`` such that ``[v]x w = v x w``."""
+    v = np.asarray(v, dtype=float)
+    if v.shape != (3,):
+        raise GeometryError(f"skew expects a 3-vector, got shape {v.shape}")
+    return np.array([
+        [0.0, -v[2], v[1]],
+        [v[2], 0.0, -v[0]],
+        [-v[1], v[0], 0.0],
+    ])
+
+
+def vee(m: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`skew`: extract the 3-vector from a skew matrix."""
+    m = np.asarray(m, dtype=float)
+    if m.shape != (3, 3):
+        raise GeometryError(f"vee expects a 3x3 matrix, got shape {m.shape}")
+    return np.array([m[2, 1], m[0, 2], m[1, 0]])
+
+
+def exp(phi: np.ndarray) -> np.ndarray:
+    """Exponential map: rotation vector ``phi`` to rotation matrix (Rodrigues)."""
+    phi = np.asarray(phi, dtype=float)
+    if phi.shape != (3,):
+        raise GeometryError(f"so(3) exp expects a 3-vector, got shape {phi.shape}")
+    theta = np.linalg.norm(phi)
+    k = skew(phi)
+    if theta < _SMALL_ANGLE:
+        # R = I + [phi]x + 0.5 [phi]x^2 to second order.
+        return _I3 + k + 0.5 * (k @ k)
+    a = np.sin(theta) / theta
+    b = (1.0 - np.cos(theta)) / (theta * theta)
+    return _I3 + a * k + b * (k @ k)
+
+
+def log(rotation: np.ndarray) -> np.ndarray:
+    """Logarithmic map: rotation matrix to rotation vector.
+
+    Handles the three regimes: small angles (Taylor), generic angles
+    (standard formula), and angles near pi (axis from the diagonal of
+    ``R + R^T`` to avoid the vanishing ``sin(theta)`` denominator).
+    """
+    rotation = np.asarray(rotation, dtype=float)
+    if rotation.shape != (3, 3):
+        raise GeometryError(f"so(3) log expects a 3x3 matrix, got {rotation.shape}")
+    trace = np.clip(np.trace(rotation), -1.0, 3.0)
+    cos_theta = np.clip((trace - 1.0) / 2.0, -1.0, 1.0)
+    theta = np.arccos(cos_theta)
+    if theta < _SMALL_ANGLE:
+        return vee(rotation - rotation.T) / 2.0
+    if np.pi - theta < 1e-6:
+        # Near pi: R ~ I + 2 a a^T - ... ; recover axis from R + I.
+        symmetric = (rotation + _I3) / 2.0
+        axis_sq = np.clip(np.diag(symmetric), 0.0, None)
+        axis = np.sqrt(axis_sq)
+        # Fix signs using the largest component as reference.
+        k = int(np.argmax(axis))
+        if axis[k] < 1e-12:
+            raise GeometryError("cannot extract rotation axis near pi")
+        for i in range(3):
+            if i != k and symmetric[k, i] < 0.0:
+                axis[i] = -axis[i]
+        axis = axis / np.linalg.norm(axis)
+        # Disambiguate overall sign with the off-diagonal antisymmetric part.
+        w = vee(rotation - rotation.T)
+        if np.dot(w, axis) < 0.0:
+            axis = -axis
+        return theta * axis
+    return theta / (2.0 * np.sin(theta)) * vee(rotation - rotation.T)
+
+
+def right_jacobian(phi: np.ndarray) -> np.ndarray:
+    """Right Jacobian ``J_r(phi)`` of SO(3) [Sola et al. 2018, eq. 143].
+
+    Satisfies ``Exp(phi + dphi) = Exp(phi) Exp(J_r(phi) dphi)`` to first
+    order.
+    """
+    phi = np.asarray(phi, dtype=float)
+    theta = np.linalg.norm(phi)
+    k = skew(phi)
+    if theta < _SMALL_ANGLE:
+        return _I3 - 0.5 * k + (k @ k) / 6.0
+    t2 = theta * theta
+    a = (1.0 - np.cos(theta)) / t2
+    b = (theta - np.sin(theta)) / (t2 * theta)
+    return _I3 - a * k + b * (k @ k)
+
+
+def right_jacobian_inv(phi: np.ndarray) -> np.ndarray:
+    """Inverse right Jacobian ``J_r^{-1}(phi)`` [Sola et al. 2018, eq. 144]."""
+    phi = np.asarray(phi, dtype=float)
+    theta = np.linalg.norm(phi)
+    k = skew(phi)
+    if theta < _SMALL_ANGLE:
+        return _I3 + 0.5 * k + (k @ k) / 12.0
+    t2 = theta * theta
+    c = 1.0 / t2 - (1.0 + np.cos(theta)) / (2.0 * theta * np.sin(theta))
+    return _I3 + 0.5 * k + c * (k @ k)
+
+
+def left_jacobian(phi: np.ndarray) -> np.ndarray:
+    """Left Jacobian ``J_l(phi) = J_r(-phi)``; equals the SE(3) ``V`` matrix."""
+    return right_jacobian(-np.asarray(phi, dtype=float))
+
+
+def left_jacobian_inv(phi: np.ndarray) -> np.ndarray:
+    """Inverse left Jacobian ``J_l^{-1}(phi) = J_r^{-1}(-phi)``."""
+    return right_jacobian_inv(-np.asarray(phi, dtype=float))
+
+
+def is_rotation(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """Check orthonormality and unit determinant."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (3, 3):
+        return False
+    if not np.allclose(matrix @ matrix.T, _I3, atol=tol):
+        return False
+    return bool(np.isclose(np.linalg.det(matrix), 1.0, atol=tol))
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Draw a uniformly distributed random rotation matrix."""
+    # QR of a Gaussian matrix with sign correction gives Haar measure.
+    q, r = np.linalg.qr(rng.standard_normal((3, 3)))
+    q = q @ np.diag(np.sign(np.diag(r)))
+    if np.linalg.det(q) < 0.0:
+        q[:, 0] = -q[:, 0]
+    return q

@@ -1,0 +1,43 @@
+"""Hardware generation: templates, resources, datapath, Equ. 5 optimizer."""
+
+from repro.hw.accelerator import (
+    ALL_UNIT_CLASSES,
+    AcceleratorConfig,
+    balanced_config,
+    minimal_config,
+)
+from repro.hw.datapath import (
+    Connection,
+    DataPath,
+    generate_datapath,
+    required_buffer_kib,
+)
+from repro.hw.optimizer import (
+    GenerationResult,
+    OptimizationStep,
+    dsp_budget,
+    generate_accelerator,
+    sweep_dsp_constraints,
+)
+from repro.hw.resources import Resources, ZC706
+from repro.hw.units import (
+    BackSubUnit,
+    DEFAULT_TEMPLATES,
+    INFRASTRUCTURE,
+    MatMulUnit,
+    QRUnit,
+    SpecialFunctionUnit,
+    UnitTemplate,
+    VectorUnit,
+)
+
+__all__ = [
+    "Resources", "ZC706",
+    "UnitTemplate", "MatMulUnit", "VectorUnit", "SpecialFunctionUnit",
+    "QRUnit", "BackSubUnit", "DEFAULT_TEMPLATES", "INFRASTRUCTURE",
+    "AcceleratorConfig", "minimal_config", "balanced_config",
+    "ALL_UNIT_CLASSES",
+    "DataPath", "Connection", "generate_datapath", "required_buffer_kib",
+    "generate_accelerator", "GenerationResult", "OptimizationStep",
+    "dsp_budget", "sweep_dsp_constraints",
+]

@@ -1,0 +1,65 @@
+"""FPGA resource vectors (LUT / FF / BRAM / DSP).
+
+Resource accounting is the currency of the hardware generation problem of
+Equ. 5: every unit template costs a :class:`Resources` vector, and the
+optimizer must keep the accelerator's total within the board envelope.
+The board model is the Xilinx Zynq-7000 ZC706 used by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resources:
+    """A LUT/FF/BRAM/DSP consumption vector."""
+
+    lut: int = 0
+    ff: int = 0
+    bram: int = 0
+    dsp: int = 0
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.bram + other.bram,
+            self.dsp + other.dsp,
+        )
+
+    def __mul__(self, k: int) -> "Resources":
+        return Resources(self.lut * k, self.ff * k, self.bram * k,
+                         self.dsp * k)
+
+    __rmul__ = __mul__
+
+    def fits_within(self, budget: "Resources") -> bool:
+        """True if every component is within the budget."""
+        return (self.lut <= budget.lut and self.ff <= budget.ff
+                and self.bram <= budget.bram and self.dsp <= budget.dsp)
+
+    def utilization(self, budget: "Resources") -> float:
+        """Largest per-component utilization fraction."""
+        fractions = []
+        for mine, theirs in ((self.lut, budget.lut), (self.ff, budget.ff),
+                             (self.bram, budget.bram), (self.dsp, budget.dsp)):
+            if theirs > 0:
+                fractions.append(mine / theirs)
+        return max(fractions) if fractions else 0.0
+
+    def scaled_ratio(self, other: "Resources") -> dict:
+        """Per-component ratio of self to other (for Fig. 16c style tables)."""
+        def ratio(a, b):
+            return float("inf") if b == 0 else a / b
+
+        return {
+            "lut": ratio(self.lut, other.lut),
+            "ff": ratio(self.ff, other.ff),
+            "bram": ratio(self.bram, other.bram),
+            "dsp": ratio(self.dsp, other.dsp),
+        }
+
+
+# The Xilinx Zynq-7000 SoC ZC706 evaluation board (XC7Z045).
+ZC706 = Resources(lut=218_600, ff=437_200, bram=545, dsp=900)

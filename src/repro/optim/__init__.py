@@ -1,0 +1,20 @@
+"""Nonlinear optimization over factor graphs (Fig. 3)."""
+
+from repro.optim.gauss_newton import GaussNewtonParams, gauss_newton, step_norm
+from repro.optim.levenberg import (
+    LevenbergParams,
+    damped_graph,
+    levenberg_marquardt,
+)
+from repro.optim.result import IterationRecord, OptimizationResult
+
+__all__ = [
+    "GaussNewtonParams",
+    "gauss_newton",
+    "step_norm",
+    "LevenbergParams",
+    "levenberg_marquardt",
+    "damped_graph",
+    "IterationRecord",
+    "OptimizationResult",
+]

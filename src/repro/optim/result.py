@@ -1,0 +1,56 @@
+"""Optimization results and per-iteration traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.factorgraph.elimination import EliminationStats
+from repro.factorgraph.values import Values
+
+
+@dataclass
+class IterationRecord:
+    """One Fig. 3 loop iteration: construct, solve, update."""
+
+    iteration: int
+    error_before: float
+    error_after: float
+    step_norm: float
+    stats: EliminationStats
+
+    @property
+    def improvement(self) -> float:
+        return self.error_before - self.error_after
+
+
+@dataclass
+class OptimizationResult:
+    """Final estimate plus the convergence history."""
+
+    values: Values
+    converged: bool
+    iterations: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def final_error(self) -> float:
+        if not self.iterations:
+            return float("nan")
+        return self.iterations[-1].error_after
+
+    @property
+    def initial_error(self) -> float:
+        if not self.iterations:
+            return float("nan")
+        return self.iterations[0].error_before
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"OptimizationResult({status} in {self.num_iterations} iters, "
+            f"error {self.initial_error:.3g} -> {self.final_error:.3g})"
+        )

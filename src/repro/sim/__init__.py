@@ -1,0 +1,14 @@
+"""Cycle-level simulation of generated accelerators (Sec. 6.3 runtime)."""
+
+from repro.sim.engine import POLICIES, Simulator
+from repro.sim.stats import EnergyBreakdown, SimulationResult
+from repro.sim.pipeline import (
+    ThroughputResult,
+    replicate_frames,
+    steady_state_throughput,
+)
+from repro.sim.timeline import busy_summary, render_timeline
+
+__all__ = ["Simulator", "POLICIES", "SimulationResult",
+           "EnergyBreakdown", "render_timeline", "busy_summary",
+           "replicate_frames", "steady_state_throughput", "ThroughputResult"]

@@ -1,0 +1,318 @@
+"""Event-driven cycle-level simulation of ORIANNA accelerators.
+
+Simulates a compiled :class:`~repro.compiler.isa.Program` on an
+:class:`~repro.hw.accelerator.AcceleratorConfig` under one of three issue
+policies:
+
+- ``ooo``        — the ORIANNA-OoO controller (Sec. 6.3): any instruction
+  whose operands are ready may issue to any free unit of its class, both
+  within and across MO-DFGs and algorithm streams.
+- ``inorder``    — scoreboarded in-order issue: instructions issue in
+  program order and the head-of-line stalls on RAW or structural hazards
+  (younger instructions never overtake).
+- ``sequential`` — one instruction at a time (a naive controller with no
+  overlap); used as an ablation lower bound.
+
+The paper's ORIANNA-IO corresponds to ``inorder``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.compiler.isa import Instruction, Opcode, Program, UNIT_NONE
+from repro.hw.accelerator import AcceleratorConfig
+from repro.hw.units import BASE_STATIC_POWER_MW, STATIC_POWER_MW
+from repro.sim.stats import EnergyBreakdown, SimulationResult
+
+POLICIES = ("ooo", "inorder", "sequential")
+
+DRAM_ENERGY_PER_WORD_NJ = 0.64
+BYTES_PER_WORD = 4
+
+
+class Simulator:
+    """Simulates programs on a fixed accelerator configuration.
+
+    Parameters
+    ----------
+    config:
+        The accelerator to simulate (defaults to one unit per class).
+    issue_width:
+        Maximum instructions the controller dispatches per scheduling
+        round (event timestamp); ``None`` means unbounded (an idealized
+        controller).  Finite widths model a real dispatch port and are
+        used by the issue-width ablation.
+    """
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None,
+                 issue_width: Optional[int] = None):
+        if issue_width is not None and issue_width < 1:
+            raise SimulationError("issue_width must be >= 1 or None")
+        self.config = config or AcceleratorConfig()
+        self.issue_width = issue_width
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program, policy: str = "ooo",
+            record_schedule: bool = False) -> SimulationResult:
+        if policy not in POLICIES:
+            raise SimulationError(
+                f"unknown policy {policy!r}; pick one of {POLICIES}"
+            )
+
+        instructions = program.instructions
+        deps = program.dependencies()
+        latencies = self._latencies(program)
+
+        # Per-unit-class instance free times (min-heaps of ready-at times).
+        unit_free: Dict[str, List[float]] = {
+            unit: [0.0] * count
+            for unit, count in self.config.unit_counts.items()
+        }
+        for heap in unit_free.values():
+            heapq.heapify(heap)
+
+        finish: Dict[int, float] = {}
+        start: Dict[int, float] = {}
+        pending_preds: Dict[int, Set[int]] = {}
+        ready: List[int] = []   # uid heap (program order priority)
+        completion_events: List[Tuple[float, int]] = []
+
+        # CONST instructions are preloaded before execution starts.
+        for instr in instructions:
+            if instr.op is Opcode.CONST:
+                finish[instr.uid] = 0.0
+                start[instr.uid] = 0.0
+
+        for instr in instructions:
+            if instr.op is Opcode.CONST:
+                continue
+            preds = {d for d in deps[instr.uid] if d not in finish}
+            pending_preds[instr.uid] = preds
+            if not preds:
+                heapq.heappush(ready, instr.uid)
+
+        dependents: Dict[int, List[int]] = {}
+        for uid, preds in pending_preds.items():
+            for p in preds:
+                dependents.setdefault(p, []).append(uid)
+
+        issued: Set[int] = set()
+        inflight = 0
+        busy_cycles: Dict[str, float] = {}
+        now = 0.0
+        total_to_issue = len(pending_preds)
+        next_inorder = 0  # index into non-const instruction order
+        order = [i.uid for i in instructions if i.op is not Opcode.CONST]
+
+        def try_issue() -> bool:
+            """Issue as many instructions as the policy allows at `now`."""
+            nonlocal next_inorder, inflight
+            progress = False
+            slots = self.issue_width if self.issue_width is not None else (
+                float("inf")
+            )
+            if policy == "ooo":
+                deferred = []
+                while ready and slots > 0:
+                    uid = heapq.heappop(ready)
+                    if self._issue_one(uid, instructions, latencies,
+                                       unit_free, now, start, finish,
+                                       completion_events, busy_cycles):
+                        issued.add(uid)
+                        inflight += 1
+                        progress = True
+                        slots -= 1
+                    else:
+                        deferred.append(uid)
+                for uid in deferred:
+                    heapq.heappush(ready, uid)
+            else:
+                while next_inorder < len(order) and slots > 0:
+                    uid = order[next_inorder]
+                    if pending_preds.get(uid):
+                        break  # head-of-line RAW stall
+                    if policy == "sequential" and inflight > 0:
+                        break  # a naive controller never overlaps
+                    if not self._issue_one(uid, instructions, latencies,
+                                           unit_free, now, start, finish,
+                                           completion_events, busy_cycles):
+                        break  # structural hazard
+                    issued.add(uid)
+                    inflight += 1
+                    next_inorder += 1
+                    progress = True
+                    slots -= 1
+            return progress
+
+        try_issue()
+        while len(issued) < total_to_issue or completion_events:
+            if not completion_events:
+                raise SimulationError(
+                    "deadlock: instructions remain but nothing is in flight"
+                )
+            now, uid = heapq.heappop(completion_events)
+            # Drain all completions at this timestamp.
+            finished = [uid]
+            while completion_events and completion_events[0][0] == now:
+                finished.append(heapq.heappop(completion_events)[1])
+            inflight -= len(finished)
+            for f_uid in finished:
+                for dep in dependents.get(f_uid, ()):
+                    preds = pending_preds.get(dep)
+                    if preds is not None:
+                        preds.discard(f_uid)
+                        if not preds and policy == "ooo" and \
+                                dep not in issued:
+                            heapq.heappush(ready, dep)
+            try_issue()
+
+        total_cycles = int(round(max(finish.values(), default=0.0)))
+        result = self._collect(program, policy, total_cycles, start, finish,
+                               latencies, busy_cycles)
+        if record_schedule:
+            result.schedule = {uid: (start[uid], finish[uid])
+                               for uid in start}
+        return result
+
+    # ------------------------------------------------------------------
+    def _issue_one(self, uid, instructions, latencies, unit_free, now,
+                   start, finish, completion_events, busy_cycles) -> bool:
+        instr = instructions[uid]
+        unit = instr.unit
+        if unit == UNIT_NONE:
+            start[uid] = now
+            finish[uid] = now
+            heapq.heappush(completion_events, (now, uid))
+            return True
+        heap = unit_free.get(unit)
+        if not heap:
+            raise SimulationError(
+                f"no unit instances of class {unit!r} configured"
+            )
+        if heap[0] > now:
+            return False
+        free_at = heapq.heappop(heap)
+        del free_at
+        latency = latencies[uid]
+        start[uid] = now
+        finish[uid] = now + latency
+        heapq.heappush(heap, now + latency)
+        heapq.heappush(completion_events, (now + latency, uid))
+        busy_cycles[unit] = busy_cycles.get(unit, 0.0) + latency
+        return True
+
+    def _latencies(self, program: Program) -> Dict[int, int]:
+        latencies: Dict[int, int] = {}
+        shapes = program.register_shapes
+        for instr in program.instructions:
+            if instr.unit == UNIT_NONE:
+                latencies[instr.uid] = 0
+                continue
+            template = self.config.templates.get(instr.unit)
+            if template is None:
+                raise SimulationError(
+                    f"no template for unit class {instr.unit!r}"
+                )
+            latencies[instr.uid] = max(1, int(template.latency(instr, shapes)))
+        return latencies
+
+    # ------------------------------------------------------------------
+    def _collect(self, program: Program, policy: str, total_cycles: int,
+                 start: Dict[int, float], finish: Dict[int, float],
+                 latencies: Dict[int, int],
+                 busy_cycles: Dict[str, float]) -> SimulationResult:
+        shapes = program.register_shapes
+
+        dynamic_nj = 0.0
+        phase_work: Dict[str, int] = {}
+        phase_span: Dict[str, Tuple[float, float]] = {}
+        algo_span: Dict[str, Tuple[float, float]] = {}
+        for instr in program.instructions:
+            if instr.unit != UNIT_NONE:
+                template = self.config.templates[instr.unit]
+                dynamic_nj += template.energy(instr, shapes)
+                phase_work[instr.phase] = (
+                    phase_work.get(instr.phase, 0) + latencies[instr.uid]
+                )
+            s, f = start[instr.uid], finish[instr.uid]
+            lo, hi = phase_span.get(instr.phase, (s, f))
+            phase_span[instr.phase] = (min(lo, s), max(hi, f))
+            if instr.algorithm:
+                lo, hi = algo_span.get(instr.algorithm, (s, f))
+                algo_span[instr.algorithm] = (min(lo, s), max(hi, f))
+
+        # Static energy: units are clock-gated (they leak only while
+        # busy), while the controller/buffer/clock tree leaks for the
+        # whole run.  This is why out-of-order execution saves energy by a
+        # smaller factor than it saves time (Sec. 7.3): the gated part is
+        # schedule-independent.
+        cycle_s = 1.0 / (self.config.clock_mhz * 1e6)
+        time_s = total_cycles * cycle_s
+        gated_mj = sum(
+            STATIC_POWER_MW.get(unit, 0.0) * busy * cycle_s
+            for unit, busy in busy_cycles.items()
+        )
+        static_mj = BASE_STATIC_POWER_MW * time_s + gated_mj
+
+        # Memory energy: live registers beyond the buffer spill to DRAM.
+        peak_live, spilled = self._live_set(program, start, finish)
+        memory_mj = spilled * DRAM_ENERGY_PER_WORD_NJ * 2 * 1e-6  # rd + wr
+
+        return SimulationResult(
+            policy=policy,
+            total_cycles=total_cycles,
+            clock_mhz=self.config.clock_mhz,
+            energy=EnergyBreakdown(
+                dynamic_mj=dynamic_nj * 1e-6,
+                static_mj=static_mj,
+                memory_mj=memory_mj,
+            ),
+            instruction_count=len(program.instructions),
+            issued_count=sum(1 for i in program.instructions
+                             if i.unit != UNIT_NONE),
+            unit_busy_cycles={u: int(b) for u, b in busy_cycles.items()},
+            unit_instance_counts=dict(self.config.unit_counts),
+            phase_work_cycles=phase_work,
+            phase_span_cycles={
+                p: int(hi - lo) for p, (lo, hi) in phase_span.items()
+            },
+            algorithm_span_cycles={
+                a: int(hi - lo) for a, (lo, hi) in algo_span.items()
+            },
+            peak_live_words=peak_live,
+            spilled_words=spilled,
+        )
+
+    def _live_set(self, program: Program, start, finish) -> Tuple[int, int]:
+        """Peak live words over the simulated schedule and spill volume."""
+        last_use: Dict[str, float] = {}
+        born: Dict[str, float] = {}
+        for instr in program.instructions:
+            for src in instr.srcs:
+                last_use[src] = max(last_use.get(src, 0.0),
+                                    finish[instr.uid])
+            for dst in instr.dsts:
+                if instr.op is not Opcode.CONST:
+                    born[dst] = start[instr.uid]
+
+        events: List[Tuple[float, int, int]] = []
+        for reg, t in born.items():
+            words = 1
+            for d in program.register_shapes[reg]:
+                words *= d
+            events.append((t, 1, words))
+            events.append((last_use.get(reg, t), -1, words))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        live = 0
+        peak = 0
+        for _, kind, words in events:
+            live += kind * words
+            peak = max(peak, live)
+
+        capacity_words = self.config.buffer_kib * 1024 // BYTES_PER_WORD
+        spilled = max(0, peak - capacity_words)
+        return peak, spilled

@@ -1,0 +1,83 @@
+"""Simulation results: cycles, energy, utilization, phase breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in millijoules by source."""
+
+    dynamic_mj: float = 0.0
+    static_mj: float = 0.0
+    memory_mj: float = 0.0
+
+    @property
+    def total_mj(self) -> float:
+        return self.dynamic_mj + self.static_mj + self.memory_mj
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one program on one accelerator config."""
+
+    policy: str
+    total_cycles: int
+    clock_mhz: float
+    energy: EnergyBreakdown
+    instruction_count: int
+    issued_count: int
+    unit_busy_cycles: Dict[str, int] = field(default_factory=dict)
+    unit_instance_counts: Dict[str, int] = field(default_factory=dict)
+    phase_work_cycles: Dict[str, int] = field(default_factory=dict)
+    phase_span_cycles: Dict[str, int] = field(default_factory=dict)
+    algorithm_span_cycles: Dict[str, int] = field(default_factory=dict)
+    peak_live_words: int = 0
+    spilled_words: int = 0
+    # Optional per-instruction schedule: uid -> (start, finish) cycles,
+    # recorded when Simulator.run(record_schedule=True).
+    schedule: Dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def time_ms(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e3)
+
+    @property
+    def time_us(self) -> float:
+        return self.total_cycles / self.clock_mhz
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy.total_mj
+
+    def utilization(self, unit_class: str) -> float:
+        """Average busy fraction across a unit class's instances."""
+        busy = self.unit_busy_cycles.get(unit_class, 0)
+        count = self.unit_instance_counts.get(unit_class, 1)
+        if self.total_cycles == 0:
+            return 0.0
+        return busy / (self.total_cycles * count)
+
+    def phase_share(self, phase: str) -> float:
+        """Share of total compute work spent in a pipeline phase."""
+        total = sum(self.phase_work_cycles.values())
+        if total == 0:
+            return 0.0
+        return self.phase_work_cycles.get(phase, 0) / total
+
+    def summary(self) -> str:
+        lines = [
+            f"policy={self.policy} cycles={self.total_cycles} "
+            f"({self.time_ms:.3f} ms @ {self.clock_mhz:.0f} MHz)",
+            f"energy={self.energy_mj:.4f} mJ (dyn {self.energy.dynamic_mj:.4f}"
+            f" / static {self.energy.static_mj:.4f}"
+            f" / mem {self.energy.memory_mj:.4f})",
+        ]
+        for unit, busy in sorted(self.unit_busy_cycles.items()):
+            lines.append(
+                f"  {unit:>8}: util {self.utilization(unit):5.1%} "
+                f"busy {busy} cycles x{self.unit_instance_counts.get(unit, 1)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Tests for the application scaffolding (specs, frames, frequencies)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AlgorithmSpec,
+    CONTROL,
+    LOCALIZATION,
+    PLANNING,
+    RoboticApplication,
+    mobile_robot,
+)
+from repro.errors import GraphError
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import PriorFactor
+
+
+def tiny_builder(rng):
+    graph = FactorGraph([PriorFactor(X(0), np.array([1.0, 2.0]),
+                                     Isotropic(2, 0.1))])
+    values = Values({X(0): rng.standard_normal(2)})
+    return graph, values
+
+
+class TestConstruction:
+    def test_requires_algorithms(self):
+        with pytest.raises(GraphError):
+            RoboticApplication("empty", [])
+
+    def test_rejects_duplicate_names(self):
+        spec = AlgorithmSpec("loc", tiny_builder, 10.0)
+        with pytest.raises(GraphError):
+            RoboticApplication("dup", [spec, spec])
+
+    def test_spec_lookup_and_frequency(self):
+        app = RoboticApplication("one", [
+            AlgorithmSpec("loc", tiny_builder, 12.5)])
+        assert app.frequency("loc") == 12.5
+        with pytest.raises(GraphError):
+            app.spec("nav")
+
+    def test_builder_output_validated(self):
+        def broken(rng):
+            graph = FactorGraph([PriorFactor(X(0), np.zeros(2))])
+            return graph, Values()  # missing X(0)
+
+        app = RoboticApplication("broken", [
+            AlgorithmSpec("loc", broken, 1.0)])
+        with pytest.raises(GraphError):
+            app.build_graphs(seed=0)
+
+
+class TestFrameComposition:
+    def test_mobile_robot_rates(self):
+        app = mobile_robot()  # loc 10, plan 2, control 50 Hz
+        comp = app.frame_composition()
+        assert comp[LOCALIZATION] == 1
+        assert comp[CONTROL] == 5
+        assert comp[PLANNING] == 0
+        assert app.planning_period() == 5
+
+    def test_base_algorithm_always_once(self):
+        app = mobile_robot()
+        comp = app.frame_composition(base=CONTROL)
+        assert comp[CONTROL] == 1
+        assert comp[LOCALIZATION] == 0  # slower than the base rate
+
+    def test_planning_period_without_planning(self):
+        app = RoboticApplication("loc-only", [
+            AlgorithmSpec(LOCALIZATION, tiny_builder, 10.0)])
+        assert app.planning_period() == 1
+
+    def test_frame_includes_planning_when_asked(self):
+        app = mobile_robot()
+        with_planning = app.compile_frame(seed=0, include_planning=True)
+        tags = {i.algorithm for i in with_planning}
+        assert any(t.startswith(PLANNING) for t in tags)
+
+    def test_same_seed_same_frame(self):
+        app = mobile_robot()
+        a = app.compile_frame(seed=1)
+        b = app.compile_frame(seed=1)
+        assert len(a) == len(b)
+        assert [i.op for i in a] == [i.op for i in b]
+
+    def test_different_control_repeats_differ(self):
+        """Replicated control solves use distinct sensor data (seeds)."""
+        app = mobile_robot()
+        program = app.compile_frame(seed=0)
+        from repro.compiler import Opcode
+
+        by_stream = {}
+        for i in program.instructions:
+            if i.op is Opcode.CONST and i.algorithm.startswith("control"):
+                by_stream.setdefault(i.algorithm, []).append(
+                    np.asarray(i.meta["value"]).tobytes())
+        streams = list(by_stream.values())
+        assert len(streams) == 5
+        assert streams[0] != streams[1]

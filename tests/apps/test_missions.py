@@ -1,0 +1,59 @@
+"""Tests for the mission success-rate harness (Tbl. 5)."""
+
+import pytest
+
+from repro.apps.missions import (
+    APPLICATION_NAMES,
+    MissionResult,
+    ORIANNA_SOLVER,
+    REFERENCE_SOLVER,
+    run_mission,
+    success_rate,
+)
+
+
+class TestMissionResult:
+    def test_success_requires_all_stages(self):
+        r = MissionResult("x", 0, ORIANNA_SOLVER, True, True, True)
+        assert r.success
+        for flags in ((False, True, True), (True, False, True),
+                      (True, True, False)):
+            r = MissionResult("x", 0, ORIANNA_SOLVER, *flags)
+            assert not r.success
+
+
+class TestRunMission:
+    def test_deterministic(self):
+        a = run_mission("MobileRobot", 3)
+        b = run_mission("MobileRobot", 3)
+        assert a.success == b.success
+        assert a.localization_ok == b.localization_ok
+
+    def test_all_applications_runnable(self):
+        for app in APPLICATION_NAMES:
+            r = run_mission(app, 0)
+            assert isinstance(r.success, bool)
+
+    def test_unknown_solver_fails_closed(self):
+        # An invalid solver must not count as success.
+        r = run_mission("MobileRobot", 0, solver="quantum")
+        assert not r.success
+
+
+class TestSuccessRates:
+    """Small-sample sanity: most missions succeed on every application."""
+
+    @pytest.mark.parametrize("app", APPLICATION_NAMES)
+    def test_mostly_successful(self, app):
+        rate = success_rate(app, num_missions=5)
+        assert rate >= 0.6
+
+    def test_solvers_mostly_agree(self):
+        agreements = 0
+        total = 0
+        for seed in range(4):
+            a = run_mission("MobileRobot", seed, ORIANNA_SOLVER)
+            b = run_mission("MobileRobot", seed, REFERENCE_SOLVER)
+            agreements += a.success == b.success
+            total += 1
+        assert agreements >= total - 1

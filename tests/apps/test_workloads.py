@@ -1,0 +1,131 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import workloads
+from repro.apps.seeding import stable_seed
+from repro.geometry import Pose
+
+
+class TestSeeding:
+    def test_stable_across_calls(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_different_labels_differ(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("a", 1) != stable_seed("b", 1)
+
+    def test_in_32bit_range(self):
+        s = stable_seed("anything", 123, "more")
+        assert 0 <= s < 2**32
+
+
+class TestTrajectories:
+    def test_planar_length_and_type(self):
+        rng = np.random.default_rng(0)
+        traj = workloads.planar_trajectory(10, rng)
+        assert len(traj) == 10
+        assert all(p.n == 2 for p in traj)
+
+    def test_planar_moves_forward(self):
+        rng = np.random.default_rng(1)
+        traj = workloads.planar_trajectory(10, rng, step=1.0)
+        assert np.linalg.norm(traj[-1].t - traj[0].t) > 1.0
+
+    def test_spatial_length_and_type(self):
+        rng = np.random.default_rng(2)
+        traj = workloads.spatial_trajectory(8, rng)
+        assert len(traj) == 8
+        assert all(p.n == 3 for p in traj)
+
+    def test_deterministic_given_seed(self):
+        a = workloads.planar_trajectory(5, np.random.default_rng(3))
+        b = workloads.planar_trajectory(5, np.random.default_rng(3))
+        assert all(x.almost_equal(y) for x, y in zip(a, b))
+
+
+class TestSphere:
+    def test_layer_structure(self):
+        traj = workloads.sphere_trajectory(layers=4, points_per_layer=10,
+                                           radius=20.0)
+        assert len(traj) == 40
+        # All points lie on the sphere.
+        for p in traj:
+            assert np.linalg.norm(p.t) == pytest.approx(20.0, abs=1e-9)
+
+    def test_layers_ascend(self):
+        traj = workloads.sphere_trajectory(layers=3, points_per_layer=4)
+        z_per_layer = [traj[i * 4].t[2] for i in range(3)]
+        assert z_per_layer[0] > z_per_layer[1] > z_per_layer[2]
+
+    def test_each_layer_is_a_circle(self):
+        traj = workloads.sphere_trajectory(layers=2, points_per_layer=8)
+        ring = traj[:8]
+        radii = [np.linalg.norm(p.t[:2]) for p in ring]
+        assert np.allclose(radii, radii[0])
+
+
+class TestCorruption:
+    def test_first_pose_kept(self):
+        rng = np.random.default_rng(4)
+        truth = workloads.spatial_trajectory(6, rng)
+        noisy = workloads.corrupt_trajectory(truth, rng)
+        assert noisy[0].almost_equal(truth[0])
+
+    def test_noise_accumulates(self):
+        rng = np.random.default_rng(5)
+        truth = workloads.spatial_trajectory(30, rng, step=1.0)
+        noisy = workloads.corrupt_trajectory(truth, rng, 0.05, 0.2)
+        early = np.linalg.norm(noisy[3].t - truth[3].t)
+        late = np.linalg.norm(noisy[-1].t - truth[-1].t)
+        assert late > early
+
+    def test_zero_noise_is_exact(self):
+        rng = np.random.default_rng(6)
+        truth = workloads.planar_trajectory(5, rng)
+        noisy = workloads.corrupt_trajectory(truth, rng, 0.0, 0.0)
+        for a, b in zip(noisy, truth):
+            assert a.almost_equal(b, tol=1e-9)
+
+    def test_empty_input(self):
+        assert workloads.corrupt_trajectory([], np.random.default_rng(0)) == []
+
+
+class TestFieldsAndReferences:
+    def test_landmarks_in_front(self):
+        rng = np.random.default_rng(7)
+        truth = [Pose.identity(3)]
+        lm = workloads.landmark_field(truth, rng, 5)
+        assert len(lm) == 5
+        assert all(l.shape == (3,) for l in lm)
+
+    def test_obstacles_keep_start_goal_clear(self):
+        rng = np.random.default_rng(8)
+        field = workloads.obstacle_course(rng, 5, area=10.0)
+        assert field.signed_distance(np.zeros(2)) > 0.0
+        assert field.signed_distance(np.array([10.0, 0.0])) > 0.0
+
+    def test_reference_path_decays(self):
+        rng = np.random.default_rng(9)
+        ref = workloads.reference_path(10, 4, rng)
+        assert ref.horizon == 10
+        assert ref.state_dim == 4
+        assert np.linalg.norm(ref.states[-1]) < np.linalg.norm(ref.states[0])
+
+
+class TestAte:
+    def test_errors_and_stats(self):
+        truth = [Pose.identity(2), Pose.from_xytheta(1.0, 0.0, 0.0)]
+        est = [Pose.from_xytheta(0.0, 1.0, 0.0),
+               Pose.from_xytheta(1.0, 2.0, 0.0)]
+        errors = workloads.absolute_trajectory_errors(est, truth)
+        assert np.allclose(errors, [1.0, 2.0])
+        stats = workloads.ate_statistics(errors)
+        assert stats["max"] == pytest.approx(2.0)
+        assert stats["mean"] == pytest.approx(1.5)
+        assert stats["min"] == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            workloads.absolute_trajectory_errors([Pose.identity(2)], [])

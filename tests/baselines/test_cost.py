@@ -1,0 +1,84 @@
+"""Tests for the shared operation cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Opcode, compile_graph
+from repro.baselines import (
+    dense_backsub_cycles,
+    dense_backsub_flops,
+    dense_qr_cycles,
+    dense_qr_flops,
+    instruction_flops,
+    phase_flops,
+    program_flops,
+    program_op_count,
+)
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+
+
+def compiled(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+class TestInstructionFlops:
+    def test_consts_are_free(self):
+        c = compiled()
+        shapes = c.program.register_shapes
+        for instr in c.program:
+            if instr.op is Opcode.CONST:
+                assert instruction_flops(instr, shapes) == 0
+
+    def test_matmul_flops(self):
+        c = compiled()
+        shapes = c.program.register_shapes
+        for instr in c.program:
+            if instr.op is Opcode.RR:
+                a = shapes[instr.srcs[0]]
+                assert instruction_flops(instr, shapes) == 2 * a[0] ** 3
+
+    def test_every_instruction_has_a_model(self):
+        c = compiled()
+        shapes = c.program.register_shapes
+        for instr in c.program:
+            assert instruction_flops(instr, shapes) >= 0
+
+    def test_program_flops_positive_and_additive(self):
+        c = compiled()
+        total = program_flops(c.program)
+        per_phase = phase_flops(c.program)
+        assert total > 0
+        assert sum(per_phase.values()) == total
+
+    def test_op_count_excludes_consts(self):
+        c = compiled()
+        ops = program_op_count(c.program)
+        consts = sum(1 for i in c.program if i.op is Opcode.CONST)
+        assert ops + consts == len(c.program)
+
+
+class TestDenseCosts:
+    def test_qr_flops_grow_with_size(self):
+        assert dense_qr_flops(100, 60) > dense_qr_flops(50, 30)
+
+    def test_qr_cycles_grow_with_size(self):
+        assert dense_qr_cycles(100, 60) > dense_qr_cycles(50, 30)
+
+    def test_backsub_quadratic(self):
+        assert dense_backsub_flops(10) == 100
+        assert dense_backsub_cycles(20) > dense_backsub_cycles(10)
+
+    def test_known_dense_qr_magnitude(self):
+        # The paper's 147x90 localization matrix: flops ~ 2*90^2*(147-30).
+        flops = dense_qr_flops(147, 90)
+        assert 1_500_000 < flops < 2_500_000

@@ -1,0 +1,174 @@
+"""Tests for the CPU/GPU/VANILLA-HLS/STACK baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.apps import mobile_robot
+from repro.baselines import (
+    ARM,
+    GtsamLikeSolver,
+    INTEL,
+    ORIANNA_SW,
+    STACK_CONFIGS,
+    StackAccelerators,
+    TX1_GPU,
+    VanillaHls,
+    se3_construct_inflation,
+)
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.hw import AcceleratorConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def frame():
+    app = mobile_robot()
+    return app.compile_frame(seed=0)
+
+
+@pytest.fixture(scope="module")
+def orianna_result(frame):
+    from repro.compiler.isa import (
+        UNIT_BSUB, UNIT_MATMUL, UNIT_QR, UNIT_SPECIAL, UNIT_VECTOR,
+    )
+
+    config = AcceleratorConfig(unit_counts={
+        UNIT_MATMUL: 2, UNIT_VECTOR: 2, UNIT_SPECIAL: 1,
+        UNIT_QR: 3, UNIT_BSUB: 2,
+    })
+    return Simulator(config).run(frame, "ooo")
+
+
+class TestCpuModels:
+    def test_intel_faster_than_arm(self, frame):
+        assert INTEL.estimate(frame).time_s < ARM.estimate(frame).time_s
+
+    def test_orianna_accelerator_beats_both(self, frame, orianna_result):
+        t_acc = orianna_result.time_ms
+        assert INTEL.estimate(frame).time_ms > t_acc
+        assert ARM.estimate(frame).time_ms > 10 * t_acc
+
+    def test_intel_arm_gap_in_paper_range(self, frame):
+        ratio = ARM.estimate(frame).time_s / INTEL.estimate(frame).time_s
+        # The paper's numbers imply Intel ~8.2x faster than the A57.
+        assert 5.0 < ratio < 12.0
+
+    def test_orianna_sw_gains_under_ten_percent(self, frame):
+        # Unified pose in software alone: < 10% end-to-end (Sec. 7.3).
+        gain = INTEL.estimate(frame).time_s / ORIANNA_SW.estimate(frame).time_s
+        assert 1.0 < gain < 1.15
+
+    def test_se3_inflation_matches_mac_model(self):
+        inflation = se3_construct_inflation()
+        assert inflation > 1.5  # 52.7% savings -> ~2.1x inflation
+
+    def test_energy_positive(self, frame):
+        r = INTEL.estimate(frame)
+        assert r.energy_j == pytest.approx(r.time_s * INTEL.power_w)
+
+
+class TestGpuModel:
+    def test_between_arm_and_orianna(self, frame, orianna_result):
+        tg = TX1_GPU.estimate(frame).time_ms
+        assert orianna_result.time_ms < tg < ARM.estimate(frame).time_ms
+
+    def test_construct_phase_speedup_over_arm(self, frame):
+        """The paper: construction itself speeds up (up to 4.8x) on GPU."""
+        from repro.baselines.cpu import CpuModel
+        from repro.compiler.isa import PHASE_CONSTRUCT
+        from repro.baselines.cost import instruction_flops
+
+        shapes = frame.register_shapes
+        construct_flops = sum(
+            instruction_flops(i, shapes) for i in frame.instructions
+            if i.phase == PHASE_CONSTRUCT
+        )
+        construct_ops = sum(
+            1 for i in frame.instructions if i.phase == PHASE_CONSTRUCT
+        )
+        arm_construct = (construct_ops * ARM.op_overhead_ns * 1e-9
+                         + construct_flops / (ARM.effective_gflops * 1e9))
+        gpu_construct = TX1_GPU.construct_time_s(frame)
+        assert arm_construct / gpu_construct > 2.0
+
+    def test_solver_is_launch_bound(self, frame):
+        construct = TX1_GPU.construct_time_s(frame)
+        total = TX1_GPU.estimate(frame).time_s
+        assert total - construct > construct  # solve dominates
+
+
+class TestVanillaHls:
+    def test_slower_than_orianna(self, frame, orianna_result):
+        app = mobile_robot()
+        shapes = [g.linearize(v).shape()
+                  for g, v in app.build_graphs(seed=0).values()]
+        result = VanillaHls().estimate(frame, shapes)
+        assert result.time_ms > 5 * orianna_result.time_ms
+        assert result.energy_mj > 5 * orianna_result.energy_mj
+
+    def test_bigger_matrices_cost_more(self, frame):
+        small = VanillaHls().estimate(frame, [(50, 30)])
+        large = VanillaHls().estimate(frame, [(150, 90)])
+        assert large.cycles > small.cycles
+
+    def test_resources_exceed_orianna_minimal(self):
+        from repro.hw import minimal_config
+
+        assert VanillaHls().config.resources().dsp > (
+            minimal_config().resources().dsp
+        )
+
+
+class TestStack:
+    def build_per_algorithm(self):
+        app = mobile_robot()
+        out = {}
+        for name, (g, v) in app.build_graphs(seed=0).items():
+            out[name] = compile_graph(g, v, algorithm=name,
+                                      register_prefix=name).program
+        return out
+
+    def test_latency_is_max_energy_is_sum(self):
+        stack = StackAccelerators()
+        result = stack.estimate(self.build_per_algorithm())
+        assert result.time_s > 0
+        assert set(result.per_algorithm_ms) == {"localization", "planning",
+                                                "control"}
+        assert result.time_s * 1e3 == pytest.approx(
+            max(result.per_algorithm_ms.values())
+        )
+
+    def test_resources_sum_three_designs(self):
+        stack = StackAccelerators()
+        result = stack.estimate(self.build_per_algorithm())
+        single = STACK_CONFIGS["localization"].resources()
+        assert result.resources.dsp > 2 * single.dsp
+
+    def test_repeats_serialize_on_dedicated_unit(self):
+        per_alg = self.build_per_algorithm()
+        doubled = dict(per_alg)
+        doubled["control#1"] = per_alg["control"]
+        stack = StackAccelerators()
+        base = stack.estimate(per_alg)
+        more = stack.estimate(doubled)
+        assert more.per_algorithm_ms["control"] > (
+            base.per_algorithm_ms["control"]
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            StackAccelerators().config_for("perception")
+
+
+class TestGtsamLike:
+    def test_reference_solver_converges(self):
+        rng = np.random.default_rng(0)
+        truth = Pose.random(3, rng)
+        graph = FactorGraph([PriorFactor(X(0), truth, Isotropic(6, 0.01))])
+        initial = Values({X(0): truth.retract(0.3 * rng.standard_normal(6))})
+        result = GtsamLikeSolver().optimize(graph, initial)
+        assert result.converged
+        assert result.values.pose(X(0)).almost_equal(truth, tol=1e-4)

@@ -1,0 +1,216 @@
+"""End-to-end compiler tests: compiled programs vs the reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.compiler import (
+    Executor,
+    Opcode,
+    PHASE_BACKSUB,
+    PHASE_CONSTRUCT,
+    PHASE_DECOMPOSE,
+    compile_application,
+    compile_graph,
+)
+from repro.factorgraph import (
+    FactorGraph,
+    Isotropic,
+    U,
+    Values,
+    X,
+    Y,
+    min_degree_ordering,
+    solve,
+)
+from repro.factors import (
+    BetweenFactor,
+    CameraFactor,
+    ControlCostFactor,
+    DynamicsFactor,
+    GPSFactor,
+    PriorFactor,
+    SmoothnessFactor,
+    StateCostFactor,
+)
+from repro.geometry import Pose
+
+
+def pose_chain_problem(n=4, space=3, seed=0):
+    rng = np.random.default_rng(seed)
+    truth = [Pose.identity(space)]
+    for _ in range(n - 1):
+        truth.append(truth[-1].compose(Pose.random(space, rng, scale=0.5)))
+    graph = FactorGraph([PriorFactor(X(0), truth[0], Isotropic(truth[0].dim,
+                                                               1e-2))])
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                truth[i + 1].ominus(truth[i])))
+    values = Values()
+    dim = truth[0].dim
+    for i, t in enumerate(truth):
+        values.insert(X(i), t.retract(0.1 * rng.standard_normal(dim)))
+    return graph, values
+
+
+def slam_problem(seed=1):
+    """Poses + GPS + camera landmarks: mixes MO-DFG and EMBED factors."""
+    rng = np.random.default_rng(seed)
+    graph, values = pose_chain_problem(3, space=3, seed=seed)
+    from repro.factors import PinholeCamera
+
+    cam = PinholeCamera()
+    for j in range(2):
+        landmark = np.array([0.5 * j, -0.3, 6.0])
+        values.insert(Y(j), landmark + 0.1 * rng.standard_normal(3))
+        for i in range(3):
+            pose = values.pose(X(i))
+            p_cam = pose.rotation.T @ (landmark - pose.t)
+            if p_cam[2] > 0.5:
+                graph.add(CameraFactor(X(i), Y(j), cam.project(p_cam), cam))
+    graph.add(GPSFactor(X(1), values.pose(X(1)).t + 0.05))
+    return graph, values
+
+
+def assert_compiled_matches_reference(graph, values, ordering=None):
+    linear = graph.linearize(values)
+    if ordering is None:
+        ordering = min_degree_ordering(linear)
+    expected, _ = solve(linear, ordering)
+    compiled = compile_graph(graph, values, ordering)
+    registers = Executor().run(compiled.program)
+    solution = compiled.extract_solution(registers)
+    assert set(solution) == set(expected)
+    for k in expected:
+        assert np.allclose(solution[k], expected[k], atol=1e-8), (
+            f"compiled delta for {k}: {solution[k]} vs {expected[k]}"
+        )
+    return compiled
+
+
+class TestCompiledSolveMatchesReference:
+    def test_pose_chain_3d(self):
+        graph, values = pose_chain_problem(5, space=3)
+        assert_compiled_matches_reference(graph, values)
+
+    def test_pose_chain_2d(self):
+        graph, values = pose_chain_problem(5, space=2, seed=3)
+        assert_compiled_matches_reference(graph, values)
+
+    def test_slam_mixed_factors(self):
+        graph, values = slam_problem()
+        assert_compiled_matches_reference(graph, values)
+
+    def test_lqr_control_graph(self):
+        a = np.array([[1.0, 0.2], [0.0, 1.0]])
+        b = np.array([[0.02], [0.2]])
+        graph = FactorGraph([PriorFactor(X(0), np.array([1.0, 0.0]),
+                                         Isotropic(2, 1e-3))])
+        values = Values({X(0): np.array([1.0, 0.0])})
+        for k in range(4):
+            graph.add(DynamicsFactor(X(k), U(k), X(k + 1), a, b,
+                                     Isotropic(2, 1e-3)))
+            graph.add(ControlCostFactor(U(k), 1))
+            graph.add(StateCostFactor(X(k + 1), np.zeros(2)))
+            values.insert(U(k), np.zeros(1))
+            values.insert(X(k + 1), np.zeros(2))
+        assert_compiled_matches_reference(graph, values)
+
+    def test_planning_graph(self):
+        graph = FactorGraph()
+        values = Values()
+        for i in range(5):
+            values.insert(X(i), np.array([i * 1.0, 0.0, 1.0, 0.0]))
+        for i in range(4):
+            graph.add(SmoothnessFactor(X(i), X(i + 1), dof=2, dt=1.0))
+        graph.add(PriorFactor(X(0), np.array([0.0, 0.0, 1.0, 0.0]),
+                              Isotropic(4, 1e-2)))
+        graph.add(PriorFactor(X(4), np.array([4.0, 1.0, 1.0, 0.0]),
+                              Isotropic(4, 1e-2)))
+        assert_compiled_matches_reference(graph, values)
+
+    def test_any_ordering_gives_same_solution(self):
+        graph, values = pose_chain_problem(4, space=3, seed=7)
+        keys = [X(i) for i in range(4)]
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            order = list(keys)
+            rng.shuffle(order)
+            assert_compiled_matches_reference(graph, values, order)
+
+
+class TestProgramStructure:
+    def test_phases_present(self):
+        graph, values = pose_chain_problem(3)
+        compiled = compile_graph(graph, values)
+        phases = compiled.program.count_by_phase()
+        assert phases[PHASE_CONSTRUCT] > 0
+        assert phases[PHASE_DECOMPOSE] == 3   # one QR per variable
+        assert phases[PHASE_BACKSUB] == 3     # one BSUB per variable
+
+    def test_qr_metadata_shapes(self):
+        graph, values = pose_chain_problem(3)
+        compiled = compile_graph(graph, values)
+        qrs = [i for i in compiled.program if i.op is Opcode.QR]
+        for qr in qrs:
+            assert qr.meta["frontal_dim"] == 6
+            total = qr.meta["total_cols"]
+            assert total >= 6
+            assert all(len(s["cols"]) >= 1 for s in qr.meta["sources"])
+
+    def test_ordering_must_cover_keys(self):
+        graph, values = pose_chain_problem(3)
+        with pytest.raises(CompileError):
+            compile_graph(graph, values, ordering=[X(0), X(1)])
+
+    def test_critical_path_shorter_than_program(self):
+        graph, values = pose_chain_problem(5)
+        compiled = compile_graph(graph, values)
+        nontrivial = [i for i in compiled.program
+                      if i.op is not Opcode.CONST]
+        assert compiled.program.critical_path_length() < len(nontrivial)
+
+    def test_under_constrained_variable_rejected(self):
+        graph = FactorGraph([
+            # One scalar row cannot determine a 6-dof pose.
+            GPSFactor(X(0), np.zeros(3)),
+        ])
+        values = Values({X(0): Pose.identity(3)})
+        with pytest.raises(CompileError):
+            compile_graph(graph, values, ordering=[X(0)])
+
+
+class TestApplicationMerge:
+    def build(self):
+        loc_graph, loc_values = pose_chain_problem(3, seed=11)
+        plan_graph = FactorGraph()
+        plan_values = Values()
+        for i in range(3):
+            plan_values.insert(X(i), np.array([i * 1.0, 0.0, 1.0, 0.0]))
+        for i in range(2):
+            plan_graph.add(SmoothnessFactor(X(i), X(i + 1), dof=2, dt=1.0))
+        plan_graph.add(PriorFactor(X(0), np.zeros(4), Isotropic(4, 1e-2)))
+        plan_graph.add(PriorFactor(X(2), np.array([2.0, 0.0, 1.0, 0.0]),
+                                   Isotropic(4, 1e-2)))
+        return {
+            "localization": (loc_graph, loc_values),
+            "planning": (plan_graph, plan_values),
+        }
+
+    def test_merged_program_tags_algorithms(self):
+        merged = compile_application(self.build())
+        algorithms = {i.algorithm for i in merged}
+        assert algorithms == {"localization", "planning"}
+
+    def test_no_cross_algorithm_dependencies(self):
+        """Register namespaces are disjoint: coarse-grained OoO is legal."""
+        merged = compile_application(self.build())
+        deps = merged.dependencies()
+        tag = {i.uid: i.algorithm for i in merged}
+        for uid, preds in deps.items():
+            for p in preds:
+                assert tag[p] == tag[uid]
+
+    def test_merged_program_executes(self):
+        merged = compile_application(self.build())
+        Executor().run(merged)  # no exception: all registers resolve

@@ -1,0 +1,124 @@
+"""Tests for user-customized expression factors (Sec. 5.1, Equ. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.compiler import (
+    ExpressionFactor,
+    OMinus,
+    PoseConst,
+    PoseVar,
+    VecAdd,
+    VecConst,
+    VecVar,
+    pose_error,
+)
+from repro.factorgraph import (
+    FactorGraph,
+    Isotropic,
+    Values,
+    X,
+    numerical_jacobian,
+)
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+
+
+def between_expression(k1, k2, measured):
+    xi, xj = PoseVar(k1, measured.n), PoseVar(k2, measured.n)
+    z = PoseConst("z", measured)
+    return pose_error(OMinus(OMinus(xi, xj), z))
+
+
+class TestEquivalenceWithLibraryFactor:
+    def test_error_matches_between_factor(self):
+        rng = np.random.default_rng(0)
+        z = Pose.random(3, rng)
+        custom = ExpressionFactor([X(0), X(1)], between_expression(X(0), X(1), z))
+        library = BetweenFactor(X(0), X(1), z)
+        v = Values({X(0): Pose.random(3, rng), X(1): Pose.random(3, rng)})
+        assert np.allclose(custom.unwhitened_error(v),
+                           library.unwhitened_error(v), atol=1e-12)
+
+    def test_jacobians_match_between_factor(self):
+        rng = np.random.default_rng(1)
+        z = Pose.random(3, rng)
+        custom = ExpressionFactor([X(0), X(1)], between_expression(X(0), X(1), z))
+        library = BetweenFactor(X(0), X(1), z)
+        v = Values({X(0): Pose.random(3, rng), X(1): Pose.random(3, rng)})
+        for a, b in zip(custom.jacobians(v), library.jacobians(v)):
+            assert np.allclose(a, b, atol=1e-9)
+
+    def test_jacobians_match_2d(self):
+        rng = np.random.default_rng(2)
+        z = Pose.random(2, rng)
+        custom = ExpressionFactor([X(0), X(1)], between_expression(X(0), X(1), z))
+        v = Values({X(0): Pose.random(2, rng), X(1): Pose.random(2, rng)})
+        for key, block in zip(custom.keys, custom.jacobians(v)):
+            numeric = numerical_jacobian(custom, v, key)
+            assert np.allclose(block, numeric, atol=1e-5)
+
+
+class TestCustomErrors:
+    def test_vector_expression_factor(self):
+        # e = x - m: a hand-rolled prior via the expression API.
+        target = np.array([2.0, -1.0])
+        f = ExpressionFactor(
+            [X(0)],
+            [VecAdd(VecVar(X(0), 2), VecConst("m", target), sign=-1)],
+        )
+        v = Values({X(0): np.array([3.0, 0.0])})
+        assert np.allclose(f.unwhitened_error(v), [1.0, 1.0])
+        assert np.allclose(f.jacobians(v)[0], np.eye(2))
+
+    def test_unused_key_gets_zero_block(self):
+        target = np.zeros(2)
+        f = ExpressionFactor(
+            [X(0), X(1)],
+            [VecAdd(VecVar(X(0), 2), VecConst("m", target), sign=-1)],
+        )
+        v = Values({X(0): np.ones(2), X(1): np.ones(3)})
+        jacs = f.jacobians(v)
+        assert np.allclose(jacs[0], np.eye(2))
+        assert jacs[1].shape == (2, 3)
+        assert np.allclose(jacs[1], 0.0)
+
+    def test_expression_keys_must_be_declared(self):
+        with pytest.raises(CompileError):
+            ExpressionFactor([X(0)],
+                             [VecAdd(VecVar(X(1), 2),
+                                     VecConst("m", np.zeros(2)), sign=-1)])
+
+    def test_noise_dim_checked(self):
+        with pytest.raises(CompileError):
+            ExpressionFactor([X(0)], [VecVar(X(0), 3)], Isotropic(2, 1.0))
+
+    def test_optimization_with_custom_factor(self):
+        """A pose-graph built purely from expression factors converges."""
+        rng = np.random.default_rng(3)
+        truth = [Pose.identity(3)]
+        for _ in range(3):
+            truth.append(truth[-1].compose(Pose.random(3, rng, scale=0.4)))
+
+        graph = FactorGraph([PriorFactor(X(0), truth[0], Isotropic(6, 1e-3))])
+        for i in range(3):
+            z = truth[i + 1].ominus(truth[i])
+            graph.add(ExpressionFactor(
+                [X(i + 1), X(i)],
+                between_expression(X(i + 1), X(i), z),
+                Isotropic(6, 0.1),
+            ))
+
+        initial = Values({X(0): truth[0]})
+        for i in range(1, 4):
+            initial.insert(X(i), truth[i].retract(0.2 * rng.standard_normal(6)))
+        result = graph.optimize(initial)
+        assert result.converged
+        for i, t in enumerate(truth):
+            assert result.values.pose(X(i)).almost_equal(t, tol=1e-5)
+
+    def test_components_property(self):
+        f = ExpressionFactor([X(0)], [VecVar(X(0), 2)])
+        assert len(f.components) == 1
+        assert f.modfg.error_dim == 2

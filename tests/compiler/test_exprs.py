@@ -1,0 +1,171 @@
+"""Tests for the expression IR and lowering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.compiler import (
+    LogMap,
+    Lowering,
+    OMinus,
+    OPlus,
+    PoseConst,
+    PoseVar,
+    RotConst,
+    RotRot,
+    RotT,
+    RotVar,
+    RotVec,
+    TransVar,
+    VecAdd,
+    VecConst,
+    VecVar,
+    pose_error,
+    topological_order,
+    vector_error,
+)
+from repro.factorgraph import X
+from repro.geometry import Pose
+
+
+class TestNodeValidation:
+    def test_rot_var_dims(self):
+        assert RotVar(X(0), 3).tangent_dim == 3
+        assert RotVar(X(0), 2).tangent_dim == 1
+        with pytest.raises(CompileError):
+            RotVar(X(0), 4)
+
+    def test_vec_var_dim(self):
+        assert VecVar(X(0), 5).tangent_dim == 5
+        with pytest.raises(CompileError):
+            VecVar(X(0), 0)
+
+    def test_rot_const_shape(self):
+        RotConst("r", np.eye(3))
+        with pytest.raises(CompileError):
+            RotConst("r", np.eye(4))
+
+    def test_vec_const_shape(self):
+        with pytest.raises(CompileError):
+            VecConst("v", np.eye(2))
+
+    def test_rr_requires_matching_rotations(self):
+        with pytest.raises(CompileError):
+            RotRot(RotVar(X(0), 3), RotVar(X(1), 2))
+        with pytest.raises(CompileError):
+            RotRot(RotVar(X(0), 3), VecVar(X(1), 3))
+
+    def test_rv_requires_matching_dims(self):
+        with pytest.raises(CompileError):
+            RotVec(RotVar(X(0), 3), VecVar(X(1), 2))
+
+    def test_vp_validation(self):
+        a, b = VecVar(X(0), 3), VecVar(X(1), 3)
+        with pytest.raises(CompileError):
+            VecAdd(a, VecVar(X(2), 2))
+        with pytest.raises(CompileError):
+            VecAdd(a, b, sign=2)
+
+    def test_log_exp_types(self):
+        assert LogMap(RotVar(X(0), 3)).n == 3
+        assert LogMap(RotVar(X(0), 2)).n == 1
+        with pytest.raises(CompileError):
+            LogMap(VecVar(X(0), 3))
+
+    def test_pose_var_dims(self):
+        with pytest.raises(CompileError):
+            PoseVar(X(0), 5)
+
+    def test_pose_const_requires_pose(self):
+        with pytest.raises(CompileError):
+            PoseConst("z", np.zeros(3))
+
+    def test_pose_ops_require_same_space(self):
+        with pytest.raises(CompileError):
+            OPlus(PoseVar(X(0), 2), PoseVar(X(1), 3))
+        with pytest.raises(CompileError):
+            OMinus(PoseVar(X(0), 2), PoseVar(X(1), 3))
+
+
+class TestTopologicalOrder:
+    def test_children_before_parents(self):
+        a = RotVar(X(0), 3)
+        b = RotT(a)
+        c = RotRot(b, a)
+        order = topological_order([c])
+        assert order.index(a) < order.index(b) < order.index(c)
+
+    def test_shared_nodes_visited_once(self):
+        a = RotVar(X(0), 3)
+        t = RotT(a)
+        c = RotRot(t, t)
+        order = topological_order([c])
+        assert sum(1 for n in order if n is t) == 1
+
+    def test_multiple_outputs(self):
+        a = VecVar(X(0), 3)
+        e1 = VecAdd(a, VecConst("m", np.zeros(3)), -1)
+        e2 = VecAdd(a, VecConst("n", np.ones(3)), -1)
+        order = topological_order([e1, e2])
+        assert sum(1 for n in order if n is a) == 1
+
+
+class TestLowering:
+    def test_ominus_matches_equ4_structure(self):
+        """Lowering (x_i (-) x_j) (-) z produces Equ. 4's operator tree."""
+        xi, xj = PoseVar(X(1), 3), PoseVar(X(2), 3)
+        z = PoseConst("z", Pose.identity(3))
+        components = pose_error(OMinus(OMinus(xi, xj), z))
+        e_o, e_p = components
+        # e_o = Log(RR(RT(zR), RR(RT(Rj), Ri)))
+        assert isinstance(e_o, LogMap)
+        outer = e_o.r
+        assert isinstance(outer, RotRot)
+        assert isinstance(outer.a, RotT)       # dR^T
+        inner = outer.b
+        assert isinstance(inner, RotRot)
+        assert isinstance(inner.a, RotT)       # Rj^T
+        assert isinstance(inner.a.a, RotVar) and inner.a.a.key == X(2)
+        assert isinstance(inner.b, RotVar) and inner.b.key == X(1)
+        # e_p = RV(dR^T, VP(RV(Rj^T, ti - tj), -dt))
+        assert isinstance(e_p, RotVec)
+
+    def test_subexpression_sharing(self):
+        """R_j^T is shared between the orientation and position errors."""
+        xi, xj = PoseVar(X(1), 3), PoseVar(X(2), 3)
+        z = PoseConst("z", Pose.identity(3))
+        e_o, e_p = pose_error(OMinus(OMinus(xi, xj), z))
+        nodes = topological_order([e_o, e_p])
+        transposes = [n for n in nodes
+                      if isinstance(n, RotT) and isinstance(n.a, RotVar)]
+        assert len(transposes) == 1  # one shared Rj^T node
+
+    def test_double_transpose_collapses(self):
+        lowering = Lowering()
+        a = RotVar(X(0), 3)
+        t = lowering.transpose(a)
+        assert lowering.transpose(t) is a
+
+    def test_oplus_lowering(self):
+        a, b = PoseVar(X(0), 3), PoseVar(X(1), 3)
+        lowering = Lowering()
+        rot, trans = lowering.lower_pose(OPlus(a, b))
+        assert isinstance(rot, RotRot)
+        assert isinstance(trans, VecAdd) and trans.sign == 1
+        assert isinstance(trans.b, RotVec)
+
+    def test_lower_pose_caches(self):
+        a, b = PoseVar(X(0), 3), PoseVar(X(1), 3)
+        expr = OMinus(a, b)
+        lowering = Lowering()
+        first = lowering.lower_pose(expr)
+        second = lowering.lower_pose(expr)
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_vector_error_validation(self):
+        with pytest.raises(CompileError):
+            vector_error()
+        with pytest.raises(CompileError):
+            vector_error(RotVar(X(0), 3))
+        comps = vector_error(VecVar(X(0), 2))
+        assert len(comps) == 1

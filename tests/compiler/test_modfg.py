@@ -1,0 +1,195 @@
+"""Tests for MO-DFG emission: compiled errors/Jacobians vs references.
+
+These are the compiler's core correctness tests: for every library factor
+with an expression template, the compiled instruction stream (executed by
+the functional executor) must reproduce the factor's residual and its
+analytic Jacobians exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.compiler import (
+    Executor,
+    MoDFG,
+    ModfgEmitter,
+    Opcode,
+    PHASE_CONSTRUCT,
+    Program,
+    compile_factor,
+    factor_expression,
+)
+from repro.compiler.codegen import RowBlock
+from repro.factorgraph import U, Values, X, Y
+from repro.factors import (
+    BetweenFactor,
+    CameraFactor,
+    ControlCostFactor,
+    DynamicsFactor,
+    GoalFactor,
+    GPSFactor,
+    PriorFactor,
+    SmoothnessFactor,
+    StateCostFactor,
+)
+from repro.geometry import Pose
+
+
+def run_factor(factor, values):
+    """Compile one factor and execute; return its assembled row block."""
+    program = Program()
+    block = compile_factor(factor, program, values)
+    registers = Executor().run(program)
+    return program, block, registers[block.reg]
+
+
+def reference_row(factor, values, block: RowBlock):
+    """The row block the direct numpy linearization would produce."""
+    gaussian = factor.linearize(values)
+    width = max(s + d for s, d in block.cols.values())
+    out = np.zeros((gaussian.rows, width + 1))
+    for key, (start, dim) in block.cols.items():
+        out[:, start : start + dim] = gaussian.block(key)
+    out[:, -1] = gaussian.rhs
+    return out
+
+
+class TestExpressionTemplates:
+    def check(self, factor, values, atol=1e-9):
+        program, block, compiled = run_factor(factor, values)
+        expected = reference_row(factor, values, block)
+        assert compiled.shape == expected.shape
+        assert np.allclose(compiled, expected, atol=atol), (
+            f"compiled row block mismatch:\n{compiled}\nvs\n{expected}"
+        )
+        return program
+
+    def test_between_3d(self):
+        rng = np.random.default_rng(0)
+        f = BetweenFactor(X(0), X(1), Pose.random(3, rng))
+        v = Values({X(0): Pose.random(3, rng), X(1): Pose.random(3, rng)})
+        program = self.check(f, v)
+        # A true MO-DFG was emitted: Tbl. 3 primitives present, no EMBED.
+        counts = program.count_by_opcode()
+        assert counts.get(Opcode.EMBED, 0) == 0
+        assert counts[Opcode.RR] >= 2
+        assert counts[Opcode.LOG] == 1
+        assert counts[Opcode.JRINV] == 1
+        assert counts[Opcode.SKEW] >= 1
+
+    def test_between_2d(self):
+        rng = np.random.default_rng(1)
+        f = BetweenFactor(X(0), X(1), Pose.random(2, rng))
+        v = Values({X(0): Pose.random(2, rng), X(1): Pose.random(2, rng)})
+        self.check(f, v)
+
+    def test_pose_prior_3d(self):
+        rng = np.random.default_rng(2)
+        f = PriorFactor(X(0), Pose.random(3, rng))
+        self.check(f, Values({X(0): Pose.random(3, rng)}))
+
+    def test_pose_prior_2d(self):
+        f = PriorFactor(X(0), Pose.from_xytheta(1.0, -2.0, 0.7))
+        self.check(f, Values({X(0): Pose.from_xytheta(0.4, 0.1, -0.3)}))
+
+    def test_vector_prior(self):
+        f = PriorFactor(X(0), np.array([1.0, 2.0, 3.0]))
+        self.check(f, Values({X(0): np.array([0.5, 0.5, 0.5])}))
+
+    def test_gps_2d(self):
+        f = GPSFactor(X(0), np.array([3.0, 4.0]))
+        self.check(f, Values({X(0): Pose.from_xytheta(1.0, 1.0, 0.8)}))
+
+    def test_gps_3d(self):
+        rng = np.random.default_rng(3)
+        f = GPSFactor(X(0), rng.standard_normal(3))
+        self.check(f, Values({X(0): Pose.random(3, rng)}))
+
+    def test_dynamics(self):
+        a = np.array([[1.0, 0.1], [0.0, 1.0]])
+        b = np.array([[0.005], [0.1]])
+        f = DynamicsFactor(X(0), U(0), X(1), a, b)
+        rng = np.random.default_rng(4)
+        v = Values({X(0): rng.standard_normal(2), U(0): rng.standard_normal(1),
+                    X(1): rng.standard_normal(2)})
+        self.check(f, v)
+
+    def test_state_and_control_cost(self):
+        rng = np.random.default_rng(5)
+        self.check(StateCostFactor(X(0), rng.standard_normal(3)),
+                   Values({X(0): rng.standard_normal(3)}))
+        self.check(ControlCostFactor(U(0), 2),
+                   Values({U(0): rng.standard_normal(2)}))
+
+    def test_smoothness(self):
+        f = SmoothnessFactor(X(0), X(1), dof=2, dt=0.3)
+        rng = np.random.default_rng(6)
+        v = Values({X(0): rng.standard_normal(4), X(1): rng.standard_normal(4)})
+        self.check(f, v)
+
+    def test_goal(self):
+        f = GoalFactor(X(0), np.array([1.0, -1.0]), dof=2)
+        rng = np.random.default_rng(7)
+        self.check(f, Values({X(0): rng.standard_normal(4)}))
+
+
+class TestEmbeddedFactors:
+    def test_camera_compiles_to_embed(self):
+        cam_factor = CameraFactor(X(0), Y(0), np.array([320.0, 240.0]))
+        assert factor_expression(cam_factor) is None
+        v = Values({X(0): Pose.identity(3), Y(0): np.array([0.1, 0.2, 5.0])})
+        program, block, compiled = run_factor(cam_factor, v)
+        counts = program.count_by_opcode()
+        assert counts[Opcode.EMBED] == 1
+        expected = reference_row(cam_factor, v, block)
+        assert np.allclose(compiled, expected)
+
+
+class TestModfgStructure:
+    def test_error_dim(self):
+        f = BetweenFactor(X(0), X(1), Pose.identity(3))
+        dfg = MoDFG(factor_expression(f))
+        assert dfg.error_dim == 6
+        # Leaf order is DAG-traversal order (R_j^T is visited before R_i);
+        # only the set matters to codegen.
+        assert set(dfg.leaf_keys()) == {X(0), X(1)}
+
+    def test_rejects_rotation_component(self):
+        from repro.compiler import RotVar
+
+        with pytest.raises(CompileError):
+            MoDFG([RotVar(X(0), 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(CompileError):
+            MoDFG([])
+
+    def test_levels_expose_parallelism(self):
+        """Instructions in the same BFS level are independent (Fig. 11)."""
+        rng = np.random.default_rng(8)
+        f = BetweenFactor(X(0), X(1), Pose.random(3, rng))
+        v = Values({X(0): Pose.random(3, rng), X(1): Pose.random(3, rng)})
+        program, _, _ = run_factor(f, v)
+        levels = program.levels()
+        deps = program.dependencies()
+        by_level = {}
+        for uid, lv in levels.items():
+            by_level.setdefault(lv, []).append(uid)
+        for lv, uids in by_level.items():
+            if lv == 0:
+                continue
+            for a in uids:
+                for b in uids:
+                    assert b not in deps[a], (
+                        f"same-level instructions {a}, {b} are dependent"
+                    )
+
+    def test_backward_requires_forward(self):
+        f = BetweenFactor(X(0), X(1), Pose.identity(3))
+        dfg = MoDFG(factor_expression(f))
+        program = Program()
+        v = Values({X(0): Pose.identity(3), X(1): Pose.identity(3)})
+        emitter = ModfgEmitter(program, v, PHASE_CONSTRUCT)
+        with pytest.raises(CompileError):
+            emitter.emit_backward(dfg, dfg.components[0])

@@ -1,0 +1,110 @@
+"""Tests for the Sec. 6.3 out-of-order structure claims.
+
+The compiled dependency graph must expose exactly the reordering freedom
+the paper describes: independent variable eliminations (no shared adjacent
+factors) and sibling back substitutions (same parent) carry no mutual
+dependencies.
+"""
+
+import numpy as np
+
+from repro.compiler import Opcode, compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X, Y
+from repro.factors import CameraFactor, IMUFactor, PinholeCamera, PriorFactor
+from repro.geometry import Pose
+
+
+def fig4_style_problem():
+    """Two landmarks observed from disjoint poses, like y1/y2 in Fig. 5."""
+    camera = PinholeCamera()
+    rng = np.random.default_rng(0)
+    poses = [Pose.identity(3)]
+    for _ in range(3):
+        poses.append(poses[-1].compose(
+            Pose(np.zeros(3), np.array([0.4, 0.0, 0.0]))))
+    landmarks = [np.array([0.3, -0.2, 5.0]), np.array([1.5, 0.2, 6.0])]
+
+    graph = FactorGraph([PriorFactor(X(0), poses[0], Isotropic(6, 1e-3))])
+    values = Values({X(0): poses[0]})
+    for i in range(3):
+        graph.add(IMUFactor(X(i), X(i + 1), poses[i + 1].ominus(poses[i])))
+        values.insert(X(i + 1),
+                      poses[i + 1].retract(0.02 * rng.standard_normal(6)))
+    # y0 seen only from x0/x1; y1 only from x2/x3 -> no common factors.
+    for j, (landmark, views) in enumerate(zip(landmarks,
+                                              [(0, 1), (2, 3)])):
+        values.insert(Y(j), landmark + 0.05 * rng.standard_normal(3))
+        for i in views:
+            pixel = camera.project(
+                poses[i].rotation.T @ (landmark - poses[i].t))
+            graph.add(CameraFactor(X(i), Y(j), pixel, camera))
+    return graph, values
+
+
+def transitive_dependents(program, root_uid):
+    deps = program.dependencies()
+    children = {}
+    for uid, preds in deps.items():
+        for p in preds:
+            children.setdefault(p, set()).add(uid)
+    seen = set()
+    stack = [root_uid]
+    while stack:
+        uid = stack.pop()
+        for child in children.get(uid, ()):
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return seen
+
+
+class TestEliminationReordering:
+    def test_independent_landmark_eliminations_have_no_dependency(self):
+        """Variables without shared adjacent factors eliminate OoO."""
+        graph, values = fig4_style_problem()
+        ordering = [Y(0), Y(1), X(0), X(1), X(2), X(3)]
+        compiled = compile_graph(graph, values, ordering)
+        qrs = {i.meta["variable"]: i for i in compiled.program
+               if i.op is Opcode.QR}
+        y0_downstream = transitive_dependents(compiled.program,
+                                              qrs["y0"].uid)
+        assert qrs["y1"].uid not in y0_downstream
+        y1_downstream = transitive_dependents(compiled.program,
+                                              qrs["y1"].uid)
+        assert qrs["y0"].uid not in y1_downstream
+
+    def test_chained_pose_eliminations_are_dependent(self):
+        """Consecutive poses share factors: their QRs must serialize."""
+        graph, values = fig4_style_problem()
+        ordering = [Y(0), Y(1), X(0), X(1), X(2), X(3)]
+        compiled = compile_graph(graph, values, ordering)
+        qrs = {i.meta["variable"]: i for i in compiled.program
+               if i.op is Opcode.QR}
+        x0_downstream = transitive_dependents(compiled.program,
+                                              qrs["x0"].uid)
+        assert qrs["x1"].uid in x0_downstream
+
+
+class TestBackSubstitutionReordering:
+    def test_sibling_backsubs_independent(self):
+        """Variables sharing the same parent back-substitute OoO."""
+        graph, values = fig4_style_problem()
+        ordering = [Y(0), Y(1), X(0), X(1), X(2), X(3)]
+        compiled = compile_graph(graph, values, ordering)
+        bsubs = {i.meta["variable"]: i for i in compiled.program
+                 if i.op is Opcode.BSUB}
+        # y0 and y1 both depend only on pose solutions, not each other.
+        y0_downstream = transitive_dependents(compiled.program,
+                                              bsubs["y0"].uid)
+        assert bsubs["y1"].uid not in y0_downstream
+
+    def test_child_backsub_depends_on_parent(self):
+        """Fig. 6: solving x2 requires the solution of x3."""
+        graph, values = fig4_style_problem()
+        ordering = [Y(0), Y(1), X(0), X(1), X(2), X(3)]
+        compiled = compile_graph(graph, values, ordering)
+        bsubs = {i.meta["variable"]: i for i in compiled.program
+                 if i.op is Opcode.BSUB}
+        deps = compiled.program.dependencies()
+        # x2 was eliminated before x3, so x3 is x2's parent.
+        assert bsubs["x3"].uid in deps[bsubs["x2"].uid]

@@ -1,0 +1,150 @@
+"""Tests for the CSE/DCE optimization passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import Executor, Opcode, compile_graph
+from repro.compiler.passes import (
+    common_subexpression_elimination,
+    dead_code_elimination,
+    optimize_program,
+)
+from repro.factorgraph import (
+    FactorGraph,
+    Isotropic,
+    Values,
+    X,
+    min_degree_ordering,
+    solve,
+)
+from repro.factors import BetweenFactor, GPSFactor, PriorFactor
+from repro.geometry import Pose
+
+
+def star_problem(num_factors=4, seed=0):
+    """Many factors adjacent to one pose: maximal Exp(phi) sharing."""
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 0.1))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(num_factors):
+        graph.add(BetweenFactor(X(i + 1), X(0),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+        graph.add(GPSFactor(X(i + 1), rng.standard_normal(3),
+                            Isotropic(3, 0.5)))
+    return graph, values
+
+
+class TestCse:
+    def test_shared_pose_rotation_computed_once(self):
+        """Exp(phi_x0) must appear once, not once per adjacent factor."""
+        graph, values = star_problem()
+        compiled = compile_graph(graph, values)
+        before = compiled.program
+        after = common_subexpression_elimination(before)
+
+        def exp_count(program):
+            # EXPs whose source is the x0 phi constant.
+            phi = values.pose(X(0)).phi
+            producers = {}
+            for instr in program.instructions:
+                if instr.op is Opcode.CONST:
+                    v = np.asarray(instr.meta["value"])
+                    if v.shape == (3,) and np.array_equal(v, phi):
+                        producers[instr.dsts[0]] = True
+            return sum(1 for i in program.instructions
+                       if i.op is Opcode.EXP and i.srcs[0] in producers)
+
+        assert exp_count(before) >= 5   # prior + 4 between factors
+        assert exp_count(after) == 1
+
+    def test_reduces_instruction_count(self):
+        graph, values = star_problem()
+        compiled = compile_graph(graph, values)
+        after = common_subexpression_elimination(compiled.program)
+        assert len(after) < len(compiled.program)
+
+    def test_semantics_preserved(self):
+        graph, values = star_problem()
+        compiled = compile_graph(graph, values)
+        expected = compiled.extract_solution(
+            Executor().run(compiled.program))
+        optimized = compiled.optimized()
+        result = optimized.extract_solution(
+            Executor().run(optimized.program))
+        for key in expected:
+            assert np.allclose(result[key], expected[key], atol=1e-12)
+
+    def test_never_merges_across_algorithms(self):
+        from repro.compiler import compile_application
+
+        graph, values = star_problem(2)
+        merged = compile_application({
+            "a": (graph, values),
+            "b": (graph, values),   # identical workload, distinct stream
+        })
+        after = common_subexpression_elimination(merged)
+        tags = {i.algorithm for i in after if i.op is Opcode.QR}
+        assert tags == {"a", "b"}
+        deps = after.dependencies()
+        tag = {i.uid: i.algorithm for i in after}
+        for uid, preds in deps.items():
+            for p in preds:
+                assert tag[p] == tag[uid]
+
+
+class TestDce:
+    def test_drops_unused_constants(self):
+        graph, values = star_problem(2)
+        compiled = compile_graph(graph, values)
+        program = compiled.program
+        # Inject an unused constant.
+        orphan = program.new_register("c", (3,))
+        program.emit(Opcode.CONST, [], [orphan], {"value": np.zeros(3)})
+        after = dead_code_elimination(program)
+        assert all(orphan not in i.dsts for i in after.instructions)
+
+    def test_keeps_solver_outputs(self):
+        graph, values = star_problem(2)
+        compiled = compiled = compile_graph(graph, values)
+        after = dead_code_elimination(compiled.program)
+        bsubs = [i for i in after.instructions if i.op is Opcode.BSUB]
+        assert len(bsubs) == len(compiled.solution_registers)
+
+    def test_live_roots_respected(self):
+        program = compile_graph(*star_problem(1))[0] if False else None
+        del program
+        graph, values = star_problem(1)
+        compiled = compile_graph(graph, values)
+        p = compiled.program
+        extra = p.new_register("c", (1,))
+        p.emit(Opcode.CONST, [], [extra], {"value": np.ones(1)})
+        kept = dead_code_elimination(p, live_roots=[extra])
+        assert any(extra in i.dsts for i in kept.instructions)
+
+
+class TestOptimizePipeline:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2000), st.integers(1, 4))
+    def test_optimized_matches_reference_property(self, seed, n):
+        graph, values = star_problem(n, seed=seed)
+        linear = graph.linearize(values)
+        ordering = min_degree_ordering(linear)
+        expected, _ = solve(linear, ordering)
+
+        compiled = compile_graph(graph, values, ordering).optimized()
+        registers = Executor().run(compiled.program)
+        result = compiled.extract_solution(registers)
+        for key in expected:
+            assert np.allclose(result[key], expected[key], atol=1e-8)
+
+    def test_savings_reported(self):
+        graph, values = star_problem(6)
+        compiled = compile_graph(graph, values)
+        optimized = optimize_program(
+            compiled.program, list(compiled.solution_registers.values()))
+        saving = 1 - len(optimized) / len(compiled.program)
+        assert saving > 0.10  # at least 10% of instructions were redundant

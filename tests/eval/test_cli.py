@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro.eval`` experiment runner."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.eval.__main__ import EXPERIMENTS, main
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_only_selected_experiments(self):
+        code, out = run_cli("--only", "S43")
+        assert code == 0
+        assert "MAC cost" in out
+        assert "Fig. 13" not in out
+
+    def test_shared_runner_cached(self):
+        # F13 and F14 share one sweep; both tables must print.
+        code, out = run_cli("--only", "F13", "F14")
+        assert code == 0
+        assert "Fig. 13" in out and "Fig. 14" in out
+
+    def test_markdown_mode(self):
+        code, out = run_cli("--only", "S43", "--markdown")
+        assert code == 0
+        assert out.lstrip().startswith("###")
+        assert "|---|" in out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("--only", "F99")
+
+    def test_default_subset_excludes_slow(self):
+        fast = [eid for eid, (slow, _) in EXPERIMENTS.items() if not slow]
+        assert "T5" not in fast and "F19" not in fast
+        assert "F13" in fast and "LBRK" in fast
+
+    def test_experiment_registry_covers_every_output_id(self):
+        expected = {"S43", "T1", "T5", "F13", "F14", "F15", "F16a", "F16b",
+                    "F16c", "F17", "F18", "F19", "F20", "LBRK", "AOOO", "SCAL"}
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,120 @@
+"""Smoke and shape tests for the per-figure experiments.
+
+Full-size experiment runs live in ``benchmarks/``; these tests verify the
+experiments produce well-formed tables whose headline relationships match
+the paper's direction (who wins), on reduced sizes where possible.
+"""
+
+import pytest
+
+from repro.eval import (
+    experiment_ablation_ooo,
+    experiment_fig13_fig14,
+    experiment_fig15,
+    experiment_fig17_fig18,
+    experiment_latency_breakdown,
+    experiment_sec43,
+    geometric_mean,
+    manual_designs,
+)
+
+
+@pytest.fixture(scope="module")
+def fig13_fig14():
+    return experiment_fig13_fig14(seed=0)
+
+
+class TestSec43:
+    def test_savings_in_paper_regime(self):
+        table = experiment_sec43()
+        saving = table.row_by("representation",
+                              "<so(3), T(3)>")["saving_vs_se3"]
+        # Paper: 52.7%; the cost model must land in the same regime.
+        assert 0.40 < saving < 0.65
+
+
+class TestFig13Fig14(object):
+    def test_all_applications_present(self, fig13_fig14):
+        speed, energy = fig13_fig14
+        apps = speed.column("application")
+        assert apps == ["MobileRobot", "Manipulator", "AutoVehicle",
+                        "Quadrotor"]
+        assert energy.column("application") == apps
+
+    def test_speedup_ordering(self, fig13_fig14):
+        """ARM < GPU < Intel < ORIANNA-IO < ORIANNA-OoO on average."""
+        speed, _ = fig13_fig14
+        means = {c: geometric_mean(speed.column(c))
+                 for c in speed.columns[1:]}
+        assert means["ARM"] == pytest.approx(1.0)
+        assert means["GPU"] > means["ARM"]
+        assert means["Intel"] > means["GPU"] or means["Intel"] > 5.0
+        assert means["ORIANNA-IO"] > means["Intel"]
+        assert means["ORIANNA-OoO"] > means["ORIANNA-IO"]
+
+    def test_headline_speedups(self, fig13_fig14):
+        speed, _ = fig13_fig14
+        ooo = geometric_mean(speed.column("ORIANNA-OoO"))
+        intel = geometric_mean(speed.column("Intel"))
+        # Paper: 53.5x over ARM and 6.5x over Intel.
+        assert 25 < ooo < 110
+        assert 3 < ooo / intel < 14
+
+    def test_sw_gains_small(self, fig13_fig14):
+        speed, _ = fig13_fig14
+        for row in speed.rows:
+            gain = row["ORIANNA-SW"] / row["Intel"]
+            assert 1.0 <= gain < 1.35  # software-only: marginal benefit
+
+    def test_energy_winners(self, fig13_fig14):
+        _, energy = fig13_fig14
+        for row in energy.rows:
+            # The accelerator beats every software platform on energy.
+            assert row["ORIANNA-OoO"] > row["Intel"]
+            assert row["ORIANNA-OoO"] > row["GPU"]
+            assert row["ORIANNA-OoO"] > row["ORIANNA-IO"] * 0.99
+
+
+class TestFig15:
+    def test_every_algorithm_accelerated(self):
+        table = experiment_fig15(seed=0)
+        for row in table.rows:
+            for algorithm in ("localization", "planning", "control"):
+                assert row[algorithm] > 3.0
+
+
+class TestFig17Fig18:
+    def test_sparsity_exploitation(self):
+        size, density = experiment_fig17_fig18(seed=0)
+        for row in size.rows:
+            assert row["size_reduction"] > 5.0       # paper: 11.1x average
+        for row in density.rows:
+            assert row["density_gain"] > 2.0         # paper: up to 22.6x
+            assert row["orianna_mean_density"] > row["vanilla_density"]
+
+
+class TestLatencyBreakdown:
+    def test_decompose_dominates(self):
+        table = experiment_latency_breakdown(seed=0)
+        shares = {r["phase"]: r["share"] for r in table.rows}
+        assert shares["decompose"] > 0.5             # paper: 74%
+        assert shares["construct"] > shares["backsub"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestAblation:
+    def test_granularity_ordering(self):
+        table = experiment_ablation_ooo(seed=0)
+        for row in table.rows:
+            assert row["ooo_full"] <= row["ooo_single_stream"]
+            assert row["ooo_single_stream"] <= row["sequential"]
+            assert row["inorder"] <= row["sequential"]
+
+
+class TestManualDesigns:
+    def test_designs_distinct_and_valid(self):
+        designs = manual_designs()
+        assert len(designs) == 4
+        fingerprints = {tuple(sorted(d.unit_counts.items()))
+                        for d in designs.values()}
+        assert len(fingerprints) == 4

@@ -1,0 +1,72 @@
+"""Tests for the experiment harness utilities."""
+
+import io
+
+import pytest
+
+from repro.eval import ExperimentTable, geometric_mean, print_tables
+
+
+def sample_table():
+    t = ExperimentTable("X1", "Sample", ["name", "value"])
+    t.add_row(name="a", value=1.5)
+    t.add_row(name="b", value=2.0)
+    return t
+
+
+class TestExperimentTable:
+    def test_add_row_validates_columns(self):
+        t = ExperimentTable("X", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(a=1)
+
+    def test_column_access(self):
+        t = sample_table()
+        assert t.column("value") == [1.5, 2.0]
+        with pytest.raises(KeyError):
+            t.column("missing")
+
+    def test_row_by(self):
+        t = sample_table()
+        assert t.row_by("name", "b")["value"] == 2.0
+        with pytest.raises(KeyError):
+            t.row_by("name", "zz")
+
+    def test_format_contains_rows(self):
+        text = sample_table().format()
+        assert "Sample" in text and "1.5" in text and "b" in text
+
+    def test_format_empty_table(self):
+        t = ExperimentTable("X", "Empty", ["a"])
+        assert "Empty" in t.format()
+
+    def test_markdown(self):
+        md = sample_table().to_markdown()
+        assert md.startswith("| name | value |")
+        assert "| a | 1.5 |" in md
+
+    def test_float_formatting(self):
+        t = ExperimentTable("X", "t", ["v"])
+        t.add_row(v=0.0001234)
+        t.add_row(v=12345.6)
+        t.add_row(v=0.0)
+        text = t.format()
+        assert "0.000123" in text
+        assert "1.23e+04" in text
+
+    def test_notes_rendered(self):
+        t = sample_table()
+        t.notes.append("hello note")
+        assert "note: hello note" in t.format()
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_print_tables(self):
+        buf = io.StringIO()
+        print_tables([sample_table()], stream=buf)
+        assert "Sample" in buf.getvalue()

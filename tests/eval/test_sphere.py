@@ -1,0 +1,85 @@
+"""Tests for the Tbl. 1 sphere benchmark machinery."""
+
+import numpy as np
+import pytest
+
+from repro.eval.sphere import (
+    Se3BetweenFactor,
+    build_graph,
+    generate_sphere_problem,
+    run_sphere_benchmark,
+    trajectory_errors,
+)
+from repro.factorgraph import Values, X, numerical_jacobian
+from repro.factors import BetweenFactor
+from repro.geometry import Pose
+
+
+class TestProblemGeneration:
+    def test_counts(self):
+        p = generate_sphere_problem(layers=3, points_per_layer=6, seed=0)
+        assert len(p.truth) == 18
+        assert len(p.odometry) == 17
+        assert len(p.loop_closures) > 0
+        assert len(p.initial) == 18
+
+    def test_initial_drifts(self):
+        p = generate_sphere_problem(layers=4, points_per_layer=8, seed=1)
+        errors = trajectory_errors(p.initial, p.truth)
+        assert errors.max() > 1.0   # visible corkscrew drift
+
+    def test_deterministic(self):
+        a = generate_sphere_problem(layers=3, points_per_layer=6, seed=2)
+        b = generate_sphere_problem(layers=3, points_per_layer=6, seed=2)
+        assert np.allclose(
+            trajectory_errors(a.initial, a.truth),
+            trajectory_errors(b.initial, b.truth),
+        )
+
+
+class TestSe3Factor:
+    def test_zero_error_at_truth(self):
+        rng = np.random.default_rng(0)
+        xi, xj = Pose.random(3, rng), Pose.random(3, rng)
+        z = xi.ominus(xj)
+        f = Se3BetweenFactor(X(0), X(1), z)
+        v = Values({X(0): xi, X(1): xj})
+        assert np.allclose(f.unwhitened_error(v), np.zeros(6), atol=1e-9)
+
+    def test_agrees_with_unified_on_zero(self):
+        # Both parameterizations vanish exactly at the measurement.
+        rng = np.random.default_rng(1)
+        xi, xj = Pose.random(3, rng), Pose.random(3, rng)
+        z = xi.ominus(xj)
+        se3 = Se3BetweenFactor(X(0), X(1), z)
+        uni = BetweenFactor(X(0), X(1), z)
+        v = Values({X(0): xi, X(1): xj})
+        assert np.linalg.norm(se3.unwhitened_error(v)) == pytest.approx(
+            np.linalg.norm(uni.unwhitened_error(v)), abs=1e-9)
+
+    def test_numerical_jacobians_finite(self):
+        rng = np.random.default_rng(2)
+        f = Se3BetweenFactor(X(0), X(1), Pose.random(3, rng))
+        v = Values({X(0): Pose.random(3, rng), X(1): Pose.random(3, rng)})
+        j = numerical_jacobian(f, v, X(0))
+        assert np.isfinite(j).all()
+
+
+class TestBenchmark:
+    def test_build_graph_representations(self):
+        p = generate_sphere_problem(layers=2, points_per_layer=5, seed=3)
+        unified = build_graph(p, "unified")
+        se3 = build_graph(p, "se3")
+        assert len(unified) == len(se3)
+        with pytest.raises(ValueError):
+            build_graph(p, "quaternion")
+
+    def test_small_benchmark_recovers_sphere(self):
+        rows = run_sphere_benchmark(seed=0, layers=3, points_per_layer=8)
+        initial_mean = rows["initial"]["mean"]
+        unified_mean = rows["<so(3), T(3)>"]["mean"]
+        se3_mean = rows["SE(3)"]["mean"]
+        # Optimization shrinks error by orders of magnitude...
+        assert unified_mean < initial_mean / 10
+        # ... and the two representations agree (the Tbl. 1 claim).
+        assert unified_mean == pytest.approx(se3_mean, rel=0.05)

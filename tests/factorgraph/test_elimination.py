@@ -1,0 +1,211 @@
+"""Tests for QR variable elimination and back substitution.
+
+The load-bearing property: the sparse incremental elimination of Fig. 5/6
+must produce the same solution as a dense least-squares solve of the
+assembled system, for any ordering.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, LinearizationError
+from repro.factorgraph import (
+    GaussianFactor,
+    GaussianFactorGraph,
+    X,
+    Y,
+    eliminate,
+    eliminate_variable,
+    min_degree_ordering,
+    natural_ordering,
+    solve,
+)
+
+
+def chain_graph(num_vars, dim=2, seed=0):
+    """A well-posed odometry-style chain: prior on X0 plus between rows."""
+    rng = np.random.default_rng(seed)
+    factors = [
+        GaussianFactor(
+            [X(0)], {X(0): np.eye(dim)}, rng.standard_normal(dim)
+        )
+    ]
+    for i in range(num_vars - 1):
+        blocks = {
+            X(i): -np.eye(dim) + 0.1 * rng.standard_normal((dim, dim)),
+            X(i + 1): np.eye(dim),
+        }
+        factors.append(
+            GaussianFactor([X(i), X(i + 1)], blocks, rng.standard_normal(dim))
+        )
+    return GaussianFactorGraph(factors)
+
+
+def slam_graph(num_poses=4, num_landmarks=3, seed=1):
+    """Poses in a chain plus landmark observations — a Fig. 4 style graph."""
+    rng = np.random.default_rng(seed)
+    g = chain_graph(num_poses, dim=3, seed=seed)
+    for j in range(num_landmarks):
+        for i in range(num_poses):
+            if (i + j) % 2 == 0:
+                blocks = {
+                    X(i): rng.standard_normal((2, 3)),
+                    Y(j): rng.standard_normal((2, 2))
+                    + 2.0 * np.eye(2, 2),
+                }
+                g.add(
+                    GaussianFactor(
+                        [X(i), Y(j)], blocks, rng.standard_normal(2)
+                    )
+                )
+    return g
+
+
+class TestEliminateVariable:
+    def test_single_factor_single_variable(self):
+        a = np.array([[2.0, 0.0], [0.0, 4.0]])
+        b = np.array([2.0, 8.0])
+        f = GaussianFactor([X(0)], {X(0): a}, b)
+        conditional, new_factor, record = eliminate_variable([f], X(0))
+        assert new_factor is None
+        assert record.rows == 2 and record.cols == 2
+        sol = conditional.solve({})
+        assert np.allclose(sol, [1.0, 2.0])
+
+    def test_produces_marginal_on_separator(self):
+        rng = np.random.default_rng(2)
+        f = GaussianFactor(
+            [X(0), X(1)],
+            {X(0): rng.standard_normal((4, 2)), X(1): rng.standard_normal((4, 2))},
+            rng.standard_normal(4),
+        )
+        conditional, new_factor, record = eliminate_variable([f], X(0))
+        assert conditional.parent_keys() == [X(1)]
+        assert new_factor is not None
+        assert new_factor.keys == [X(1)]
+        assert record.separator == (X(1),)
+
+    def test_underconstrained_variable_rejected(self):
+        f = GaussianFactor([X(0)], {X(0): np.ones((1, 3))}, np.zeros(1))
+        with pytest.raises(LinearizationError):
+            eliminate_variable([f], X(0))
+
+    def test_no_factors_rejected(self):
+        with pytest.raises(GraphError):
+            eliminate_variable([], X(0))
+
+    def test_record_density(self):
+        f = GaussianFactor([X(0)], {X(0): np.eye(2)}, np.zeros(2))
+        _, _, record = eliminate_variable([f], X(0))
+        assert record.density == pytest.approx(1.0)
+
+
+class TestEliminationMatchesDense:
+    def test_chain_natural_order(self):
+        g = chain_graph(6)
+        dense = g.solve_dense()
+        sparse, _ = solve(g, natural_ordering(g))
+        for k in dense:
+            assert np.allclose(sparse[k], dense[k], atol=1e-8)
+
+    def test_chain_reverse_order(self):
+        g = chain_graph(6)
+        dense = g.solve_dense()
+        sparse, _ = solve(g, list(reversed(natural_ordering(g))))
+        for k in dense:
+            assert np.allclose(sparse[k], dense[k], atol=1e-8)
+
+    def test_slam_min_degree_order(self):
+        g = slam_graph()
+        dense = g.solve_dense()
+        sparse, _ = solve(g, min_degree_ordering(g))
+        for k in dense:
+            assert np.allclose(sparse[k], dense[k], atol=1e-7)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8), st.integers(0, 1000))
+    def test_random_chains_any_size(self, n, seed):
+        g = chain_graph(n, seed=seed)
+        dense = g.solve_dense()
+        sparse, _ = solve(g, natural_ordering(g))
+        for k in dense:
+            assert np.allclose(sparse[k], dense[k], atol=1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_random_slam_orderings(self, seed):
+        rng = np.random.default_rng(seed)
+        g = slam_graph(seed=seed)
+        order = natural_ordering(g)
+        rng.shuffle(order)
+        dense = g.solve_dense()
+        sparse, _ = solve(g, order)
+        for k in dense:
+            assert np.allclose(sparse[k], dense[k], atol=1e-6)
+
+
+class TestStats:
+    def test_qr_steps_one_per_variable(self):
+        g = slam_graph()
+        _, stats = eliminate(g, natural_ordering(g))
+        assert len(stats.qr_steps) == len(g.keys())
+
+    def test_backsub_records(self):
+        g = chain_graph(4)
+        _, stats = solve(g, natural_ordering(g))
+        assert len(stats.backsub_steps) == 4
+        # The last-eliminated variable is solved first with no parents.
+        assert stats.backsub_steps[0].separator_dim == 0
+
+    def test_max_qr_shape(self):
+        g = chain_graph(4)
+        _, stats = eliminate(g, natural_ordering(g))
+        rows, cols = stats.max_qr_shape()
+        assert rows >= 2 and cols >= 2
+
+    def test_mean_density_in_unit_interval(self):
+        g = slam_graph()
+        _, stats = eliminate(g, min_degree_ordering(g))
+        assert 0.0 < stats.mean_density() <= 1.0
+
+    def test_empty_stats(self):
+        from repro.factorgraph import EliminationStats
+
+        s = EliminationStats()
+        assert s.max_qr_shape() == (0, 0)
+        assert s.mean_density() == 0.0
+
+
+class TestBayesNet:
+    def test_conditional_requires_solved_parents(self):
+        rng = np.random.default_rng(3)
+        f = GaussianFactor(
+            [X(0), X(1)],
+            {X(0): np.eye(2) + rng.standard_normal((2, 2)) * 0.1,
+             X(1): rng.standard_normal((2, 2))},
+            rng.standard_normal(2),
+        )
+        conditional, _, _ = eliminate_variable([f], X(0))
+        with pytest.raises(GraphError):
+            conditional.solve({})
+
+    def test_singular_conditional_rejected(self):
+        from repro.factorgraph import GaussianConditional
+
+        with pytest.raises(LinearizationError):
+            GaussianConditional(X(0), np.zeros((2, 2)), [], np.zeros(2))
+
+    def test_conditional_shape_validation(self):
+        from repro.factorgraph import GaussianConditional
+
+        with pytest.raises(LinearizationError):
+            GaussianConditional(X(0), np.eye(2), [], np.zeros(3))
+
+    def test_ordering_validation_in_eliminate(self):
+        g = chain_graph(3)
+        with pytest.raises(GraphError):
+            eliminate(g, [X(0), X(1)])  # missing X(2)
+        with pytest.raises(GraphError):
+            eliminate(g, [X(0), X(0), X(1), X(2)])  # duplicate

@@ -1,0 +1,155 @@
+"""Tests for the iSAM-style incremental solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.factorgraph import (
+    GaussianFactor,
+    GaussianFactorGraph,
+    IncrementalSolver,
+    X,
+    Y,
+    conditional_to_factor,
+    eliminate_variable,
+    natural_ordering,
+)
+
+
+def prior(key, value, weight=1.0, dim=2, seed=0):
+    rng = np.random.default_rng(seed)
+    del rng
+    return GaussianFactor([key], {key: weight * np.eye(dim)},
+                          weight * np.asarray(value, dtype=float))
+
+
+def between(k1, k2, measured, dim=2):
+    measured = np.asarray(measured, dtype=float)
+    return GaussianFactor(
+        [k1, k2], {k1: -np.eye(dim), k2: np.eye(dim)}, measured)
+
+
+def batch_solution(factors):
+    g = GaussianFactorGraph(factors)
+    return g.solve_dense()
+
+
+class TestConditionalToFactor:
+    def test_roundtrip_through_elimination(self):
+        rng = np.random.default_rng(0)
+        f = GaussianFactor(
+            [X(0), X(1)],
+            {X(0): np.eye(2) + 0.1 * rng.standard_normal((2, 2)),
+             X(1): rng.standard_normal((2, 2))},
+            rng.standard_normal(2),
+        )
+        conditional, _, _ = eliminate_variable([f], X(0))
+        back = conditional_to_factor(conditional)
+        assert back.keys == [X(0), X(1)]
+        assert back.rows == 2
+
+
+class TestIncrementalMatchesBatch:
+    def test_chain_grown_one_pose_at_a_time(self):
+        solver = IncrementalSolver()
+        all_factors = [prior(X(0), [1.0, 2.0])]
+        solver.update([all_factors[0]])
+        for i in range(6):
+            f = between(X(i), X(i + 1), [1.0, 0.0])
+            all_factors.append(f)
+            solver.update([f])
+            incremental = solver.solve()
+            batch = batch_solution(all_factors)
+            for k in batch:
+                assert np.allclose(incremental[k], batch[k], atol=1e-9)
+
+    def test_loop_closure_update(self):
+        solver = IncrementalSolver()
+        factors = [prior(X(0), [0.0, 0.0])]
+        for i in range(4):
+            factors.append(between(X(i), X(i + 1), [1.0, 0.1]))
+        solver.update(factors)
+        closure = between(X(4), X(0), [-4.0, -0.4])
+        factors.append(closure)
+        solver.update([closure])
+        batch = batch_solution(factors)
+        incremental = solver.solve()
+        for k in batch:
+            assert np.allclose(incremental[k], batch[k], atol=1e-8)
+
+    def test_landmark_graph_updates(self):
+        solver = IncrementalSolver()
+        factors = [prior(X(0), [0.0, 0.0]),
+                   between(X(0), Y(0), [2.0, 1.0])]
+        solver.update(factors)
+        more = [between(X(0), X(1), [1.0, 0.0]),
+                between(X(1), Y(0), [1.0, 1.0])]
+        factors += more
+        solver.update(more)
+        batch = batch_solution(factors)
+        incremental = solver.solve()
+        for k in batch:
+            assert np.allclose(incremental[k], batch[k], atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 6))
+    def test_random_growth_property(self, seed, chunks):
+        rng = np.random.default_rng(seed)
+        solver = IncrementalSolver()
+        factors = [prior(X(0), rng.standard_normal(2))]
+        solver.update([factors[0]])
+        node = 0
+        for _ in range(chunks):
+            batch_chunk = []
+            for _ in range(rng.integers(1, 3)):
+                node += 1
+                batch_chunk.append(
+                    between(X(rng.integers(0, node)), X(node),
+                            rng.standard_normal(2)))
+            factors += batch_chunk
+            solver.update(batch_chunk)
+        batch = batch_solution(factors)
+        incremental = solver.solve()
+        for k in batch:
+            assert np.allclose(incremental[k], batch[k], atol=1e-7)
+
+
+class TestIncrementality:
+    def test_tail_update_touches_few_variables(self):
+        """Extending a long chain must not re-eliminate the whole graph."""
+        solver = IncrementalSolver()
+        factors = [prior(X(0), [0.0, 0.0])]
+        for i in range(20):
+            factors.append(between(X(i), X(i + 1), [1.0, 0.0]))
+        solver.update(factors)
+        solver.update([between(X(20), X(21), [1.0, 0.0])])
+        assert solver.last_reeliminated <= 3
+        assert len(solver) == 22
+
+    def test_update_on_root_reeliminates_ancestors(self):
+        solver = IncrementalSolver()
+        factors = [prior(X(0), [0.0, 0.0])]
+        for i in range(5):
+            factors.append(between(X(i), X(i + 1), [1.0, 0.0]))
+        solver.update(factors)
+        # A new factor on X(0): its ancestors toward the root re-run.
+        solver.update([prior(X(0), [0.5, 0.5], seed=1)])
+        assert solver.last_reeliminated >= 1
+        batch = batch_solution(factors + [prior(X(0), [0.5, 0.5], seed=1)])
+        incremental = solver.solve()
+        for k in batch:
+            assert np.allclose(incremental[k], batch[k], atol=1e-8)
+
+    def test_empty_update_is_noop(self):
+        solver = IncrementalSolver()
+        solver.update([prior(X(0), [1.0, 1.0])])
+        before = solver.solve()
+        solver.update([])
+        assert solver.last_reeliminated == 0
+        after = solver.solve()
+        assert np.allclose(before[X(0)], after[X(0)])
+
+    def test_empty_solver_solves_empty(self):
+        assert IncrementalSolver().solve() == {}

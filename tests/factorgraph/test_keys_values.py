@@ -1,0 +1,104 @@
+"""Tests for keys and value containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.factorgraph import Key, U, V, Values, X, Y, key
+from repro.geometry import Pose
+
+
+class TestKeys:
+    def test_equality_and_hash(self):
+        assert X(1) == Key("x", 1)
+        assert hash(X(1)) == hash(Key("x", 1))
+        assert X(1) != X(2)
+        assert X(1) != Y(1)
+
+    def test_helpers(self):
+        assert str(X(3)) == "x3"
+        assert str(Y(0)) == "y0"
+        assert str(U(2)) == "u2"
+        assert str(V(4)) == "v4"
+        assert key("a", 7) == Key("a", 7)
+
+    def test_ordering(self):
+        assert sorted([X(2), X(1), Y(0)]) == [X(1), X(2), Y(0)]
+
+
+class TestValues:
+    def test_insert_and_at(self):
+        v = Values()
+        v.insert(X(0), Pose.identity(2))
+        v.insert(Y(0), np.array([1.0, 2.0]))
+        assert v.pose(X(0)).almost_equal(Pose.identity(2))
+        assert np.allclose(v.vector(Y(0)), [1.0, 2.0])
+
+    def test_double_insert_rejected(self):
+        v = Values({X(0): np.zeros(3)})
+        with pytest.raises(GraphError):
+            v.insert(X(0), np.zeros(3))
+
+    def test_update_requires_existing(self):
+        v = Values()
+        with pytest.raises(GraphError):
+            v.update(X(0), np.zeros(3))
+
+    def test_at_unknown_key(self):
+        with pytest.raises(GraphError):
+            Values().at(X(9))
+
+    def test_typed_accessors_enforce_type(self):
+        v = Values({X(0): Pose.identity(3), Y(0): np.zeros(3)})
+        with pytest.raises(GraphError):
+            v.vector(X(0))
+        with pytest.raises(GraphError):
+            v.pose(Y(0))
+
+    def test_vector_values_must_be_1d(self):
+        with pytest.raises(GraphError):
+            Values({X(0): np.zeros((2, 2))})
+
+    def test_dims(self):
+        v = Values({X(0): Pose.identity(3), Y(0): np.zeros(2)})
+        assert v.dim(X(0)) == 6
+        assert v.dim(Y(0)) == 2
+        assert v.total_dim() == 8
+
+    def test_len_contains_iter(self):
+        v = Values({X(0): np.zeros(1), X(1): np.zeros(1)})
+        assert len(v) == 2
+        assert X(0) in v and X(2) not in v
+        assert set(v) == {X(0), X(1)}
+
+    def test_copy_is_deep_for_vectors(self):
+        v = Values({Y(0): np.array([1.0])})
+        c = v.copy()
+        c.vector(Y(0))[0] = 5.0
+        assert v.vector(Y(0))[0] == 1.0
+
+    def test_retract_and_local_roundtrip(self):
+        v = Values({X(0): Pose.identity(3), Y(0): np.array([1.0, 2.0])})
+        delta = {X(0): np.array([0.1, 0.0, 0.0, 1.0, 0.0, 0.0]),
+                 Y(0): np.array([-1.0, 1.0])}
+        moved = v.retract(delta)
+        diff = v.local(moved)
+        for k in delta:
+            assert np.allclose(diff[k], delta[k], atol=1e-9)
+
+    def test_retract_unknown_key(self):
+        with pytest.raises(GraphError):
+            Values().retract({X(0): np.zeros(3)})
+
+    def test_local_requires_same_keys(self):
+        a = Values({X(0): np.zeros(2)})
+        b = Values({X(1): np.zeros(2)})
+        with pytest.raises(GraphError):
+            a.local(b)
+
+    def test_local_pose_vs_vector_rejected(self):
+        a = Values({X(0): Pose.identity(2)})
+        b = Values()
+        b._data = {X(0): np.zeros(3)}  # bypass coercion to force the branch
+        with pytest.raises(GraphError):
+            a.local(b)

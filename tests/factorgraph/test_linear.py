@@ -1,0 +1,115 @@
+"""Tests for Gaussian factors and the assembled linear system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, LinearizationError
+from repro.factorgraph import GaussianFactor, GaussianFactorGraph, X, Y
+
+
+def simple_factor(keys, rows, seed=0, dims=None):
+    rng = np.random.default_rng(seed)
+    dims = dims or {k: 2 for k in keys}
+    blocks = {k: rng.standard_normal((rows, dims[k])) for k in keys}
+    return GaussianFactor(keys, blocks, rng.standard_normal(rows))
+
+
+class TestGaussianFactor:
+    def test_basic_accessors(self):
+        f = simple_factor([X(0), X(1)], rows=3)
+        assert f.rows == 3
+        assert f.keys == [X(0), X(1)]
+        assert f.key_dim(X(0)) == 2
+        assert f.touches(X(1)) and not f.touches(Y(0))
+
+    def test_block_unknown_key(self):
+        f = simple_factor([X(0)], rows=2)
+        with pytest.raises(GraphError):
+            f.block(Y(0))
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(LinearizationError):
+            GaussianFactor([X(0)], {X(0): np.zeros((3, 2))}, np.zeros(2))
+
+    def test_blocks_must_match_keys(self):
+        with pytest.raises(LinearizationError):
+            GaussianFactor([X(0)], {Y(0): np.zeros((2, 2))}, np.zeros(2))
+
+    def test_rhs_must_be_vector(self):
+        with pytest.raises(LinearizationError):
+            GaussianFactor([X(0)], {X(0): np.zeros((2, 2))}, np.zeros((2, 1)))
+
+    def test_error_at_solution(self):
+        a = np.eye(2)
+        f = GaussianFactor([X(0)], {X(0): a}, np.array([1.0, 2.0]))
+        assert f.error({X(0): np.array([1.0, 2.0])}) == pytest.approx(0.0)
+        assert f.error({X(0): np.zeros(2)}) == pytest.approx(5.0)
+
+
+class TestGaussianFactorGraph:
+    def test_keys_first_seen_order(self):
+        g = GaussianFactorGraph([
+            simple_factor([X(1), Y(0)], 2, seed=1),
+            simple_factor([X(0), X(1)], 2, seed=2),
+        ])
+        assert g.keys() == [X(1), Y(0), X(0)]
+
+    def test_key_dims_consistency_enforced(self):
+        g = GaussianFactorGraph([
+            simple_factor([X(0)], 2, dims={X(0): 2}),
+            simple_factor([X(0)], 2, dims={X(0): 3}),
+        ])
+        with pytest.raises(GraphError):
+            g.key_dims()
+
+    def test_dense_system_shapes(self):
+        g = GaussianFactorGraph([
+            simple_factor([X(0), X(1)], 3, seed=3),
+            simple_factor([X(1)], 2, seed=4),
+        ])
+        a, b, slices = g.dense_system()
+        assert a.shape == (5, 4)
+        assert b.shape == (5,)
+        assert slices[X(0)] == slice(0, 2)
+
+    def test_dense_system_respects_ordering(self):
+        g = GaussianFactorGraph([simple_factor([X(0), X(1)], 2, seed=5)])
+        _, _, slices = g.dense_system(ordering=[X(1), X(0)])
+        assert slices[X(1)] == slice(0, 2)
+
+    def test_ordering_validation(self):
+        g = GaussianFactorGraph([simple_factor([X(0)], 2)])
+        with pytest.raises(GraphError):
+            g.dense_system(ordering=[X(0), Y(9)])
+        with pytest.raises(GraphError):
+            g.dense_system(ordering=[])
+
+    def test_solve_dense_matches_lstsq(self):
+        rng = np.random.default_rng(6)
+        a0 = rng.standard_normal((4, 2))
+        b0 = rng.standard_normal(4)
+        g = GaussianFactorGraph([GaussianFactor([X(0)], {X(0): a0}, b0)])
+        sol = g.solve_dense()
+        expected, *_ = np.linalg.lstsq(a0, b0, rcond=None)
+        assert np.allclose(sol[X(0)], expected)
+
+    def test_solve_dense_empty(self):
+        assert GaussianFactorGraph().solve_dense() == {}
+
+    def test_density_and_nnz(self):
+        # One factor touching X0 only, in a two-variable system: half dense.
+        f1 = simple_factor([X(0)], 2)
+        f2 = simple_factor([X(1)], 2, seed=7)
+        g = GaussianFactorGraph([f1, f2])
+        assert g.shape() == (4, 4)
+        assert g.structural_nnz() == 8
+        assert g.density() == pytest.approx(0.5)
+
+    def test_density_empty_graph(self):
+        assert GaussianFactorGraph().density() == 0.0
+
+    def test_add_and_len(self):
+        g = GaussianFactorGraph()
+        g.add(simple_factor([X(0)], 1))
+        assert len(g) == 1
+        assert len(list(iter(g))) == 1

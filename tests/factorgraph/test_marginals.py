@@ -1,0 +1,119 @@
+"""Tests for marginal covariance recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.factorgraph import (
+    BayesNet,
+    GaussianFactor,
+    GaussianFactorGraph,
+    Marginals,
+    X,
+    eliminate,
+    natural_ordering,
+)
+
+
+def random_well_posed_graph(n=4, dim=2, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = [GaussianFactor([X(0)], {X(0): np.eye(dim) * 2.0},
+                              rng.standard_normal(dim))]
+    for i in range(n - 1):
+        factors.append(GaussianFactor(
+            [X(i), X(i + 1)],
+            {X(i): rng.standard_normal((dim, dim)) + np.eye(dim),
+             X(i + 1): np.eye(dim) * 1.5},
+            rng.standard_normal(dim),
+        ))
+    return GaussianFactorGraph(factors)
+
+
+def dense_covariance(graph):
+    a, _, slices = graph.dense_system()
+    info = a.T @ a
+    return np.linalg.inv(info), slices
+
+
+class TestMarginals:
+    def test_marginal_matches_dense_inverse(self):
+        g = random_well_posed_graph()
+        net, _ = eliminate(g, natural_ordering(g))
+        marginals = Marginals(net)
+        full, slices = dense_covariance(g)
+        for key in g.keys():
+            s = slices[key]
+            expected = full[s, s]
+            assert np.allclose(marginals.marginal_covariance(key), expected,
+                               atol=1e-9), f"mismatch at {key}"
+
+    def test_marginal_independent_of_ordering(self):
+        g = random_well_posed_graph(seed=1)
+        order_a = natural_ordering(g)
+        order_b = list(reversed(order_a))
+        ma = Marginals(eliminate(g, order_a)[0])
+        mb = Marginals(eliminate(g, order_b)[0])
+        for key in g.keys():
+            assert np.allclose(ma.marginal_covariance(key),
+                               mb.marginal_covariance(key), atol=1e-9)
+
+    def test_joint_covariance_matches_dense(self):
+        g = random_well_posed_graph(n=3, seed=2)
+        net, _ = eliminate(g, natural_ordering(g))
+        marginals = Marginals(net)
+        joint = marginals.joint_covariance()
+        full, slices = dense_covariance(g)
+        # Compare diagonal blocks (column orders may differ).
+        for key in g.keys():
+            s = slices[key]
+            block = marginals.marginal_covariance(key)
+            assert np.allclose(block, full[s, s], atol=1e-9)
+        assert joint.shape == full.shape
+
+    def test_covariance_symmetric_positive_definite(self):
+        g = random_well_posed_graph(seed=3)
+        net, _ = eliminate(g, natural_ordering(g))
+        marginals = Marginals(net)
+        for key in g.keys():
+            sigma = marginals.marginal_covariance(key)
+            assert np.allclose(sigma, sigma.T)
+            assert np.all(np.linalg.eigvalsh(sigma) > 0)
+
+    def test_standard_deviations(self):
+        g = GaussianFactorGraph([
+            GaussianFactor([X(0)], {X(0): np.diag([2.0, 4.0])},
+                           np.zeros(2)),
+        ])
+        net, _ = eliminate(g, [X(0)])
+        sd = Marginals(net).standard_deviations(X(0))
+        assert np.allclose(sd, [0.5, 0.25])
+
+    def test_caching(self):
+        g = random_well_posed_graph(seed=4)
+        net, _ = eliminate(g, natural_ordering(g))
+        m = Marginals(net)
+        a = m.marginal_covariance(X(0))
+        b = m.marginal_covariance(X(0))
+        assert a is b
+
+    def test_unknown_key_rejected(self):
+        g = random_well_posed_graph()
+        net, _ = eliminate(g, natural_ordering(g))
+        with pytest.raises(GraphError):
+            Marginals(net).marginal_covariance(X(99))
+
+    def test_empty_bayes_net_rejected(self):
+        with pytest.raises(GraphError):
+            Marginals(BayesNet([]))
+
+    def test_more_measurements_shrink_covariance(self):
+        base = random_well_posed_graph(seed=5)
+        extended = GaussianFactorGraph(base.factors)
+        extended.add(GaussianFactor([X(1)], {X(1): 3.0 * np.eye(2)},
+                                    np.zeros(2)))
+        m_base = Marginals(eliminate(base, natural_ordering(base))[0])
+        m_ext = Marginals(eliminate(extended,
+                                    natural_ordering(extended))[0])
+        tr_base = np.trace(m_base.marginal_covariance(X(1)))
+        tr_ext = np.trace(m_ext.marginal_covariance(X(1)))
+        assert tr_ext < tr_base

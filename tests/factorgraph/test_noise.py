@@ -1,0 +1,75 @@
+"""Tests for Gaussian noise models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import Diagonal, FullCovariance, Isotropic, Unit
+
+
+class TestUnit:
+    def test_whiten_is_identity(self):
+        n = Unit(3)
+        r = np.array([1.0, -2.0, 3.0])
+        assert np.allclose(n.whiten(r), r)
+
+    def test_whiten_jacobian_identity(self):
+        n = Unit(2)
+        j = np.arange(6.0).reshape(2, 3)
+        assert np.allclose(n.whiten_jacobian(j), j)
+
+
+class TestIsotropic:
+    def test_scales_by_inverse_sigma(self):
+        n = Isotropic(2, 0.5)
+        assert np.allclose(n.whiten(np.array([1.0, 2.0])), [2.0, 4.0])
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(LinearizationError):
+            Isotropic(2, 0.0)
+
+    def test_dim(self):
+        assert Isotropic(4, 1.0).dim == 4
+
+
+class TestDiagonal:
+    def test_per_component_scaling(self):
+        n = Diagonal([1.0, 0.1])
+        assert np.allclose(n.whiten(np.array([1.0, 1.0])), [1.0, 10.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(LinearizationError):
+            Diagonal([1.0, -1.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(LinearizationError):
+            Diagonal(np.eye(2))
+
+
+class TestFullCovariance:
+    def test_whitening_normalizes_covariance(self):
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        n = FullCovariance(cov)
+        w = n.sqrt_information
+        # W Sigma W^T must be identity.
+        assert np.allclose(w @ cov @ w.T, np.eye(2), atol=1e-10)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(LinearizationError):
+            FullCovariance(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+
+class TestValidation:
+    def test_residual_shape_mismatch(self):
+        with pytest.raises(LinearizationError):
+            Unit(3).whiten(np.zeros(2))
+
+    def test_jacobian_shape_mismatch(self):
+        with pytest.raises(LinearizationError):
+            Unit(3).whiten_jacobian(np.zeros((2, 4)))
+
+    def test_nonsquare_sqrt_information(self):
+        from repro.factorgraph import NoiseModel
+
+        with pytest.raises(LinearizationError):
+            NoiseModel(np.zeros((2, 3)))

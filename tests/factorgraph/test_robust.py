@@ -1,0 +1,117 @@
+"""Tests for robust (M-estimator) noise models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import (
+    CauchyEstimator,
+    FactorGraph,
+    HuberEstimator,
+    Isotropic,
+    RobustNoiseModel,
+    TukeyEstimator,
+    Values,
+    X,
+)
+from repro.factorgraph.factor import prior_on_vector
+from repro.factors import PriorFactor
+
+
+class TestEstimators:
+    def test_huber_weight_regimes(self):
+        est = HuberEstimator(k=1.0)
+        assert est.weight(0.5) == 1.0
+        assert est.weight(2.0) == pytest.approx(0.5)
+        assert est.loss(0.5) == pytest.approx(0.125)
+        assert est.loss(2.0) == pytest.approx(1.5)
+
+    def test_huber_loss_continuous_at_threshold(self):
+        est = HuberEstimator(k=1.3)
+        assert est.loss(1.3 - 1e-9) == pytest.approx(est.loss(1.3 + 1e-9),
+                                                     abs=1e-6)
+
+    def test_tukey_rejects_gross_outliers(self):
+        est = TukeyEstimator(c=4.0)
+        assert est.weight(0.0) == 1.0
+        assert est.weight(10.0) < 1e-5
+        assert est.loss(10.0) == pytest.approx(est.loss(100.0))
+
+    def test_cauchy_monotone_decreasing(self):
+        est = CauchyEstimator(c=2.0)
+        weights = [est.weight(x) for x in (0.0, 1.0, 5.0, 50.0)]
+        assert weights[0] == 1.0
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_thresholds_validated(self):
+        with pytest.raises(LinearizationError):
+            HuberEstimator(k=0.0)
+        with pytest.raises(LinearizationError):
+            TukeyEstimator(c=-1.0)
+        with pytest.raises(LinearizationError):
+            CauchyEstimator(c=0.0)
+
+
+class TestRobustNoiseModel:
+    def test_inlier_behaves_like_base(self):
+        base = Isotropic(2, 1.0)
+        robust = RobustNoiseModel(base, HuberEstimator(k=10.0))
+        r = np.array([0.5, -0.5])
+        assert np.allclose(robust.whiten(r), base.whiten(r))
+        j = np.eye(2)
+        assert np.allclose(robust.whiten_jacobian(j), j)
+
+    def test_outlier_downweighted(self):
+        robust = RobustNoiseModel(Isotropic(1, 1.0), HuberEstimator(k=1.0))
+        whitened = robust.whiten(np.array([100.0]))
+        # Huber: ||w r|| = sqrt(k/||r||) * ||r|| = sqrt(k ||r||) = 10.
+        assert np.linalg.norm(whitened) == pytest.approx(10.0)
+        # Jacobian rescaled consistently with the residual.
+        j = robust.whiten_jacobian(np.eye(1))
+        assert j[0, 0] == pytest.approx(0.1)
+
+    def test_robust_loss(self):
+        robust = RobustNoiseModel(Isotropic(1, 1.0), HuberEstimator(k=1.0))
+        assert robust.robust_loss(np.array([0.5])) == pytest.approx(0.125)
+
+    def test_dim_passthrough(self):
+        robust = RobustNoiseModel(Isotropic(3, 2.0), CauchyEstimator())
+        assert robust.dim == 3
+
+
+class TestRobustOptimization:
+    def test_outlier_measurement_rejected(self):
+        """With one wildly wrong prior among many good ones, the robust
+        solution stays near the consensus while least squares is dragged
+        away."""
+        good = [np.array([1.0]), np.array([1.05]), np.array([0.95]),
+                np.array([1.02])]
+        outlier = np.array([50.0])
+
+        def build(robust):
+            g = FactorGraph()
+            for m in good:
+                g.add(PriorFactor(X(0), m, Isotropic(1, 0.1)))
+            noise = Isotropic(1, 0.1)
+            if robust:
+                noise = RobustNoiseModel(noise, TukeyEstimator(c=4.0))
+            g.add(PriorFactor(X(0), outlier, noise))
+            return g
+
+        initial = Values({X(0): np.array([1.0])})
+        plain = build(False).optimize(initial).values.vector(X(0))[0]
+        robust = build(True).optimize(initial).values.vector(X(0))[0]
+        assert plain > 5.0          # dragged toward the outlier
+        assert abs(robust - 1.0) < 0.1   # outlier rejected
+
+    def test_huber_softens_but_keeps_outlier(self):
+        g = FactorGraph([
+            prior_on_vector(X(0), np.array([0.0]), sigma=1.0),
+            PriorFactor(X(0), np.array([10.0]),
+                        RobustNoiseModel(Isotropic(1, 1.0),
+                                         HuberEstimator(k=1.0))),
+        ])
+        result = g.optimize(Values({X(0): np.array([0.0])}),
+                            ordering=None)
+        x = result.values.vector(X(0))[0]
+        assert 0.1 < x < 5.0  # pulled, but far less than the midpoint 5

@@ -1,0 +1,17 @@
+"""Shared helpers for factor tests."""
+
+import numpy as np
+
+from repro.factorgraph import numerical_jacobian
+
+
+def assert_jacobians_match(factor, values, atol=1e-5):
+    """Every analytic Jacobian block must match central finite differences."""
+    analytic = factor.jacobians(values)
+    assert analytic is not None, "factor has no analytic jacobians"
+    for key, block in zip(factor.keys, analytic):
+        numeric = numerical_jacobian(factor, values, key)
+        assert np.allclose(block, numeric, atol=atol), (
+            f"jacobian mismatch for {key}:\nanalytic=\n{block}\n"
+            f"numeric=\n{numeric}"
+        )

@@ -1,0 +1,117 @@
+"""Tests for the pinhole camera and camera projection factors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import FactorGraph, Isotropic, Values, X, Y
+from repro.factors import CameraFactor, PinholeCamera, PriorFactor
+from repro.geometry import Pose
+
+from tests.factors.conftest import assert_jacobians_match
+
+
+def looking_down_z_pose():
+    """Identity pose: camera looks along +z in the world frame."""
+    return Pose.identity(3)
+
+
+class TestPinholeCamera:
+    def test_principal_point_projection(self):
+        cam = PinholeCamera(fx=100.0, fy=100.0, cx=320.0, cy=240.0)
+        pix = cam.project(np.array([0.0, 0.0, 5.0]))
+        assert np.allclose(pix, [320.0, 240.0])
+
+    def test_offset_projection(self):
+        cam = PinholeCamera(fx=100.0, fy=200.0, cx=0.0, cy=0.0)
+        pix = cam.project(np.array([1.0, 1.0, 2.0]))
+        assert np.allclose(pix, [50.0, 100.0])
+
+    def test_behind_camera_rejected(self):
+        cam = PinholeCamera()
+        with pytest.raises(LinearizationError):
+            cam.project(np.array([0.0, 0.0, -1.0]))
+        with pytest.raises(LinearizationError):
+            cam.projection_jacobian(np.array([0.0, 0.0, 0.0]))
+
+    def test_projection_jacobian_numeric(self):
+        cam = PinholeCamera()
+        p = np.array([0.4, -0.2, 3.0])
+        analytic = cam.projection_jacobian(p)
+        numeric = np.zeros((2, 3))
+        eps = 1e-7
+        for i in range(3):
+            d = np.zeros(3)
+            d[i] = eps
+            numeric[:, i] = (cam.project(p + d) - cam.project(p - d)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestCameraFactor:
+    def test_zero_error_at_true_geometry(self):
+        cam = PinholeCamera()
+        pose = looking_down_z_pose()
+        landmark = np.array([0.5, -0.3, 4.0])
+        measured = cam.project(pose.rotation.T @ (landmark - pose.t))
+        f = CameraFactor(X(0), Y(0), measured, cam)
+        v = Values({X(0): pose, Y(0): landmark})
+        assert np.allclose(f.unwhitened_error(v), np.zeros(2), atol=1e-12)
+
+    def test_block_shapes_match_paper(self):
+        # Sec. 5.1: camera factor blocks are 2x6 (pose) and 2x3 (landmark).
+        f = CameraFactor(X(0), Y(0), np.array([320.0, 240.0]))
+        v = Values({X(0): looking_down_z_pose(),
+                    Y(0): np.array([0.0, 0.0, 5.0])})
+        gf = f.linearize(v)
+        assert gf.block(X(0)).shape == (2, 6)
+        assert gf.block(Y(0)).shape == (2, 3)
+        assert gf.rhs.shape == (2,)
+
+    def test_jacobians_random_geometry(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            pose = Pose(0.2 * rng.standard_normal(3), rng.standard_normal(3))
+            # Put the landmark safely in front of the camera.
+            landmark = pose.transform_point(
+                np.array([0.3, -0.2, 5.0]) + 0.5 * rng.standard_normal(3)
+            )
+            cam = PinholeCamera()
+            measured = cam.project(pose.rotation.T @ (landmark - pose.t))
+            f = CameraFactor(X(0), Y(0), measured + rng.standard_normal(2), cam)
+            v = Values({X(0): pose, Y(0): landmark})
+            assert_jacobians_match(f, v, atol=1e-3)
+
+    def test_requires_3d_pose(self):
+        f = CameraFactor(X(0), Y(0), np.zeros(2))
+        v = Values({X(0): Pose.identity(2), Y(0): np.zeros(3)})
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(v)
+
+    def test_requires_3d_landmark(self):
+        f = CameraFactor(X(0), Y(0), np.zeros(2))
+        v = Values({X(0): Pose.identity(3), Y(0): np.zeros(2)})
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(v)
+
+    def test_bad_pixel_shape_rejected(self):
+        with pytest.raises(LinearizationError):
+            CameraFactor(X(0), Y(0), np.zeros(3))
+
+    def test_triangulation_via_optimization(self):
+        """Two known poses observing one landmark recover its position."""
+        cam = PinholeCamera()
+        poses = [
+            Pose.identity(3),
+            Pose(np.zeros(3), np.array([1.0, 0.0, 0.0])),
+        ]
+        landmark = np.array([0.5, 0.2, 6.0])
+        g = FactorGraph()
+        v = Values()
+        for i, p in enumerate(poses):
+            g.add(PriorFactor(X(i), p, Isotropic(6, 1e-6)))
+            v.insert(X(i), p)
+            pix = cam.project(p.rotation.T @ (landmark - p.t))
+            g.add(CameraFactor(X(i), Y(0), pix, cam))
+        v.insert(Y(0), landmark + np.array([0.3, -0.3, 1.0]))
+        result = g.optimize(v)
+        assert np.allclose(result.values.vector(Y(0)), landmark, atol=1e-5)

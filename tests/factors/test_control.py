@@ -1,0 +1,168 @@
+"""Tests for control factors (the Fig. 7b LQR factor graph)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import FactorGraph, Isotropic, U, Values, X
+from repro.factors import (
+    ControlCostFactor,
+    DynamicsFactor,
+    KinematicsFactor,
+    StateCostFactor,
+)
+
+from tests.factors.conftest import assert_jacobians_match
+
+
+def double_integrator(dt=0.1):
+    a = np.array([[1.0, dt], [0.0, 1.0]])
+    b = np.array([[0.5 * dt * dt], [dt]])
+    return a, b
+
+
+class TestDynamicsFactor:
+    def test_zero_error_on_consistent_rollout(self):
+        a, b = double_integrator()
+        f = DynamicsFactor(X(0), U(0), X(1), a, b)
+        x0 = np.array([1.0, 0.5])
+        u0 = np.array([2.0])
+        v = Values({X(0): x0, U(0): u0, X(1): a @ x0 + b @ u0})
+        assert np.allclose(f.unwhitened_error(v), np.zeros(2))
+
+    def test_jacobians(self):
+        a, b = double_integrator()
+        f = DynamicsFactor(X(0), U(0), X(1), a, b)
+        rng = np.random.default_rng(0)
+        v = Values({X(0): rng.standard_normal(2), U(0): rng.standard_normal(1),
+                    X(1): rng.standard_normal(2)})
+        assert_jacobians_match(f, v)
+
+    def test_validation(self):
+        with pytest.raises(LinearizationError):
+            DynamicsFactor(X(0), U(0), X(1), np.zeros((2, 3)), np.zeros((2, 1)))
+        with pytest.raises(LinearizationError):
+            DynamicsFactor(X(0), U(0), X(1), np.eye(2), np.zeros((3, 1)))
+
+    def test_dims(self):
+        a, b = double_integrator()
+        f = DynamicsFactor(X(0), U(0), X(1), a, b)
+        assert f.state_dim == 2 and f.input_dim == 1
+
+
+class TestCostFactors:
+    def test_state_cost_pulls_to_reference(self):
+        f = StateCostFactor(X(0), np.array([1.0, 2.0]))
+        v = Values({X(0): np.zeros(2)})
+        assert np.allclose(f.unwhitened_error(v), [-1.0, -2.0])
+        assert_jacobians_match(f, v)
+
+    def test_control_cost_penalizes_effort(self):
+        f = ControlCostFactor(U(0), input_dim=2)
+        v = Values({U(0): np.array([0.5, -0.5])})
+        assert np.allclose(f.unwhitened_error(v), [0.5, -0.5])
+        assert_jacobians_match(f, v)
+
+    def test_control_cost_validation(self):
+        with pytest.raises(LinearizationError):
+            ControlCostFactor(U(0), input_dim=0)
+        f = ControlCostFactor(U(0), input_dim=2)
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({U(0): np.zeros(3)}))
+
+
+class TestKinematicsFactor:
+    def test_zero_inside_bounds(self):
+        f = KinematicsFactor(X(0), indices=[1], limits=[2.0])
+        v = Values({X(0): np.array([9.0, 1.5])})
+        assert np.allclose(f.unwhitened_error(v), [0.0])
+
+    def test_excess_penalized_symmetrically(self):
+        f = KinematicsFactor(X(0), indices=[0], limits=[1.0])
+        assert f.unwhitened_error(
+            Values({X(0): np.array([3.0])}))[0] == pytest.approx(2.0)
+        assert f.unwhitened_error(
+            Values({X(0): np.array([-3.0])}))[0] == pytest.approx(2.0)
+
+    def test_jacobians_outside_bounds(self):
+        f = KinematicsFactor(X(0), indices=[0, 2], limits=[1.0, 0.5])
+        v = Values({X(0): np.array([2.0, 0.0, -1.0])})
+        assert_jacobians_match(f, v)
+
+    def test_validation(self):
+        with pytest.raises(LinearizationError):
+            KinematicsFactor(X(0), indices=[0, 1], limits=[1.0])
+        with pytest.raises(LinearizationError):
+            KinematicsFactor(X(0), indices=[0], limits=[-1.0])
+
+
+class TestLqrViaFactorGraph:
+    def test_drives_double_integrator_to_origin(self):
+        """Finite-horizon LQR solved as one factor-graph inference."""
+        a, b = double_integrator(dt=0.2)
+        horizon = 20
+        x_init = np.array([2.0, 0.0])
+
+        g = FactorGraph()
+        v = Values()
+        from repro.factors import PriorFactor
+
+        g.add(PriorFactor(X(0), x_init, Isotropic(2, 1e-4)))
+        for k in range(horizon):
+            g.add(DynamicsFactor(X(k), U(k), X(k + 1), a, b,
+                                 Isotropic(2, 1e-4)))
+            g.add(ControlCostFactor(U(k), 1, Isotropic(1, 3.0)))
+            g.add(StateCostFactor(X(k + 1), np.zeros(2), Isotropic(2, 1.0)))
+
+        for k in range(horizon + 1):
+            v.insert(X(k), x_init.copy())
+        for k in range(horizon):
+            v.insert(U(k), np.zeros(1))
+
+        result = g.optimize(v)
+        assert result.converged
+        # The state must approach the origin by the end of the horizon.
+        terminal = result.values.vector(X(horizon))
+        assert np.linalg.norm(terminal) < 0.2
+        # The rollout must satisfy the dynamics almost exactly.
+        for k in range(horizon):
+            xk = result.values.vector(X(k))
+            uk = result.values.vector(U(k))
+            xk1 = result.values.vector(X(k + 1))
+            assert np.allclose(xk1, a @ xk + b @ uk, atol=1e-2)
+
+    def test_matches_riccati_solution(self):
+        """The factor-graph LQR control matches the Riccati recursion."""
+        a, b = double_integrator(dt=0.5)
+        q = np.eye(2)
+        r = np.eye(1)
+        horizon = 10
+        x_init = np.array([1.0, -0.5])
+
+        # Classic backward Riccati recursion.
+        p = q.copy()
+        gains = []
+        for _ in range(horizon):
+            k_gain = np.linalg.solve(r + b.T @ p @ b, b.T @ p @ a)
+            gains.append(k_gain)
+            p = q + a.T @ p @ (a - b @ k_gain)
+        gains.reverse()
+        u0_riccati = -gains[0] @ x_init
+
+        from repro.factors import PriorFactor
+
+        g = FactorGraph([PriorFactor(X(0), x_init, Isotropic(2, 1e-6))])
+        for k in range(horizon):
+            g.add(DynamicsFactor(X(k), U(k), X(k + 1), a, b,
+                                 Isotropic(2, 1e-6)))
+            g.add(ControlCostFactor(U(k), 1, Isotropic(1, 1.0)))
+            g.add(StateCostFactor(X(k + 1), np.zeros(2), Isotropic(2, 1.0)))
+
+        v = Values()
+        for k in range(horizon + 1):
+            v.insert(X(k), np.zeros(2))
+        for k in range(horizon):
+            v.insert(U(k), np.zeros(1))
+        result = g.optimize(v)
+        u0_graph = result.values.vector(U(0))
+        assert np.allclose(u0_graph, u0_riccati, atol=1e-3)

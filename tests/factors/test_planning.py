@@ -1,0 +1,205 @@
+"""Tests for planning constraint factors (Fig. 7a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import FactorGraph, Isotropic, Values, V, X
+from repro.factors import (
+    CircleObstacle,
+    CollisionFreeFactor,
+    GoalFactor,
+    ObstacleField,
+    SmoothnessFactor,
+    VelocityLimitFactor,
+)
+from repro.factorgraph.factor import prior_on_vector
+
+from tests.factors.conftest import assert_jacobians_match
+
+
+def state(q, v):
+    return np.concatenate([np.atleast_1d(q), np.atleast_1d(v)]).astype(float)
+
+
+class TestSmoothnessFactor:
+    def test_zero_error_on_constant_velocity(self):
+        f = SmoothnessFactor(X(0), X(1), dof=2, dt=0.5)
+        v = Values({
+            X(0): state([0.0, 0.0], [1.0, 2.0]),
+            X(1): state([0.5, 1.0], [1.0, 2.0]),
+        })
+        assert np.allclose(f.unwhitened_error(v), np.zeros(4))
+
+    def test_error_on_velocity_change(self):
+        f = SmoothnessFactor(X(0), X(1), dof=1, dt=1.0)
+        v = Values({X(0): state([0.0], [1.0]), X(1): state([1.0], [2.0])})
+        assert np.allclose(f.unwhitened_error(v), [0.0, 1.0])
+
+    def test_jacobians(self):
+        f = SmoothnessFactor(X(0), X(1), dof=3, dt=0.2)
+        rng = np.random.default_rng(0)
+        v = Values({X(0): rng.standard_normal(6), X(1): rng.standard_normal(6)})
+        assert_jacobians_match(f, v)
+
+    def test_validation(self):
+        with pytest.raises(LinearizationError):
+            SmoothnessFactor(X(0), X(1), dof=0, dt=1.0)
+        with pytest.raises(LinearizationError):
+            SmoothnessFactor(X(0), X(1), dof=1, dt=0.0)
+        f = SmoothnessFactor(X(0), X(1), dof=2, dt=1.0)
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({X(0): np.zeros(3), X(1): np.zeros(4)}))
+
+
+class TestObstacles:
+    def test_circle_signed_distance(self):
+        obs = CircleObstacle(center=(0.0, 0.0), radius=1.0)
+        assert obs.signed_distance(np.array([2.0, 0.0])) == pytest.approx(1.0)
+        assert obs.signed_distance(np.array([0.5, 0.0])) == pytest.approx(-0.5)
+
+    def test_circle_gradient_points_away(self):
+        obs = CircleObstacle(center=(1.0, 1.0), radius=0.5)
+        g = obs.gradient(np.array([3.0, 1.0]))
+        assert np.allclose(g, [1.0, 0.0])
+
+    def test_gradient_at_center_is_finite(self):
+        obs = CircleObstacle(center=(0.0, 0.0), radius=1.0)
+        g = obs.gradient(np.zeros(2))
+        assert np.isfinite(g).all() and np.linalg.norm(g) == pytest.approx(1.0)
+
+    def test_field_takes_nearest(self):
+        field = ObstacleField([
+            CircleObstacle((0.0, 0.0), 1.0),
+            CircleObstacle((10.0, 0.0), 1.0),
+        ])
+        assert field.signed_distance(np.array([8.0, 0.0])) == pytest.approx(1.0)
+
+    def test_empty_field_is_free_space(self):
+        field = ObstacleField([])
+        assert field.signed_distance(np.zeros(2)) == float("inf")
+        assert np.allclose(field.gradient(np.zeros(2)), 0.0)
+
+
+class TestCollisionFreeFactor:
+    def field(self):
+        return ObstacleField([CircleObstacle((0.0, 0.0), 1.0)])
+
+    def test_zero_error_far_from_obstacle(self):
+        f = CollisionFreeFactor(V(0), self.field(), position_dims=2,
+                                epsilon=0.5)
+        v = Values({V(0): state([5.0, 0.0], [0.0, 0.0])})
+        assert np.allclose(f.unwhitened_error(v), [0.0])
+
+    def test_positive_error_inside_margin(self):
+        f = CollisionFreeFactor(V(0), self.field(), position_dims=2,
+                                epsilon=0.5)
+        v = Values({V(0): state([1.2, 0.0], [0.0, 0.0])})
+        assert f.unwhitened_error(v)[0] == pytest.approx(0.3)
+
+    def test_jacobians_inside_margin(self):
+        f = CollisionFreeFactor(V(0), self.field(), position_dims=2,
+                                epsilon=0.5)
+        v = Values({V(0): state([1.2, 0.3], [0.1, 0.0])})
+        assert_jacobians_match(f, v)
+
+    def test_jacobian_zero_outside_margin(self):
+        f = CollisionFreeFactor(V(0), self.field(), position_dims=2,
+                                epsilon=0.5)
+        v = Values({V(0): state([5.0, 0.0], [0.0, 0.0])})
+        assert np.allclose(f.jacobians(v)[0], 0.0)
+
+    def test_validation(self):
+        with pytest.raises(LinearizationError):
+            CollisionFreeFactor(V(0), self.field(), position_dims=2,
+                                epsilon=0.0)
+        f = CollisionFreeFactor(V(0), self.field(), position_dims=4)
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({V(0): np.zeros(2)}))
+
+    def test_optimization_pushes_point_out(self):
+        field = self.field()
+        g = FactorGraph([
+            CollisionFreeFactor(V(0), field, position_dims=2, epsilon=0.5,
+                                noise=Isotropic(1, 0.01)),
+            prior_on_vector(V(0), state([0.9, 0.0], [0.0, 0.0]), sigma=10.0),
+        ])
+        v = Values({V(0): state([0.9, 0.0], [0.0, 0.0])})
+        result = g.optimize(v)
+        final = result.values.vector(V(0))[:2]
+        assert field.signed_distance(final) > 0.4
+
+
+class TestVelocityLimitFactor:
+    def test_zero_below_limit(self):
+        f = VelocityLimitFactor(V(0), dof=2, v_max=2.0)
+        v = Values({V(0): state([0.0, 0.0], [1.0, 0.0])})
+        assert np.allclose(f.unwhitened_error(v), [0.0])
+
+    def test_excess_speed_penalized(self):
+        f = VelocityLimitFactor(V(0), dof=2, v_max=1.0)
+        v = Values({V(0): state([0.0, 0.0], [3.0, 4.0])})
+        assert f.unwhitened_error(v)[0] == pytest.approx(4.0)
+
+    def test_jacobians_above_limit(self):
+        f = VelocityLimitFactor(V(0), dof=2, v_max=1.0)
+        v = Values({V(0): state([0.5, -0.1], [1.5, 2.0])})
+        assert_jacobians_match(f, v)
+
+    def test_validation(self):
+        with pytest.raises(LinearizationError):
+            VelocityLimitFactor(V(0), dof=2, v_max=-1.0)
+        f = VelocityLimitFactor(V(0), dof=2, v_max=1.0)
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({V(0): np.zeros(3)}))
+
+
+class TestGoalFactor:
+    def test_error_on_configuration_only(self):
+        f = GoalFactor(V(0), np.array([1.0, 1.0]), dof=2)
+        v = Values({V(0): state([2.0, 0.0], [9.0, 9.0])})
+        assert np.allclose(f.unwhitened_error(v), [1.0, -1.0])
+
+    def test_jacobians(self):
+        f = GoalFactor(V(0), np.array([0.5, -0.5]), dof=2)
+        v = Values({V(0): state([1.0, 1.0], [0.3, 0.1])})
+        assert_jacobians_match(f, v)
+
+    def test_goal_dim_validated(self):
+        with pytest.raises(LinearizationError):
+            GoalFactor(V(0), np.zeros(3), dof=2)
+
+
+class TestTrajectoryOptimization:
+    def test_plan_avoids_obstacle(self):
+        """A straight-line seed through an obstacle bends around it."""
+        field = ObstacleField([CircleObstacle((2.5, 0.0), 0.8)])
+        n, dt, dof = 11, 0.5, 2
+        start, goal = np.zeros(2), np.array([5.0, 0.0])
+
+        g = FactorGraph()
+        v = Values()
+        for i in range(n):
+            alpha = i / (n - 1)
+            # Slightly bowed seed: a perfectly straight line through the
+            # obstacle center is a symmetric saddle the optimizer cannot
+            # leave (the SDF gradient has no lateral component there).
+            q = start + alpha * (goal - start)
+            q = q + np.array([0.0, 0.3 * np.sin(np.pi * alpha)])
+            v.insert(V(i), state(q, (goal - start) / ((n - 1) * dt)))
+            g.add(CollisionFreeFactor(V(i), field, position_dims=2,
+                                      epsilon=0.4, noise=Isotropic(1, 0.05)))
+        for i in range(n - 1):
+            g.add(SmoothnessFactor(V(i), V(i + 1), dof=dof, dt=dt))
+        g.add(GoalFactor(V(0), start, dof=dof, noise=Isotropic(2, 1e-3)))
+        g.add(GoalFactor(V(n - 1), goal, dof=dof, noise=Isotropic(2, 1e-3)))
+
+        result = g.optimize(v)
+        # Endpoints pinned, every state collision-free.  (GN may settle on
+        # either of the symmetric homotopy classes; we only require a
+        # valid plan, as the paper's mission success metric does.)
+        for i in range(n):
+            q_i = result.values.vector(V(i))[:2]
+            assert field.signed_distance(q_i) > 0.0
+        assert np.allclose(result.values.vector(V(0))[:2], start, atol=1e-2)
+        assert np.allclose(result.values.vector(V(n - 1))[:2], goal, atol=1e-2)

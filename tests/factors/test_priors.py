@@ -1,0 +1,102 @@
+"""Tests for prior and GPS factors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import Isotropic, Values, X
+from repro.factors import GPSFactor, PriorFactor
+from repro.geometry import Pose
+
+from tests.factors.conftest import assert_jacobians_match
+
+
+class TestPriorFactorVector:
+    def test_zero_error_at_prior(self):
+        f = PriorFactor(X(0), np.array([1.0, 2.0]))
+        v = Values({X(0): np.array([1.0, 2.0])})
+        assert np.allclose(f.unwhitened_error(v), 0.0)
+
+    def test_error_is_difference(self):
+        f = PriorFactor(X(0), np.array([1.0]))
+        v = Values({X(0): np.array([3.0])})
+        assert np.allclose(f.unwhitened_error(v), [2.0])
+
+    def test_jacobian_identity(self):
+        f = PriorFactor(X(0), np.array([1.0, 2.0, 3.0]))
+        v = Values({X(0): np.array([0.0, 0.0, 0.0])})
+        assert_jacobians_match(f, v)
+
+    def test_noise_dim_mismatch_rejected(self):
+        with pytest.raises(LinearizationError):
+            PriorFactor(X(0), np.zeros(3), Isotropic(2, 1.0))
+
+    def test_pose_prior_on_vector_value_rejected(self):
+        f = PriorFactor(X(0), Pose.identity(2))
+        v = Values({X(0): np.zeros(3)})
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(v)
+
+
+class TestPriorFactorPose:
+    def test_zero_error_at_prior_pose(self):
+        rng = np.random.default_rng(0)
+        prior = Pose.random(3, rng)
+        f = PriorFactor(X(0), prior)
+        assert np.allclose(
+            f.unwhitened_error(Values({X(0): prior})), np.zeros(6), atol=1e-12
+        )
+
+    def test_jacobians_3d(self):
+        rng = np.random.default_rng(1)
+        prior = Pose.random(3, rng)
+        current = prior.retract(0.3 * rng.standard_normal(6))
+        assert_jacobians_match(
+            PriorFactor(X(0), prior), Values({X(0): current})
+        )
+
+    def test_jacobians_2d(self):
+        prior = Pose.from_xytheta(1.0, 2.0, 0.5)
+        current = Pose.from_xytheta(1.3, 1.8, 0.9)
+        assert_jacobians_match(
+            PriorFactor(X(0), prior), Values({X(0): current})
+        )
+
+    def test_anchors_optimization(self):
+        from repro.factorgraph import FactorGraph
+
+        prior = Pose.from_xytheta(2.0, -1.0, 0.3)
+        g = FactorGraph([PriorFactor(X(0), prior, Isotropic(3, 0.01))])
+        result = g.optimize(Values({X(0): Pose.identity(2)}))
+        assert result.values.pose(X(0)).almost_equal(prior, tol=1e-6)
+
+
+class TestGPSFactor:
+    def test_error_is_position_difference(self):
+        f = GPSFactor(X(0), np.array([1.0, 1.0]))
+        v = Values({X(0): Pose.from_xytheta(2.0, 3.0, 0.7)})
+        assert np.allclose(f.unwhitened_error(v), [1.0, 2.0])
+
+    def test_heading_does_not_affect_error(self):
+        f = GPSFactor(X(0), np.zeros(2))
+        e1 = f.unwhitened_error(Values({X(0): Pose.from_xytheta(1.0, 0.0, 0.0)}))
+        e2 = f.unwhitened_error(Values({X(0): Pose.from_xytheta(1.0, 0.0, 2.0)}))
+        assert np.allclose(e1, e2)
+
+    def test_jacobians_2d(self):
+        f = GPSFactor(X(0), np.array([1.0, -1.0]))
+        assert_jacobians_match(f, Values({X(0): Pose.from_xytheta(0.5, 0.2, 1.1)}))
+
+    def test_jacobians_3d(self):
+        rng = np.random.default_rng(2)
+        f = GPSFactor(X(0), rng.standard_normal(3))
+        assert_jacobians_match(f, Values({X(0): Pose.random(3, rng)}))
+
+    def test_dim_mismatch_rejected(self):
+        f = GPSFactor(X(0), np.zeros(3))
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({X(0): Pose.identity(2)}))
+
+    def test_bad_measurement_dim_rejected(self):
+        with pytest.raises(LinearizationError):
+            GPSFactor(X(0), np.zeros(4))

@@ -1,0 +1,126 @@
+"""Tests for range-bearing landmark factors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearizationError
+from repro.factorgraph import FactorGraph, Isotropic, Values, X, Y
+from repro.factors import (
+    PriorFactor,
+    RangeBearingFactor,
+    range_bearing_measurement,
+)
+from repro.geometry import Pose
+
+from tests.factors.conftest import assert_jacobians_match
+
+
+class TestErrorSemantics:
+    def test_zero_error_at_truth(self):
+        pose = Pose.from_xytheta(1.0, 2.0, 0.7)
+        landmark = np.array([4.0, 3.0])
+        r, b = range_bearing_measurement(pose, landmark)
+        f = RangeBearingFactor(X(0), Y(0), r, b)
+        v = Values({X(0): pose, Y(0): landmark})
+        assert np.allclose(f.unwhitened_error(v), np.zeros(2), atol=1e-12)
+
+    def test_range_error_component(self):
+        pose = Pose.identity(2)
+        f = RangeBearingFactor(X(0), Y(0), 1.0, 0.0)
+        v = Values({X(0): pose, Y(0): np.array([3.0, 0.0])})
+        assert np.allclose(f.unwhitened_error(v), [2.0, 0.0])
+
+    def test_bearing_wraps(self):
+        pose = Pose.from_xytheta(0.0, 0.0, np.pi - 0.1)
+        landmark = np.array([-2.0, -0.1])
+        r, b = range_bearing_measurement(pose, landmark)
+        f = RangeBearingFactor(X(0), Y(0), r, b)
+        # A heading perturbation that crosses the -pi/pi cut.
+        v = Values({X(0): pose.retract(np.array([0.3, 0.0, 0.0])),
+                    Y(0): landmark})
+        error = f.unwhitened_error(v)
+        assert abs(error[1]) < 1.0  # wrapped, not ~2*pi
+
+    def test_validation(self):
+        with pytest.raises(LinearizationError):
+            RangeBearingFactor(X(0), Y(0), -1.0, 0.0)
+        f = RangeBearingFactor(X(0), Y(0), 1.0, 0.0)
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({X(0): Pose.identity(3),
+                                       Y(0): np.zeros(2)}))
+        with pytest.raises(LinearizationError):
+            f.unwhitened_error(Values({X(0): Pose.identity(2),
+                                       Y(0): np.zeros(3)}))
+        with pytest.raises(LinearizationError):
+            # Landmark at the robot: undefined bearing.
+            f.unwhitened_error(Values({X(0): Pose.identity(2),
+                                       Y(0): np.zeros(2)}))
+
+
+class TestJacobians:
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        for seed in range(6):
+            pose = Pose.random(2, rng)
+            landmark = pose.t + np.array([2.0, 1.0]) + rng.standard_normal(2)
+            r, b = range_bearing_measurement(pose, landmark)
+            f = RangeBearingFactor(X(0), Y(0), r + 0.1, b - 0.05)
+            v = Values({X(0): pose, Y(0): landmark})
+            assert_jacobians_match(f, v, atol=1e-5)
+
+    def test_block_shapes(self):
+        f = RangeBearingFactor(X(0), Y(0), 2.0, 0.3)
+        v = Values({X(0): Pose.identity(2), Y(0): np.array([2.0, 0.5])})
+        gf = f.linearize(v)
+        assert gf.block(X(0)).shape == (2, 3)
+        assert gf.block(Y(0)).shape == (2, 2)
+
+
+class TestLandmarkSlam:
+    def test_triangulates_landmarks_from_two_poses(self):
+        rng = np.random.default_rng(1)
+        poses = [Pose.from_xytheta(0.0, 0.0, 0.0),
+                 Pose.from_xytheta(2.0, 0.0, 0.5)]
+        landmark = np.array([3.0, 2.0])
+
+        graph = FactorGraph()
+        values = Values()
+        for i, pose in enumerate(poses):
+            graph.add(PriorFactor(X(i), pose, Isotropic(3, 1e-4)))
+            values.insert(X(i), pose)
+            r, b = range_bearing_measurement(pose, landmark)
+            graph.add(RangeBearingFactor(X(i), Y(0), r, b))
+        values.insert(Y(0), landmark + rng.standard_normal(2))
+
+        result = graph.optimize(values)
+        assert result.converged
+        assert np.allclose(result.values.vector(Y(0)), landmark, atol=1e-5)
+
+    def test_full_slam_with_noisy_measurements(self):
+        rng = np.random.default_rng(2)
+        from repro.factors import LiDARFactor, odometry_measurement
+
+        truth = [Pose.from_xytheta(i * 1.0, 0.2 * i, 0.1 * i)
+                 for i in range(5)]
+        landmarks = [np.array([2.0, 3.0]), np.array([4.0, -2.0])]
+
+        graph = FactorGraph([PriorFactor(X(0), truth[0],
+                                         Isotropic(3, 1e-3))])
+        values = Values({X(0): truth[0]})
+        for i in range(4):
+            z = odometry_measurement(truth[i], truth[i + 1], rng,
+                                     0.005, 0.02)
+            graph.add(LiDARFactor(X(i), X(i + 1), z))
+            values.insert(X(i + 1),
+                          truth[i + 1].retract(0.1 * rng.standard_normal(3)))
+        for j, landmark in enumerate(landmarks):
+            values.insert(Y(j), landmark + 0.3 * rng.standard_normal(2))
+            for i, pose in enumerate(truth):
+                r, b = range_bearing_measurement(pose, landmark, rng,
+                                                 0.05, 0.01)
+                graph.add(RangeBearingFactor(X(i), Y(j), r, b))
+
+        result = graph.optimize(values)
+        assert result.converged
+        for j, landmark in enumerate(landmarks):
+            assert np.linalg.norm(result.values.vector(Y(j)) - landmark) < 0.2

@@ -1,0 +1,44 @@
+"""Tests for the Sec. 4.3 MAC cost model."""
+
+import pytest
+
+from repro.geometry import macs
+
+
+class TestPrimitiveCosts:
+    def test_matmul_cost(self):
+        assert macs.matmul(3, 3, 3).macs == 27
+        assert macs.matmul(4, 4, 4).macs == 64
+
+    def test_matvec_cost(self):
+        assert macs.matvec(3, 3).macs == 9
+
+    def test_counts_add_and_scale(self):
+        total = macs.matmul(3, 3, 3) + 2 * macs.matvec(3, 3)
+        assert total.macs == 27 + 18
+
+    def test_se3_exp_costlier_than_so3(self):
+        assert macs.exp_se3().macs > macs.exp_so3().macs
+
+    def test_se3_compose_costlier(self):
+        assert macs.compose_se3().macs > macs.compose_unified().macs
+
+
+class TestWorkload:
+    def test_iteration_scales_linearly(self):
+        one = macs.pose_graph_iteration(1, "unified").macs
+        ten = macs.pose_graph_iteration(10, "unified").macs
+        assert ten == 10 * one
+
+    def test_unknown_representation_rejected(self):
+        with pytest.raises(ValueError):
+            macs.pose_graph_iteration(1, "quaternion")
+
+    def test_savings_in_papers_ballpark(self):
+        # Paper reports 52.7% MAC savings; the cost model should land in
+        # the same regime (a >35% saving with SE(3) clearly dominated).
+        saving = macs.mac_savings()
+        assert 0.35 < saving < 0.70
+
+    def test_savings_independent_of_graph_size(self):
+        assert macs.mac_savings(10) == pytest.approx(macs.mac_savings(1000))

@@ -1,0 +1,159 @@
+"""Tests for the unified pose representation <so(n), T(n)>."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Pose, interpolate, poses_to_matrix, so3
+
+
+def random_pose3(seed):
+    rng = np.random.default_rng(seed)
+    return Pose.random(3, rng)
+
+
+pose3_strategy = st.integers(0, 10_000).map(random_pose3)
+pose2_strategy = st.integers(0, 10_000).map(
+    lambda s: Pose.random(2, np.random.default_rng(s))
+)
+
+
+class TestConstruction:
+    def test_identity_2d(self):
+        p = Pose.identity(2)
+        assert p.n == 2 and p.dim == 3
+        assert np.allclose(p.rotation, np.eye(2))
+
+    def test_identity_3d(self):
+        p = Pose.identity(3)
+        assert p.n == 3 and p.dim == 6
+
+    def test_identity_rejects_other_dims(self):
+        with pytest.raises(GeometryError):
+            Pose.identity(4)
+
+    def test_from_xytheta(self):
+        p = Pose.from_xytheta(1.0, 2.0, 0.5)
+        assert np.allclose(p.t, [1.0, 2.0])
+        assert np.isclose(p.phi[0], 0.5)
+
+    def test_from_rotation_3d(self):
+        r = so3.exp(np.array([0.1, 0.2, 0.3]))
+        p = Pose.from_rotation(r, np.zeros(3))
+        assert np.allclose(p.rotation, r)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(GeometryError):
+            Pose(np.zeros(2), np.zeros(3))
+
+    def test_vector_roundtrip(self):
+        p = Pose(np.array([0.1, 0.2, 0.3]), np.array([1.0, 2.0, 3.0]))
+        q = Pose.from_vector(p.vector())
+        assert p.almost_equal(q)
+
+    def test_from_vector_rejects_bad_length(self):
+        with pytest.raises(GeometryError):
+            Pose.from_vector(np.zeros(5))
+
+
+class TestGroupOps:
+    def test_compose_with_identity(self):
+        p = random_pose3(1)
+        assert p.compose(Pose.identity(3)).almost_equal(p)
+        assert Pose.identity(3).compose(p).almost_equal(p)
+
+    def test_compose_matches_matrix_product(self):
+        a, b = random_pose3(2), random_pose3(3)
+        c = a.compose(b)
+        assert np.allclose(c.rotation, a.rotation @ b.rotation)
+        assert np.allclose(c.t, a.t + a.rotation @ b.t)
+
+    def test_ominus_is_inverse_of_compose(self):
+        a, b = random_pose3(4), random_pose3(5)
+        diff = a.compose(b).ominus(a)
+        assert diff.almost_equal(b, tol=1e-8)
+
+    def test_inverse(self):
+        p = random_pose3(6)
+        assert p.compose(p.inverse()).almost_equal(Pose.identity(3), tol=1e-9)
+        assert p.inverse().compose(p).almost_equal(Pose.identity(3), tol=1e-9)
+
+    def test_self_difference_is_identity(self):
+        p = random_pose3(7)
+        assert p.ominus(p).almost_equal(Pose.identity(3), tol=1e-9)
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(GeometryError):
+            Pose.identity(2).compose(Pose.identity(3))
+
+    def test_transform_point(self):
+        p = Pose.from_xytheta(1.0, 0.0, np.pi / 2)
+        assert np.allclose(p.transform_point(np.array([1.0, 0.0])), [1.0, 1.0])
+
+    def test_transform_point_bad_shape(self):
+        with pytest.raises(GeometryError):
+            Pose.identity(3).transform_point(np.zeros(2))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pose3_strategy, pose3_strategy, pose3_strategy)
+    def test_compose_associative(self, a, b, c):
+        lhs = a.compose(b).compose(c)
+        rhs = a.compose(b.compose(c))
+        assert lhs.almost_equal(rhs, tol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pose2_strategy, pose2_strategy)
+    def test_ominus_compose_roundtrip_2d(self, a, b):
+        assert a.compose(b).ominus(a).almost_equal(b, tol=1e-8)
+
+
+class TestChart:
+    def test_retract_zero_is_noop(self):
+        p = random_pose3(8)
+        assert p.retract(np.zeros(6)).almost_equal(p)
+
+    def test_local_inverts_retract_3d(self):
+        p = random_pose3(9)
+        delta = np.array([0.1, -0.2, 0.05, 1.0, 2.0, -0.5])
+        assert np.allclose(p.local(p.retract(delta)), delta, atol=1e-8)
+
+    def test_local_inverts_retract_2d(self):
+        p = Pose.from_xytheta(1.0, -1.0, 0.3)
+        delta = np.array([0.4, 0.6, -0.2])
+        assert np.allclose(p.local(p.retract(delta)), delta, atol=1e-10)
+
+    def test_retract_wraps_heading(self):
+        p = Pose.from_xytheta(0.0, 0.0, np.pi - 0.1)
+        q = p.retract(np.array([0.3, 0.0, 0.0]))
+        assert -np.pi <= q.phi[0] <= np.pi
+
+    def test_retract_bad_shape(self):
+        with pytest.raises(GeometryError):
+            Pose.identity(3).retract(np.zeros(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(pose3_strategy, pose3_strategy)
+    def test_local_retract_roundtrip_property(self, a, b):
+        assert a.retract(a.local(b)).almost_equal(b, tol=1e-8)
+
+
+class TestHelpers:
+    def test_interpolate_endpoints(self):
+        a, b = random_pose3(10), random_pose3(11)
+        assert interpolate(a, b, 0.0).almost_equal(a)
+        assert interpolate(a, b, 1.0).almost_equal(b, tol=1e-8)
+
+    def test_interpolate_midpoint_translation(self):
+        a = Pose.identity(3)
+        b = Pose(np.zeros(3), np.array([2.0, 0.0, 0.0]))
+        mid = interpolate(a, b, 0.5)
+        assert np.allclose(mid.t, [1.0, 0.0, 0.0])
+
+    def test_poses_to_matrix(self):
+        mat = poses_to_matrix([Pose.identity(3), random_pose3(12)])
+        assert mat.shape == (2, 6)
+
+    def test_poses_to_matrix_empty(self):
+        assert poses_to_matrix([]).shape == (0, 0)

@@ -1,0 +1,130 @@
+"""Tests for the quaternion representation (Sec. 4.1 survey)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import quaternion as quat
+from repro.geometry import so3
+
+
+def random_q(seed):
+    return quat.random_quaternion(np.random.default_rng(seed))
+
+
+q_strategy = st.integers(0, 10_000).map(random_q)
+phi_strategy = st.lists(st.floats(-2.5, 2.5, allow_nan=False),
+                        min_size=3, max_size=3).map(np.array)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert np.allclose(quat.to_rotation(quat.identity()), np.eye(3))
+
+    def test_normalize_canonical_sign(self):
+        q = quat.normalize(np.array([-1.0, 0.0, 0.0, 0.0]))
+        assert q[0] == 1.0
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(GeometryError):
+            quat.normalize(np.zeros(4))
+
+    def test_normalize_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            quat.normalize(np.zeros(3))
+
+    def test_conjugate_is_inverse(self):
+        q = random_q(0)
+        prod = quat.multiply(q, quat.conjugate(q))
+        assert np.allclose(prod, quat.identity(), atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q_strategy, q_strategy)
+    def test_multiply_matches_matrix_product(self, q1, q2):
+        lhs = quat.to_rotation(quat.multiply(q1, q2))
+        rhs = quat.to_rotation(q1) @ quat.to_rotation(q2)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q_strategy)
+    def test_rotate_matches_matrix(self, q):
+        v = np.array([0.3, -1.2, 2.0])
+        assert np.allclose(quat.rotate(q, v), quat.to_rotation(q) @ v,
+                           atol=1e-10)
+
+    def test_rotate_rejects_bad_vector(self):
+        with pytest.raises(GeometryError):
+            quat.rotate(quat.identity(), np.zeros(2))
+
+
+class TestConversions:
+    @settings(max_examples=40, deadline=None)
+    @given(q_strategy)
+    def test_rotation_roundtrip(self, q):
+        back = quat.from_rotation(quat.to_rotation(q))
+        assert np.allclose(back, quat.normalize(q), atol=1e-9)
+
+    def test_from_rotation_near_pi(self):
+        # Trace <= 0 branch of Shepperd's method.
+        for axis in np.eye(3):
+            r = so3.exp(np.pi * axis)
+            q = quat.from_rotation(r)
+            assert np.allclose(quat.to_rotation(q), r, atol=1e-9)
+
+    def test_from_rotation_bad_shape(self):
+        with pytest.raises(GeometryError):
+            quat.from_rotation(np.eye(2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(phi_strategy)
+    def test_exp_log_roundtrip(self, phi):
+        norm = np.linalg.norm(phi)
+        if norm >= np.pi - 1e-3:
+            phi = phi * (np.pi - 1e-3) / norm
+        assert np.allclose(quat.log(quat.exp(phi)), phi, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(phi_strategy)
+    def test_exp_agrees_with_so3(self, phi):
+        assert np.allclose(quat.to_rotation(quat.exp(phi)), so3.exp(phi),
+                           atol=1e-10)
+
+    def test_small_angle_branches(self):
+        tiny = np.array([1e-12, 0.0, 0.0])
+        assert np.allclose(quat.log(quat.exp(tiny)), tiny, atol=1e-15)
+
+    def test_bridge_functions(self):
+        phi = np.array([0.2, -0.4, 0.6])
+        assert np.allclose(quat.quat_to_so3(quat.so3_to_quat(phi)), phi,
+                           atol=1e-10)
+
+    def test_exp_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            quat.exp(np.zeros(4))
+
+
+class TestSlerp:
+    def test_endpoints(self):
+        q1, q2 = random_q(1), random_q(2)
+        assert np.allclose(quat.slerp(q1, q2, 0.0), quat.normalize(q1),
+                           atol=1e-10)
+        assert np.allclose(quat.slerp(q1, q2, 1.0), quat.normalize(q2),
+                           atol=1e-10)
+
+    def test_midpoint_is_half_angle(self):
+        q1 = quat.identity()
+        q2 = quat.exp(np.array([0.0, 0.0, 1.0]))
+        mid = quat.slerp(q1, q2, 0.5)
+        assert np.allclose(quat.log(mid), [0.0, 0.0, 0.5], atol=1e-10)
+
+    def test_result_is_unit(self):
+        assert quat.is_unit(quat.slerp(random_q(3), random_q(4), 0.37))
+
+
+class TestIsUnit:
+    def test_detects_non_unit(self):
+        assert not quat.is_unit(np.array([2.0, 0.0, 0.0, 0.0]))
+        assert not quat.is_unit(np.zeros(3))
+        assert quat.is_unit(quat.identity())

@@ -1,0 +1,141 @@
+"""Tests for SE(3)/se(3) and the Fig. 8 conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    SE3,
+    Pose,
+    pose_to_se3,
+    pose_to_se3_algebra,
+    se3_algebra_to_pose,
+    se3_exp,
+    se3_log,
+    se3_to_pose,
+    so3,
+)
+
+
+def random_se3(seed):
+    rng = np.random.default_rng(seed)
+    return SE3.from_rt(so3.random_rotation(rng), rng.standard_normal(3))
+
+
+se3_strategy = st.integers(0, 10_000).map(random_se3)
+twist_strategy = st.lists(
+    st.floats(-2.0, 2.0, allow_nan=False), min_size=6, max_size=6
+).map(np.array)
+
+
+class TestSE3Group:
+    def test_identity(self):
+        assert np.allclose(SE3.identity().matrix, np.eye(4))
+
+    def test_constructor_validates_bottom_row(self):
+        m = np.eye(4)
+        m[3, 0] = 1.0
+        with pytest.raises(GeometryError):
+            SE3(m)
+
+    def test_constructor_validates_rotation(self):
+        m = np.eye(4)
+        m[0, 0] = 2.0
+        with pytest.raises(GeometryError):
+            SE3(m)
+
+    def test_compose_inverse(self):
+        t = random_se3(0)
+        assert t.compose(t.inverse()).almost_equal(SE3.identity(), tol=1e-9)
+
+    def test_between(self):
+        a, b = random_se3(1), random_se3(2)
+        assert a.compose(a.between(b)).almost_equal(b, tol=1e-9)
+
+    def test_transform_point(self):
+        t = SE3.from_rt(np.eye(3), np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(t.transform_point(np.zeros(3)), [1.0, 2.0, 3.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(se3_strategy, se3_strategy)
+    def test_compose_matches_matrix_product(self, a, b):
+        assert np.allclose(a.compose(b).matrix, a.matrix @ b.matrix)
+
+
+class TestSe3Maps:
+    def test_exp_zero(self):
+        assert se3_exp(np.zeros(6)).almost_equal(SE3.identity())
+
+    def test_log_inverts_exp(self):
+        xi = np.array([0.5, -0.2, 0.8, 0.3, 0.1, -0.4])
+        assert np.allclose(se3_log(se3_exp(xi)), xi, atol=1e-9)
+
+    def test_pure_translation_twist(self):
+        xi = np.array([1.0, 2.0, 3.0, 0.0, 0.0, 0.0])
+        t = se3_exp(xi)
+        assert np.allclose(t.rotation, np.eye(3))
+        assert np.allclose(t.t, [1.0, 2.0, 3.0])
+
+    def test_exp_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            se3_exp(np.zeros(5))
+
+    @settings(max_examples=40, deadline=None)
+    @given(twist_strategy)
+    def test_exp_log_roundtrip_property(self, xi):
+        norm = np.linalg.norm(xi[3:])
+        if norm >= np.pi - 1e-2:
+            xi = xi.copy()
+            xi[3:] *= (np.pi - 1e-2) / norm
+        assert np.allclose(se3_log(se3_exp(xi)), xi, atol=1e-7)
+
+
+class TestConversions:
+    """The three-way equivalences of Fig. 8."""
+
+    def test_pose_se3_roundtrip(self):
+        rng = np.random.default_rng(3)
+        pose = Pose.random(3, rng)
+        assert se3_to_pose(pose_to_se3(pose)).almost_equal(pose, tol=1e-9)
+
+    def test_se3_pose_roundtrip(self):
+        t = random_se3(4)
+        assert pose_to_se3(se3_to_pose(t)).almost_equal(t, tol=1e-9)
+
+    def test_pose_algebra_roundtrip(self):
+        rng = np.random.default_rng(5)
+        pose = Pose.random(3, rng)
+        assert se3_algebra_to_pose(pose_to_se3_algebra(pose)).almost_equal(
+            pose, tol=1e-9
+        )
+
+    def test_triangle_consistency(self):
+        # pose -> SE3 -> se3 must agree with pose -> se3 directly.
+        rng = np.random.default_rng(6)
+        pose = Pose.random(3, rng)
+        via_group = se3_log(pose_to_se3(pose))
+        direct = pose_to_se3_algebra(pose)
+        assert np.allclose(via_group, direct, atol=1e-8)
+
+    def test_composition_agrees_across_representations(self):
+        # (a (+) b) in unified form == matrix product in SE(3), mapped back.
+        rng = np.random.default_rng(7)
+        a, b = Pose.random(3, rng), Pose.random(3, rng)
+        unified = a.compose(b)
+        via_se3 = se3_to_pose(pose_to_se3(a).compose(pose_to_se3(b)))
+        assert unified.almost_equal(via_se3, tol=1e-8)
+
+    def test_ominus_agrees_with_se3_between(self):
+        rng = np.random.default_rng(8)
+        a, b = Pose.random(3, rng), Pose.random(3, rng)
+        unified = a.ominus(b)
+        via_se3 = se3_to_pose(pose_to_se3(b).between(pose_to_se3(a)))
+        assert unified.almost_equal(via_se3, tol=1e-8)
+
+    def test_conversion_requires_3d(self):
+        with pytest.raises(GeometryError):
+            pose_to_se3(Pose.identity(2))
+        with pytest.raises(GeometryError):
+            pose_to_se3_algebra(Pose.identity(2))

@@ -1,0 +1,82 @@
+"""Tests for the planar rotation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import so2
+
+angles = st.floats(-10.0, 10.0, allow_nan=False)
+
+
+class TestExpLog:
+    def test_exp_zero(self):
+        assert np.allclose(so2.exp(0.0), np.eye(2))
+
+    def test_exp_quarter_turn(self):
+        r = so2.exp(np.pi / 2)
+        assert np.allclose(r @ np.array([1.0, 0.0]), [0.0, 1.0])
+
+    def test_log_of_exp(self):
+        assert np.isclose(so2.log(so2.exp(0.7)), 0.7)
+
+    def test_log_wraps(self):
+        assert np.isclose(so2.log(so2.exp(2 * np.pi + 0.1)), 0.1)
+
+    def test_log_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            so2.log(np.eye(3))
+
+    @settings(max_examples=50, deadline=None)
+    @given(angles)
+    def test_exp_is_rotation_property(self, theta):
+        assert so2.is_rotation(so2.exp(theta))
+
+    @settings(max_examples=50, deadline=None)
+    @given(angles, angles)
+    def test_exp_is_homomorphism(self, a, b):
+        assert np.allclose(so2.exp(a) @ so2.exp(b), so2.exp(a + b), atol=1e-9)
+
+
+class TestSkew:
+    def test_skew_is_generator_scaled(self):
+        assert np.allclose(so2.skew(2.0), 2.0 * so2.GENERATOR)
+
+    def test_vee_inverts_skew(self):
+        assert np.isclose(so2.vee(so2.skew(-1.3)), -1.3)
+
+    def test_vee_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            so2.vee(np.eye(3))
+
+    def test_generator_is_derivative_of_exp(self):
+        eps = 1e-7
+        numeric = (so2.exp(eps) - np.eye(2)) / eps
+        assert np.allclose(numeric, so2.GENERATOR, atol=1e-6)
+
+
+class TestJacobians:
+    def test_right_jacobian_identity(self):
+        assert np.allclose(so2.right_jacobian(1.2), np.eye(1))
+        assert np.allclose(so2.right_jacobian_inv(-0.5), np.eye(1))
+
+
+class TestWrap:
+    def test_wrap_inside_range(self):
+        assert np.isclose(so2.wrap_angle(1.0), 1.0)
+
+    def test_wrap_large_angle(self):
+        assert np.isclose(so2.wrap_angle(3 * np.pi), np.pi)
+
+    @settings(max_examples=50, deadline=None)
+    @given(angles)
+    def test_wrap_preserves_rotation(self, theta):
+        assert np.allclose(so2.exp(so2.wrap_angle(theta)), so2.exp(theta), atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(angles)
+    def test_wrap_range(self, theta):
+        w = so2.wrap_angle(theta)
+        assert -np.pi - 1e-12 <= w <= np.pi + 1e-12

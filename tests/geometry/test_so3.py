@@ -1,0 +1,152 @@
+"""Unit and property tests for the SO(3) primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import so3
+
+
+def small_vectors(max_norm=3.0):
+    return st.lists(
+        st.floats(-max_norm, max_norm, allow_nan=False), min_size=3, max_size=3
+    ).map(np.array)
+
+
+class TestSkew:
+    def test_skew_antisymmetric(self):
+        k = so3.skew(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(k, -k.T)
+
+    def test_skew_cross_product(self):
+        v = np.array([1.0, -2.0, 0.5])
+        w = np.array([0.3, 4.0, -1.0])
+        assert np.allclose(so3.skew(v) @ w, np.cross(v, w))
+
+    def test_vee_inverts_skew(self):
+        v = np.array([0.1, 0.2, 0.3])
+        assert np.allclose(so3.vee(so3.skew(v)), v)
+
+    def test_skew_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            so3.skew(np.zeros(4))
+
+    def test_vee_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            so3.vee(np.zeros((2, 2)))
+
+
+class TestExpLog:
+    def test_exp_zero_is_identity(self):
+        assert np.allclose(so3.exp(np.zeros(3)), np.eye(3))
+
+    def test_exp_is_rotation(self):
+        r = so3.exp(np.array([0.4, -0.8, 1.2]))
+        assert so3.is_rotation(r)
+
+    def test_exp_quarter_turn_z(self):
+        r = so3.exp(np.array([0.0, 0.0, np.pi / 2]))
+        assert np.allclose(r @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0])
+
+    def test_log_identity_is_zero(self):
+        assert np.allclose(so3.log(np.eye(3)), np.zeros(3))
+
+    def test_log_inverts_exp_generic(self):
+        phi = np.array([0.7, -0.3, 0.5])
+        assert np.allclose(so3.log(so3.exp(phi)), phi)
+
+    def test_log_near_pi(self):
+        phi = (np.pi - 1e-8) * np.array([1.0, 0.0, 0.0])
+        recovered = so3.log(so3.exp(phi))
+        assert np.allclose(so3.exp(recovered), so3.exp(phi), atol=1e-6)
+
+    def test_log_exactly_pi_each_axis(self):
+        for axis in np.eye(3):
+            phi = np.pi * axis
+            recovered = so3.log(so3.exp(phi))
+            assert np.allclose(so3.exp(recovered), so3.exp(phi), atol=1e-6)
+
+    def test_small_angle_taylor_branch(self):
+        phi = np.array([1e-9, -2e-9, 5e-10])
+        assert np.allclose(so3.log(so3.exp(phi)), phi, atol=1e-15)
+
+    def test_exp_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            so3.exp(np.zeros(2))
+
+    def test_log_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            so3.log(np.zeros((4, 4)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_vectors())
+    def test_exp_log_roundtrip_property(self, phi):
+        norm = np.linalg.norm(phi)
+        if norm >= np.pi - 1e-3:
+            phi = phi * (np.pi - 1e-3) / norm
+        assert np.allclose(so3.log(so3.exp(phi)), phi, atol=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_vectors(), small_vectors())
+    def test_exp_homomorphism_on_parallel_vectors(self, phi, _unused):
+        # Exp((a+b) v) = Exp(a v) Exp(b v) for parallel rotation vectors.
+        assert np.allclose(
+            so3.exp(phi) @ so3.exp(0.5 * phi), so3.exp(1.5 * phi), atol=1e-9
+        )
+
+
+class TestJacobians:
+    def test_right_jacobian_at_zero(self):
+        assert np.allclose(so3.right_jacobian(np.zeros(3)), np.eye(3))
+
+    def test_right_jacobian_inverse_consistency(self):
+        phi = np.array([0.3, 0.9, -0.4])
+        prod = so3.right_jacobian(phi) @ so3.right_jacobian_inv(phi)
+        assert np.allclose(prod, np.eye(3), atol=1e-10)
+
+    def test_right_jacobian_first_order_property(self):
+        # Exp(phi + d) ~ Exp(phi) Exp(Jr(phi) d)
+        phi = np.array([0.5, -0.2, 0.8])
+        d = 1e-6 * np.array([1.0, -2.0, 0.5])
+        lhs = so3.exp(phi + d)
+        rhs = so3.exp(phi) @ so3.exp(so3.right_jacobian(phi) @ d)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_left_jacobian_relation(self):
+        phi = np.array([0.2, 0.4, -0.6])
+        assert np.allclose(so3.left_jacobian(phi), so3.right_jacobian(-phi))
+
+    def test_left_jacobian_is_se3_v_matrix(self):
+        # V(phi) known closed form at axis-aligned angle.
+        phi = np.array([0.0, 0.0, 1.3])
+        v = so3.left_jacobian(phi)
+        # V should map rho so that exp of the twist matches direct integral.
+        assert v.shape == (3, 3)
+        assert np.isfinite(v).all()
+
+    def test_small_angle_jacobians(self):
+        phi = np.array([1e-9, 0.0, 0.0])
+        prod = so3.right_jacobian(phi) @ so3.right_jacobian_inv(phi)
+        assert np.allclose(prod, np.eye(3), atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_vectors(max_norm=2.0))
+    def test_jacobian_inverse_property(self, phi):
+        prod = so3.right_jacobian(phi) @ so3.right_jacobian_inv(phi)
+        assert np.allclose(prod, np.eye(3), atol=1e-7)
+
+
+class TestHelpers:
+    def test_is_rotation_rejects_reflection(self):
+        m = np.diag([1.0, 1.0, -1.0])
+        assert not so3.is_rotation(m)
+
+    def test_is_rotation_rejects_bad_shape(self):
+        assert not so3.is_rotation(np.eye(2))
+
+    def test_random_rotation_is_rotation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert so3.is_rotation(so3.random_rotation(rng))

@@ -1,0 +1,79 @@
+"""Tests for automatic datapath generation."""
+
+import numpy as np
+
+from repro.compiler import compile_graph
+from repro.compiler.isa import (
+    UNIT_BSUB,
+    UNIT_MATMUL,
+    UNIT_QR,
+    UNIT_VECTOR,
+)
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.hw import generate_datapath, required_buffer_kib
+
+
+def compiled_chain(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+class TestDatapathGeneration:
+    def test_expected_connections_exist(self):
+        compiled = compiled_chain()
+        dp = generate_datapath(compiled.program)
+        pairs = set(dp.connections)
+        # The construct pipeline feeds row blocks into the QR unit...
+        assert (UNIT_VECTOR, UNIT_QR) in pairs
+        # ... QR conditionals feed back substitution ...
+        assert (UNIT_QR, UNIT_BSUB) in pairs
+        # ... and derivative chains stay inside the multiply unit.
+        assert (UNIT_MATMUL, UNIT_MATMUL) in pairs
+
+    def test_traffic_counts_positive(self):
+        compiled = compiled_chain()
+        dp = generate_datapath(compiled.program)
+        for conn in dp.connections.values():
+            assert conn.transfers > 0
+            assert conn.words > 0
+
+    def test_bus_width_power_of_two(self):
+        compiled = compiled_chain()
+        dp = generate_datapath(compiled.program)
+        for conn in dp.connections.values():
+            width = conn.width_bits
+            assert width & (width - 1) == 0
+            assert 32 <= width <= 512
+
+    def test_total_traffic_grows_with_graph(self):
+        small = generate_datapath(compiled_chain(3).program)
+        large = generate_datapath(compiled_chain(8).program)
+        assert large.total_traffic_words() > small.total_traffic_words()
+
+    def test_peak_live_positive(self):
+        dp = generate_datapath(compiled_chain().program)
+        assert dp.buffer_words_peak > 0
+
+    def test_describe_lines(self):
+        dp = generate_datapath(compiled_chain().program)
+        lines = dp.describe()
+        assert len(lines) == len(dp.connections)
+
+    def test_required_buffer_monotone(self):
+        small = required_buffer_kib(compiled_chain(3).program)
+        large = required_buffer_kib(compiled_chain(10).program)
+        assert 4 <= small <= large
+
+    def test_default_bus_width_for_empty_connection(self):
+        from repro.hw import Connection
+
+        assert Connection("a", "b").width_bits == 32

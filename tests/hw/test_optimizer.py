@@ -1,0 +1,85 @@
+"""Tests for the Equ. 5 constraint-based hardware optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.hw import (
+    Resources,
+    ZC706,
+    dsp_budget,
+    generate_accelerator,
+    minimal_config,
+    sweep_dsp_constraints,
+)
+from repro.sim import Simulator
+
+
+def workload(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values).program
+
+
+class TestGeneration:
+    def test_result_fits_budget(self):
+        program = workload()
+        result = generate_accelerator(program, ZC706)
+        assert result.config.fits(ZC706)
+
+    def test_objective_improves_or_stays(self):
+        program = workload()
+        result = generate_accelerator(program, ZC706)
+        base = Simulator(minimal_config()).run(program, "ooo").total_cycles
+        assert result.objective <= base
+
+    def test_steps_monotone(self):
+        program = workload()
+        result = generate_accelerator(program, ZC706)
+        for step in result.steps:
+            assert step.objective_after < step.objective_before
+
+    def test_tight_budget_yields_minimal(self):
+        program = workload()
+        minimal_res = minimal_config().resources()
+        # A budget exactly at the minimal config leaves no room to grow.
+        result = generate_accelerator(program, minimal_res)
+        assert result.num_steps == 0
+        assert result.config.unit_counts == minimal_config().unit_counts
+
+    def test_infeasible_budget_rejected(self):
+        with pytest.raises(HardwareError):
+            generate_accelerator(workload(), Resources(dsp=10))
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(HardwareError):
+            generate_accelerator(workload(), ZC706, objective="area")
+
+    def test_energy_objective_runs(self):
+        program = workload(4)
+        result = generate_accelerator(program, ZC706, objective="energy",
+                                      max_steps=3)
+        assert result.objective > 0.0
+
+
+class TestDspSweep:
+    def test_more_dsp_never_slower(self):
+        program = workload()
+        sweep = sweep_dsp_constraints(program, [420, 600, 900])
+        latencies = [sweep[d].objective for d in (420, 600, 900)]
+        assert latencies[0] >= latencies[1] >= latencies[2]
+
+    def test_dsp_budget_only_constrains_dsp(self):
+        budget = dsp_budget(500)
+        assert budget.dsp == 500
+        assert budget.lut >= 10**9

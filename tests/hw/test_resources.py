@@ -1,0 +1,83 @@
+"""Tests for resource vectors and accelerator configurations."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.compiler.isa import UNIT_MATMUL, UNIT_QR
+from repro.hw import (
+    AcceleratorConfig,
+    Resources,
+    ZC706,
+    balanced_config,
+    minimal_config,
+)
+
+
+class TestResources:
+    def test_add_and_scale(self):
+        a = Resources(lut=10, ff=20, bram=1, dsp=2)
+        b = Resources(lut=5, ff=5, bram=1, dsp=1)
+        assert a + b == Resources(15, 25, 2, 3)
+        assert 2 * a == Resources(20, 40, 2, 4)
+
+    def test_fits_within(self):
+        small = Resources(lut=10, ff=10, bram=1, dsp=1)
+        assert small.fits_within(ZC706)
+        assert not Resources(dsp=10_000).fits_within(ZC706)
+
+    def test_utilization(self):
+        half = Resources(lut=ZC706.lut // 2)
+        assert half.utilization(ZC706) == pytest.approx(0.5, abs=1e-3)
+
+    def test_scaled_ratio(self):
+        a = Resources(lut=30, ff=20, bram=4, dsp=10)
+        b = Resources(lut=10, ff=10, bram=2, dsp=5)
+        ratios = a.scaled_ratio(b)
+        assert ratios["lut"] == pytest.approx(3.0)
+        assert ratios["dsp"] == pytest.approx(2.0)
+
+    def test_ratio_with_zero_denominator(self):
+        ratios = Resources(lut=1).scaled_ratio(Resources())
+        assert ratios["lut"] == float("inf")
+
+
+class TestAcceleratorConfig:
+    def test_minimal_config_fits_zc706(self):
+        assert minimal_config().fits(ZC706)
+
+    def test_balanced_config_fits_zc706(self):
+        assert balanced_config().fits(ZC706)
+
+    def test_with_extra_unit(self):
+        base = minimal_config()
+        bigger = base.with_extra_unit(UNIT_MATMUL)
+        assert bigger.count(UNIT_MATMUL) == base.count(UNIT_MATMUL) + 1
+        assert bigger.resources().dsp > base.resources().dsp
+
+    def test_with_extra_unknown_unit(self):
+        with pytest.raises(HardwareError):
+            minimal_config().with_extra_unit("gpu")
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(HardwareError):
+            AcceleratorConfig(unit_counts={UNIT_MATMUL: 0, UNIT_QR: 1})
+
+    def test_resources_include_infrastructure(self):
+        from repro.hw import DEFAULT_TEMPLATES, INFRASTRUCTURE
+
+        config = minimal_config()
+        total = config.resources()
+        units_only = sum(
+            (t.resources for t in DEFAULT_TEMPLATES.values()),
+            Resources(),
+        )
+        assert total.lut == units_only.lut + INFRASTRUCTURE.lut
+
+    def test_buffer_adds_bram(self):
+        small = AcceleratorConfig(buffer_kib=4)
+        big = AcceleratorConfig(buffer_kib=1024)
+        assert big.resources().bram > small.resources().bram
+
+    def test_describe_mentions_units(self):
+        text = minimal_config().describe()
+        assert "matmul" in text and "qr" in text

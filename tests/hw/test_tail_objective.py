@@ -1,0 +1,66 @@
+"""Tests for multi-program generation objectives (average vs tail)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.hw import ZC706, generate_accelerator, minimal_config
+from repro.sim import Simulator
+
+
+def frame_program(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 0.1))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values).program
+
+
+@pytest.fixture(scope="module")
+def mixed_frames():
+    # Mostly small frames plus one heavy outlier frame: the tail case.
+    return [frame_program(3, s) for s in range(3)] + [frame_program(10, 9)]
+
+
+class TestMultiProgramObjectives:
+    def test_tail_objective_optimizes_worst_frame(self, mixed_frames):
+        result = generate_accelerator(mixed_frames, ZC706,
+                                      objective="tail", max_steps=4)
+        sim = Simulator(result.config)
+        worst = max(sim.run(p, "ooo").total_cycles for p in mixed_frames)
+        base = Simulator(minimal_config())
+        worst_base = max(base.run(p, "ooo").total_cycles
+                         for p in mixed_frames)
+        assert worst <= worst_base
+        assert result.objective == pytest.approx(worst)
+
+    def test_average_objective_is_mean(self, mixed_frames):
+        result = generate_accelerator(mixed_frames, ZC706,
+                                      objective="latency", max_steps=2)
+        sim = Simulator(result.config)
+        mean = np.mean([sim.run(p, "ooo").total_cycles
+                        for p in mixed_frames])
+        assert result.objective == pytest.approx(mean)
+
+    def test_single_program_still_accepted(self):
+        program = frame_program(3, 0)
+        result = generate_accelerator(program, ZC706, objective="tail",
+                                      max_steps=1)
+        assert result.objective > 0
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(HardwareError):
+            generate_accelerator([], ZC706)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(HardwareError):
+            generate_accelerator(frame_program(3, 0), ZC706,
+                                 objective="area")

@@ -1,0 +1,122 @@
+"""Tests for the Gauss-Newton solver."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import (
+    FactorGraph,
+    FunctionFactor,
+    Isotropic,
+    Unit,
+    Values,
+    X,
+    prior_on_vector,
+)
+from repro.geometry import Pose
+from repro.optim import GaussNewtonParams, gauss_newton, step_norm
+
+
+def pose_prior(key, target: Pose, sigma=1.0):
+    def fn(values):
+        return target.local(values.pose(key))
+
+    return FunctionFactor([key], Isotropic(target.dim, sigma), fn)
+
+
+def pose_between(k1, k2, measured: Pose, sigma=1.0):
+    def fn(values):
+        predicted = values.pose(k2).ominus(values.pose(k1))
+        return measured.local(predicted)
+
+    return FunctionFactor([k1, k2], Isotropic(measured.dim, sigma), fn)
+
+
+class TestLinearProblems:
+    def test_converges_in_one_iteration(self):
+        g = FactorGraph([prior_on_vector(X(0), np.array([3.0, -1.0]))])
+        result = gauss_newton(g, Values({X(0): np.zeros(2)}))
+        assert result.converged
+        assert result.iterations[0].error_after == pytest.approx(0.0, abs=1e-18)
+        assert np.allclose(result.values.vector(X(0)), [3.0, -1.0])
+
+    def test_respects_max_iterations(self):
+        g = FactorGraph([prior_on_vector(X(0), np.array([1.0]))])
+        params = GaussNewtonParams(max_iterations=1)
+        result = gauss_newton(g, Values({X(0): np.zeros(1)}), params)
+        assert result.num_iterations == 1
+
+    def test_explicit_ordering_used(self):
+        g = FactorGraph([
+            prior_on_vector(X(0), np.array([1.0])),
+            prior_on_vector(X(1), np.array([2.0])),
+        ])
+        v = Values({X(0): np.zeros(1), X(1): np.zeros(1)})
+        result = gauss_newton(g, v, ordering=[X(1), X(0)])
+        assert np.allclose(result.values.vector(X(1)), [2.0])
+
+
+class TestNonlinearProblems:
+    def test_scalar_quadratic_root(self):
+        # f(x) = x^2 - 4 -> minimum of ||f||^2 at x = +-2.
+        def fn(values):
+            x = values.vector(X(0))[0]
+            return np.array([x * x - 4.0])
+
+        g = FactorGraph([FunctionFactor([X(0)], Unit(1), fn)])
+        result = gauss_newton(g, Values({X(0): np.array([1.0])}))
+        assert result.converged
+        assert abs(result.values.vector(X(0))[0]) == pytest.approx(2.0, abs=1e-6)
+
+    def test_pose_chain_recovers_odometry(self):
+        rng = np.random.default_rng(0)
+        truth = [Pose.identity(3)]
+        for _ in range(4):
+            truth.append(truth[-1].compose(Pose.random(3, rng, scale=0.5)))
+
+        g = FactorGraph([pose_prior(X(0), truth[0], sigma=1e-3)])
+        for i in range(4):
+            g.add(pose_between(X(i), X(i + 1), truth[i + 1].ominus(truth[i])))
+
+        noisy = Values()
+        noisy.insert(X(0), truth[0])
+        for i in range(1, 5):
+            noise = 0.1 * rng.standard_normal(6)
+            noisy.insert(X(i), truth[i].retract(noise))
+
+        result = gauss_newton(g, noisy)
+        assert result.converged
+        for i, t in enumerate(truth):
+            assert result.values.pose(X(i)).almost_equal(t, tol=1e-5)
+
+    def test_error_monotone_on_well_behaved_problem(self):
+        def fn(values):
+            x = values.vector(X(0))
+            return np.array([np.exp(0.3 * x[0]) - 2.0])
+
+        g = FactorGraph([FunctionFactor([X(0)], Unit(1), fn)])
+        result = gauss_newton(g, Values({X(0): np.array([0.0])}))
+        errors = [r.error_before for r in result.iterations]
+        errors.append(result.final_error)
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
+
+
+class TestResultObject:
+    def test_trace_fields(self):
+        g = FactorGraph([prior_on_vector(X(0), np.array([1.0, 1.0]))])
+        result = gauss_newton(g, Values({X(0): np.zeros(2)}))
+        rec = result.iterations[0]
+        assert rec.error_before == pytest.approx(1.0)
+        assert rec.improvement == pytest.approx(rec.error_before - rec.error_after)
+        assert rec.step_norm == pytest.approx(np.sqrt(2.0))
+        assert result.initial_error == pytest.approx(1.0)
+
+    def test_empty_result_nan_errors(self):
+        from repro.optim import OptimizationResult
+
+        r = OptimizationResult(values=Values(), converged=False)
+        assert np.isnan(r.final_error) and np.isnan(r.initial_error)
+
+    def test_step_norm_helper(self):
+        assert step_norm({X(0): np.array([3.0]), X(1): np.array([4.0])}) == (
+            pytest.approx(5.0)
+        )

@@ -1,0 +1,76 @@
+"""Tests for Levenberg-Marquardt."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import (
+    FactorGraph,
+    FunctionFactor,
+    GaussianFactorGraph,
+    Unit,
+    Values,
+    X,
+    prior_on_vector,
+)
+from repro.optim import LevenbergParams, damped_graph, levenberg_marquardt
+
+
+class TestDampedGraph:
+    def test_adds_one_prior_row_per_variable(self):
+        g = FactorGraph([
+            prior_on_vector(X(0), np.array([1.0, 1.0])),
+            prior_on_vector(X(1), np.array([0.0])),
+        ])
+        v = Values({X(0): np.zeros(2), X(1): np.zeros(1)})
+        linear = g.linearize(v)
+        damped = damped_graph(linear, lam=4.0)
+        assert len(damped) == len(linear) + 2
+        # The damping block is sqrt(lambda) I.
+        extra = damped.factors[-1]
+        assert np.allclose(np.abs(extra.block(extra.keys[0])),
+                           2.0 * np.eye(extra.rows))
+
+    def test_zero_lambda_is_noop_rows(self):
+        g = FactorGraph([prior_on_vector(X(0), np.array([1.0]))])
+        linear = g.linearize(Values({X(0): np.zeros(1)}))
+        damped = damped_graph(linear, lam=0.0)
+        sol = damped.solve_dense()
+        assert np.allclose(sol[X(0)], [1.0])
+
+
+class TestLevenbergMarquardt:
+    def test_matches_gn_on_linear_problem(self):
+        g = FactorGraph([prior_on_vector(X(0), np.array([2.0, -3.0]))])
+        result = levenberg_marquardt(g, Values({X(0): np.zeros(2)}))
+        assert result.converged
+        assert np.allclose(result.values.vector(X(0)), [2.0, -3.0], atol=1e-6)
+
+    def test_handles_strong_nonlinearity(self):
+        # Rosenbrock-style residuals where plain GN overshoots from far away.
+        def fn(values):
+            x = values.vector(X(0))
+            return np.array([10.0 * (x[1] - x[0] ** 2), 1.0 - x[0]])
+
+        g = FactorGraph([FunctionFactor([X(0)], Unit(2), fn)])
+        result = levenberg_marquardt(
+            g, Values({X(0): np.array([-1.5, 2.0])}),
+            LevenbergParams(max_iterations=100),
+        )
+        assert result.final_error < 1e-10
+        assert np.allclose(result.values.vector(X(0)), [1.0, 1.0], atol=1e-4)
+
+    def test_error_never_increases(self):
+        def fn(values):
+            x = values.vector(X(0))
+            return np.array([np.sin(x[0]) + 0.5 * x[0] - 1.0])
+
+        g = FactorGraph([FunctionFactor([X(0)], Unit(1), fn)])
+        result = levenberg_marquardt(g, Values({X(0): np.array([4.0])}))
+        for rec in result.iterations:
+            assert rec.error_after <= rec.error_before + 1e-12
+
+    def test_max_iterations_respected(self):
+        g = FactorGraph([prior_on_vector(X(0), np.array([1.0]))])
+        params = LevenbergParams(max_iterations=1)
+        result = levenberg_marquardt(g, Values({X(0): np.zeros(1)}), params)
+        assert result.num_iterations == 1

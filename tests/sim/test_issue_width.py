@@ -1,0 +1,73 @@
+"""Tests for the controller issue-width model and the disassembler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.sim import Simulator
+
+
+def compiled(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+class TestIssueWidth:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(issue_width=0)
+
+    def test_narrow_issue_never_faster(self):
+        program = compiled().program
+        wide = Simulator().run(program, "ooo").total_cycles
+        narrow = Simulator(issue_width=1).run(program, "ooo").total_cycles
+        assert narrow >= wide
+
+    def test_width_monotone(self):
+        program = compiled().program
+        cycles = [Simulator(issue_width=w).run(program, "ooo").total_cycles
+                  for w in (1, 2, 8)]
+        assert cycles[0] >= cycles[1] >= cycles[2]
+
+    def test_all_instructions_still_complete(self):
+        c = compiled()
+        result = Simulator(issue_width=1).run(c.program, "ooo")
+        nontrivial = sum(1 for i in c.program if i.unit != "none")
+        assert result.issued_count == nontrivial
+
+    def test_sequential_unaffected_by_width(self):
+        program = compiled().program
+        a = Simulator(issue_width=1).run(program, "sequential").total_cycles
+        b = Simulator().run(program, "sequential").total_cycles
+        assert a == b
+
+
+class TestDisassembler:
+    def test_lists_instructions_with_levels(self):
+        program = compiled(3).program
+        text = program.disassemble()
+        assert "L0:" in text or "L1:" in text
+        assert "qr" in text
+        assert "construct" in text and "decompose" in text
+
+    def test_limit_truncates(self):
+        program = compiled().program
+        text = program.disassemble(limit=5)
+        assert "more)" in text
+        assert text.count("#") == 5
+
+    def test_no_levels_mode(self):
+        program = compiled(3).program
+        text = program.disassemble(limit=10, show_levels=False)
+        assert "L1:" not in text

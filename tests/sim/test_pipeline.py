@@ -1,0 +1,72 @@
+"""Tests for cross-frame pipelining."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.compiler import Executor, Opcode, compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.sim import Simulator
+from repro.sim.pipeline import replicate_frames, steady_state_throughput
+
+
+@pytest.fixture(scope="module")
+def frame():
+    rng = np.random.default_rng(0)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(4):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+class TestReplicateFrames:
+    def test_instruction_count_scales(self, frame):
+        doubled = replicate_frames(frame.program, 2)
+        assert len(doubled) == 2 * len(frame.program)
+
+    def test_register_namespaces_disjoint(self, frame):
+        doubled = replicate_frames(frame.program, 2)
+        deps = doubled.dependencies()
+        frame_of = {i.uid: i.algorithm.rsplit("@", 1)[-1]
+                    for i in doubled.instructions}
+        for uid, preds in deps.items():
+            for p in preds:
+                assert frame_of[p] == frame_of[uid]
+
+    def test_replicated_program_executes_correctly(self, frame):
+        doubled = replicate_frames(frame.program, 2)
+        registers = Executor().run(doubled)
+        base = Executor().run(frame.program)
+        for key, reg in frame.solution_registers.items():
+            del key
+            for prefix in ("f0:", "f1:"):
+                assert np.allclose(registers[prefix + reg], base[reg])
+
+    def test_invalid_frame_count(self, frame):
+        with pytest.raises(SimulationError):
+            replicate_frames(frame.program, 0)
+
+
+class TestThroughput:
+    def test_pipelining_improves_throughput(self, frame):
+        result = steady_state_throughput(frame.program, frames=4)
+        # Overlapped frames finish faster per frame than isolated ones.
+        assert result.cycles_per_frame < result.single_frame_cycles
+        assert result.pipelining_gain > 1.0
+
+    def test_sequential_controller_cannot_pipeline(self, frame):
+        result = steady_state_throughput(frame.program,
+                                         policy="sequential", frames=3)
+        assert result.pipelining_gain == pytest.approx(1.0, rel=0.01)
+
+    def test_gain_bounded_by_unit_counts(self, frame):
+        # With one unit per class, throughput cannot exceed the busiest
+        # unit's occupancy bound: gain stays modest and finite.
+        result = steady_state_throughput(frame.program, frames=4)
+        assert result.pipelining_gain < 8.0

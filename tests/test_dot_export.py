@@ -1,0 +1,88 @@
+"""Tests for the DOT/graphviz export utilities."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import MoDFG, compile_graph, factor_expression
+from repro.compiler.dot import modfg_to_dot, program_to_dot
+from repro.factorgraph import FactorGraph, Isotropic, Values, X, Y
+from repro.factorgraph.dot import graph_to_dot, linear_graph_to_dot
+from repro.factors import BetweenFactor, GPSFactor, PriorFactor
+from repro.geometry import Pose
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(2),
+                                     Isotropic(3, 0.1))])
+    values = Values({X(0): Pose.identity(2)})
+    for i in range(2):
+        graph.add(BetweenFactor(X(i + 1), X(i), Pose.random(2, rng)))
+        values.insert(X(i + 1), Pose.random(2, rng))
+    graph.add(GPSFactor(X(1), np.zeros(2), Isotropic(2, 0.5)))
+    return graph, values
+
+
+class TestFactorGraphDot:
+    def test_bipartite_structure(self, problem):
+        graph, _ = problem
+        dot = graph_to_dot(graph, title="test")
+        assert dot.startswith("graph factorgraph {")
+        assert dot.rstrip().endswith("}")
+        assert '"x0" [shape=circle' in dot
+        assert "shape=box" in dot
+        assert '"f0" -- "x0";' in dot
+        assert 'label="test"' in dot
+
+    def test_factor_labels_strip_suffix(self, problem):
+        graph, _ = problem
+        dot = graph_to_dot(graph)
+        assert 'label="Between"' in dot
+        assert 'label="GPS"' in dot
+
+    def test_linear_graph_dot(self, problem):
+        graph, values = problem
+        dot = linear_graph_to_dot(graph.linearize(values))
+        assert 'label="3r"' in dot  # the prior's 3-row block
+
+
+class TestModfgDot:
+    def test_between_modfg(self):
+        factor = BetweenFactor(X(0), X(1), Pose.identity(3))
+        dfg = MoDFG(factor_expression(factor))
+        dot = modfg_to_dot(dfg, title="Equ. 4")
+        assert dot.startswith("digraph modfg {")
+        for mark in ('label="RR"', 'label="RT"', 'label="Log"'):
+            assert mark in dot
+        assert "->" in dot
+
+    def test_leaf_coloring(self):
+        factor = BetweenFactor(X(0), X(1), Pose.identity(3))
+        dfg = MoDFG(factor_expression(factor))
+        dot = modfg_to_dot(dfg)
+        assert "lightblue" in dot    # variable leaves
+        assert "lightyellow" in dot  # measurement constants
+
+
+class TestProgramDot:
+    def test_phases_colored_and_ranked(self, problem):
+        graph, values = problem
+        compiled = compile_graph(graph, values)
+        dot = program_to_dot(compiled.program, title="program")
+        assert "salmon" in dot       # decompose phase
+        assert "lightgreen" in dot   # backsub phase
+        assert "rank=same" in dot
+
+    def test_consts_hidden_by_default(self, problem):
+        graph, values = problem
+        compiled = compile_graph(graph, values)
+        assert 'label="const"' not in program_to_dot(compiled.program)
+        assert 'label="const"' in program_to_dot(compiled.program,
+                                                 include_consts=True)
+
+    def test_truncation(self, problem):
+        graph, values = problem
+        compiled = compile_graph(graph, values)
+        dot = program_to_dot(compiled.program, max_instructions=5)
+        assert dot.count("style=filled") == 5

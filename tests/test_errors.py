@@ -1,0 +1,24 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_orianna_error(self):
+        for name in ("GeometryError", "GraphError", "LinearizationError",
+                     "OptimizationError", "CompileError", "ExecutionError",
+                     "HardwareError", "SimulationError"):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.OriannaError)
+            assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.OriannaError):
+            raise errors.CompileError("boom")
+
+    def test_distinct_classes(self):
+        assert not issubclass(errors.GeometryError, errors.GraphError)
+        assert not issubclass(errors.HardwareError,
+                              errors.SimulationError)

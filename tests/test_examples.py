@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs cleanly via its main()."""
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_example(name):
+    module = load_example(name)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "converged: True" in out
+        assert "mm" in out
+
+    def test_localization_slam(self):
+        out = run_example("localization_slam.py")
+        assert "ATE before" in out and "ATE after" in out
+        # The loop closure must reduce the error substantially.
+        before = float(out.split("ATE before: mean ")[1].split(" ")[0])
+        after = float(out.split("ATE after:  mean ")[1].split(" ")[0])
+        assert after < before / 2
+
+    def test_motion_planning(self):
+        out = run_example("motion_planning.py")
+        assert "collision-free" in out
+        assert "IN COLLISION" not in out
+
+    def test_mpc_control(self):
+        out = run_example("mpc_control.py")
+        assert "difference:" in out
+        diff = float(out.strip().split("difference: ")[1])
+        assert diff < 1e-4  # factor graph == Riccati
+
+    def test_incremental_slam(self):
+        out = run_example("incremental_slam.py")
+        assert "re-eliminated" in out
+        mean_error = float(out.split("mean error: ")[1].split(" ")[0])
+        assert mean_error < 0.5
+
+    def test_sphere_validation(self):
+        out = run_example("sphere_validation.py")
+        assert "loses no accuracy" in out
+        diff = float(out.split("mean-ATE difference: ")[1].split(" ")[0])
+        assert diff < 1e-6
+
+    def test_accelerator_generation_imports(self):
+        # The full generation flow runs for minutes; the benchmark suite
+        # covers it.  Here we only check the script is importable.
+        module = load_example("accelerator_generation.py")
+        assert hasattr(module, "main")
