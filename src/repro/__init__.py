@@ -13,6 +13,7 @@ Subpackages::
     repro.apps         the Tbl. 4 application suite and workloads
     repro.baselines    Intel/ARM/GPU/VANILLA-HLS/STACK models (Sec. 7.1)
     repro.eval         per-table/figure experiments (Sec. 7)
+    repro.obs          tracing spans/counters + trace/metrics exporters
 """
 
 __version__ = "1.0.0"
@@ -28,4 +29,5 @@ __all__ = [
     "apps",
     "baselines",
     "eval",
+    "obs",
 ]

@@ -36,6 +36,7 @@ from repro.factorgraph.factor import Factor
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
+from repro.obs import counters, trace
 
 
 @dataclass
@@ -246,6 +247,21 @@ def compile_graph(graph: FactorGraph, values: Values,
     :class:`repro.compiler.executor.Executor` yields the same solution as
     the reference :func:`repro.factorgraph.elimination.solve`.
     """
+    with trace.span("codegen", category="compiler.pass",
+                    algorithm=algorithm or "",
+                    factors=len(graph.factors)) as sp:
+        compiled = _compile_graph(graph, values, ordering, algorithm,
+                                  register_prefix)
+        sp.set(instructions_after=len(compiled.program.instructions))
+    counters.incr("compiler.codegen.instructions",
+                  len(compiled.program.instructions))
+    return compiled
+
+
+def _compile_graph(graph: FactorGraph, values: Values,
+                   ordering: Optional[Sequence[Key]] = None,
+                   algorithm: str = "",
+                   register_prefix: str = "") -> CompiledGraph:
     program = Program(algorithm=algorithm)
     if register_prefix:
         # Keep register namespaces of different algorithms disjoint so
@@ -380,10 +396,13 @@ def compile_application(algorithm_graphs: Dict[str, Tuple[FactorGraph, Values]],
     has no false dependencies between algorithms — this is precisely what
     enables the coarse-grained out-of-order execution of Sec. 6.3.
     """
-    merged = Program(algorithm="application")
-    for name, (graph, values) in algorithm_graphs.items():
-        order = (orderings or {}).get(name)
-        compiled = compile_graph(graph, values, order, algorithm=name,
-                                 register_prefix=name)
-        merged.extend(compiled.program)
+    with trace.span("compile_application", category="compiler",
+                    algorithms=len(algorithm_graphs)) as sp:
+        merged = Program(algorithm="application")
+        for name, (graph, values) in algorithm_graphs.items():
+            order = (orderings or {}).get(name)
+            compiled = compile_graph(graph, values, order, algorithm=name,
+                                     register_prefix=name)
+            merged.extend(compiled.program)
+        sp.set(instructions_after=len(merged.instructions))
     return merged

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.compiler.isa import Instruction, Opcode, Program
+from repro.obs import counters, trace
 
 # Opcodes that are pure functions of (srcs, meta) and single-destination:
 # safe to deduplicate.  QR/BSUB/EMBED are excluded (multi-dst or carry
@@ -52,6 +53,17 @@ def common_subexpression_elimination(program: Program) -> Program:
     from different algorithm streams are never merged (their register
     namespaces are deliberately disjoint for coarse-grained OoO).
     """
+    with trace.span("cse", category="compiler.pass",
+                    instructions_before=len(program.instructions)) as sp:
+        out = _cse(program)
+        sp.set(instructions_after=len(out.instructions),
+               removed=len(program.instructions) - len(out.instructions))
+    counters.incr("compiler.cse.hits",
+                  len(program.instructions) - len(out.instructions))
+    return out
+
+
+def _cse(program: Program) -> Program:
     out = Program(algorithm=program.algorithm)
     canonical: Dict[str, str] = {}
     seen: Dict[tuple, str] = {}
@@ -106,6 +118,18 @@ def dead_code_elimination(program: Program,
     registers); by default the destinations of QR/BSUB/EMBED instructions
     are treated as roots, which keeps every solver output alive.
     """
+    with trace.span("dce", category="compiler.pass",
+                    instructions_before=len(program.instructions)) as sp:
+        out = _dce(program, live_roots)
+        sp.set(instructions_after=len(out.instructions),
+               removed=len(program.instructions) - len(out.instructions))
+    counters.incr("compiler.dce.removed",
+                  len(program.instructions) - len(out.instructions))
+    return out
+
+
+def _dce(program: Program,
+         live_roots: Optional[List[str]] = None) -> Program:
     consumed = set(live_roots or [])
     keep = [False] * len(program.instructions)
 
@@ -140,5 +164,9 @@ def dead_code_elimination(program: Program,
 def optimize_program(program: Program,
                      live_roots: Optional[List[str]] = None) -> Program:
     """The standard pass pipeline: CSE, then DCE."""
-    return dead_code_elimination(
-        common_subexpression_elimination(program), live_roots)
+    with trace.span("optimize_program", category="compiler",
+                    instructions_before=len(program.instructions)) as sp:
+        out = dead_code_elimination(
+            common_subexpression_elimination(program), live_roots)
+        sp.set(instructions_after=len(out.instructions))
+    return out

@@ -11,16 +11,32 @@ Examples::
     python -m repro.eval --all           # everything
     python -m repro.eval --only F13 F14  # specific experiment ids
     python -m repro.eval --markdown      # markdown instead of plain text
+    python -m repro.eval --output out.txt          # tables to a file
+    python -m repro.eval --metrics metrics.json    # metrics JSON export
+    python -m repro.eval --trace-dir traces/       # Chrome traces
+
+``--metrics`` and ``--trace-dir`` enable the observability collector
+(:mod:`repro.obs`) for the run: every experiment then contributes a
+metrics entry (cycles, energy breakdown, per-pass compiler timings,
+issue-stall counters) and, with ``--trace-dir``, a Chrome/Perfetto
+``trace_event`` JSON file — one track per accelerator unit instance plus
+the host-side optimizer/compiler spans.  Experiments that share one
+runner (F13/F14, F16*, F17/F18) share one recorded run; their entries
+repeat the shared telemetry.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro import obs
 from repro.eval import experiments
 from repro.eval.harness import ExperimentTable
+from repro.obs.metrics import experiment_entry, write_metrics
+from repro.obs.trace_export import write_chrome_trace
 
 
 def _fig13(args):
@@ -89,6 +105,16 @@ def main(argv=None) -> int:
                         help="missions per application for T5")
     parser.add_argument("--markdown", action="store_true",
                         help="emit GitHub markdown tables")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the tables to FILE instead of stdout")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="export a metrics JSON document to FILE")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="write one Chrome trace_event JSON per "
+                             "experiment into DIR")
+    parser.add_argument("--obs-debug", action="store_true",
+                        help="arm the simulator's schedule-invariant "
+                             "assertions while observing")
     args = parser.parse_args(argv)
 
     if args.only:
@@ -100,25 +126,63 @@ def main(argv=None) -> int:
         selected = [eid for eid, (slow, _) in EXPERIMENTS.items()
                     if args.all or not slow]
 
-    cache = {}
-    for eid in selected:
-        _, runner = EXPERIMENTS[eid]
-        key = runner  # shared runners (F13/F14, F16*, F17/F18) cache
-        if key not in cache:
-            started = time.time()
-            cache[key] = (_tables_of(runner(args)), time.time() - started)
-        tables, elapsed = cache[key]
-        for table in tables:
-            if table.experiment_id != eid:
-                continue
-            if args.markdown:
-                print(f"### {table.title}\n")
-                print(table.to_markdown())
-                print()
-            else:
-                print(table.format())
-                print(f"[{eid} in {elapsed:.1f}s]")
-                print()
+    observing = bool(args.metrics or args.trace_dir)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    if observing:
+        obs.enable(debug=args.obs_debug)
+        obs.collector().drain()  # start each run from a clean stream
+
+    try:
+        stream = open(args.output, "w") if args.output else sys.stdout
+    except OSError as exc:
+        parser.error(f"cannot open --output file: {exc}")
+    entries = []
+    try:
+        cache = {}
+        for eid in selected:
+            _, runner = EXPERIMENTS[eid]
+            key = runner  # shared runners (F13/F14, F16*, F17/F18) cache
+            if key not in cache:
+                with obs.trace.span(f"experiment.{eid}", category="eval"):
+                    started = time.perf_counter()
+                    tables = _tables_of(runner(args))
+                    elapsed = time.perf_counter() - started
+                snapshot = obs.collector().drain() if observing else None
+                cache[key] = (tables, elapsed, snapshot)
+            tables, elapsed, snapshot = cache[key]
+            for table in tables:
+                if table.experiment_id != eid:
+                    continue
+                if args.markdown:
+                    print(f"### {table.title}\n", file=stream)
+                    print(table.to_markdown(), file=stream)
+                    print(file=stream)
+                else:
+                    print(table.format(), file=stream)
+                    print(f"[{eid} in {elapsed:.1f}s]", file=stream)
+                    print(file=stream)
+            if snapshot is not None:
+                entries.append(experiment_entry(eid, elapsed, snapshot))
+                if args.trace_dir:
+                    write_chrome_trace(
+                        os.path.join(args.trace_dir,
+                                     f"{eid.lower()}.trace.json"),
+                        snapshot,
+                    )
+    finally:
+        if stream is not sys.stdout:
+            stream.close()
+        if observing:
+            obs.disable()
+
+    if args.metrics:
+        write_metrics(args.metrics, entries, meta={
+            "command": "python -m repro.eval",
+            "seed": args.seed,
+            "experiments": selected,
+            "unix_time": time.time(),
+        })
     return 0
 
 

@@ -1,0 +1,41 @@
+"""Observability CLI: ``python -m repro.obs report metrics.json``.
+
+Prints a profile summary (per-experiment totals, top compiler passes by
+wall time, top units by busy cycles, stall breakdown) over a metrics
+document produced by ``python -m repro.eval --metrics``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.metrics import load_metrics
+from repro.obs.report import render_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect exported observability artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="print a profile summary of a metrics JSON file"
+    )
+    report.add_argument("metrics", help="path to a --metrics output file")
+    report.add_argument("--top", type=int, default=10,
+                        help="rows per ranking section (default 10)")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        try:
+            document = load_metrics(args.metrics)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        print(render_report(document, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

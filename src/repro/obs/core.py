@@ -1,0 +1,240 @@
+"""Process-global tracing spans, counters, and telemetry records.
+
+The observability substrate for the whole pipeline.  Design goals:
+
+- **Zero cost when off.**  The collector is disabled by default;
+  ``trace.span(...)`` then returns a shared no-op context manager and
+  ``counters.incr(...)`` returns after a single module-global check, so
+  instrumented hot paths pay essentially nothing.
+- **One process-global collector.**  All layers (optimizer, compiler,
+  simulator) record into the same :class:`Collector`; callers segment the
+  stream per experiment with :meth:`Collector.drain`.
+- **Plain data out.**  A drained :class:`Snapshot` holds dataclasses and
+  dicts only, so the exporters (:mod:`repro.obs.trace_export`,
+  :mod:`repro.obs.metrics`) are pure functions over it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SpanRecord", "Snapshot", "Collector", "collector",
+    "enable", "disable", "is_enabled", "debug_enabled", "enabled_scope",
+    "trace", "counters",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed timed span (times from ``time.perf_counter``)."""
+
+    name: str
+    category: str
+    start_s: float      # seconds since the collector epoch
+    duration_s: float
+    args: Dict[str, Any] = field(default_factory=dict)
+    thread: int = 0
+
+
+@dataclass
+class Snapshot:
+    """A drained slice of the collector's stream."""
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    # Simulation telemetry records pushed by repro.sim.engine: plain
+    # dicts with policy, cycles, energy, stall counters, and (when a
+    # schedule was recorded) per-instruction timing for trace export.
+    sims: List[Dict[str, Any]] = field(default_factory=list)
+
+    def span_totals(self, category: Optional[str] = None) -> Dict[str, float]:
+        """Total seconds per span name, optionally within one category."""
+        totals: Dict[str, float] = {}
+        for s in self.spans:
+            if category is not None and s.category != category:
+                continue
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration_s
+        return totals
+
+
+class Collector:
+    """Accumulates spans, counters, and simulation records."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.epoch_s = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.sims: List[Dict[str, Any]] = []
+
+    # -- recording (called only while enabled) -------------------------
+    def record_span(self, name: str, category: str, start_s: float,
+                    duration_s: float, args: Dict[str, Any]) -> None:
+        record = SpanRecord(
+            name=name, category=category,
+            start_s=start_s - self.epoch_s, duration_s=duration_s,
+            args=args, thread=threading.get_ident(),
+        )
+        with self._lock:
+            self.spans.append(record)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def record_sim(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.sims.append(record)
+
+    # -- consumption ---------------------------------------------------
+    def drain(self) -> Snapshot:
+        """Return everything recorded since the last drain and clear it."""
+        with self._lock:
+            snap = Snapshot(spans=self.spans, counters=self.counters,
+                            sims=self.sims)
+            self.spans = []
+            self.counters = {}
+            self.sims = []
+        return snap
+
+    def clear(self) -> None:
+        self.drain()
+
+
+_collector = Collector()
+_enabled = False
+_debug = False
+
+
+def collector() -> Collector:
+    """The process-global collector (meaningful only while enabled)."""
+    return _collector
+
+
+def enable(debug: bool = False) -> None:
+    """Turn collection on; ``debug`` additionally arms the simulator's
+    schedule-invariant assertions (see :mod:`repro.sim.engine`)."""
+    global _enabled, _debug
+    _enabled = True
+    _debug = bool(debug)
+
+
+def disable() -> None:
+    global _enabled, _debug
+    _enabled = False
+    _debug = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def debug_enabled() -> bool:
+    return _enabled and _debug
+
+
+class enabled_scope:
+    """Context manager: enable collection inside, restore state after."""
+
+    def __init__(self, debug: bool = False):
+        self._debug = debug
+        self._was_enabled = False
+        self._was_debug = False
+
+    def __enter__(self) -> Collector:
+        self._was_enabled, self._was_debug = _enabled, _debug
+        enable(debug=self._debug or _debug)
+        return _collector
+
+    def __exit__(self, *exc) -> bool:
+        if self._was_enabled:
+            enable(debug=self._was_debug)
+        else:
+            disable()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Span API
+# ----------------------------------------------------------------------
+
+class _NullSpan:
+    """Shared do-nothing span handed out while collection is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "category", "args", "_start")
+
+    def __init__(self, name: str, category: str, args: Dict[str, Any]):
+        self.name = name
+        self.category = category
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def set(self, **args) -> None:
+        """Attach result arguments to the span (e.g. post-hoc deltas)."""
+        self.args.update(args)
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        _collector.record_span(self.name, self.category, self._start,
+                               duration, self.args)
+        return False
+
+
+class _Trace:
+    """Namespace object behind ``from repro.obs import trace``."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def span(name: str, category: str = "host", **args):
+        if not _enabled:
+            return _NULL_SPAN
+        return _Span(name, category, args)
+
+
+class _Counters:
+    """Namespace object behind ``from repro.obs import counters``."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def incr(name: str, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        _collector.incr(name, amount)
+
+    @staticmethod
+    def merge(prefix: str, values: Dict[str, float]) -> None:
+        """Bulk-add a dict of counters under ``prefix.`` (one lock trip
+        per key; used for end-of-run flushes, not hot loops)."""
+        if not _enabled:
+            return
+        for key, amount in values.items():
+            _collector.incr(f"{prefix}.{key}", float(amount))
+
+
+trace = _Trace()
+counters = _Counters()

@@ -1,0 +1,117 @@
+"""Profile summaries over exported metrics documents.
+
+``python -m repro.obs report metrics.json`` prints:
+
+- per-experiment wall time, simulated cycles, and energy;
+- top compiler passes by accumulated wall time;
+- top accelerator units by busy cycles (with mean utilization);
+- the issue-stall breakdown aggregated per policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def _aggregate(document: Dict[str, Any]) -> Dict[str, Any]:
+    pass_time: Dict[str, float] = {}
+    unit_busy: Dict[str, float] = {}
+    unit_util: Dict[str, List[float]] = {}
+    stalls: Dict[str, Dict[str, float]] = {}
+    counters: Dict[str, float] = {}
+    rows = []
+
+    for entry in document.get("experiments", []):
+        for name, seconds in entry.get("pass_timings_s", {}).items():
+            pass_time[name] = pass_time.get(name, 0.0) + seconds
+        for name, value in entry.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        cycles = 0
+        energy = 0.0
+        for sim in entry.get("simulations", []):
+            cycles += int(sim.get("total_cycles", 0))
+            energy += float(sim.get("energy_mj", 0.0))
+            policy = sim.get("policy", "?")
+            for kind, count in (sim.get("stall_counts") or {}).items():
+                bucket = stalls.setdefault(policy, {})
+                bucket[kind] = bucket.get(kind, 0.0) + count
+            total = max(int(sim.get("total_cycles", 0)), 1)
+            for unit, busy in (sim.get("unit_busy_cycles") or {}).items():
+                unit_busy[unit] = unit_busy.get(unit, 0.0) + busy
+                instances = (sim.get("unit_instance_counts") or {}).get(
+                    unit, 1
+                )
+                unit_util.setdefault(unit, []).append(
+                    busy / (total * max(int(instances), 1))
+                )
+        rows.append({
+            "experiment": entry.get("experiment", "?"),
+            "elapsed_s": float(entry.get("elapsed_s", 0.0)),
+            "simulations": len(entry.get("simulations", [])),
+            "cycles": cycles,
+            "energy_mj": energy,
+        })
+
+    return {
+        "rows": rows,
+        "pass_time": pass_time,
+        "unit_busy": unit_busy,
+        "unit_util": unit_util,
+        "stalls": stalls,
+        "counters": counters,
+    }
+
+
+def render_report(document: Dict[str, Any], top: int = 10) -> str:
+    """Render the profile summary of one metrics document."""
+    agg = _aggregate(document)
+    lines: List[str] = []
+
+    lines.append("experiments")
+    lines.append("-----------")
+    for row in agg["rows"]:
+        lines.append(
+            f"  {row['experiment']:>6}  {row['elapsed_s']:8.2f}s  "
+            f"{row['simulations']:3d} sims  {row['cycles']:>12,} cycles  "
+            f"{row['energy_mj']:10.3f} mJ"
+        )
+    if not agg["rows"]:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append(f"top compiler passes by wall time (top {top})")
+    lines.append("--------------------------------")
+    ranked = sorted(agg["pass_time"].items(), key=lambda kv: -kv[1])[:top]
+    for name, seconds in ranked:
+        lines.append(f"  {name:<28} {seconds * 1e3:10.2f} ms")
+    if not ranked:
+        lines.append("  (no pass timings recorded)")
+
+    lines.append("")
+    lines.append(f"top units by busy cycles (top {top})")
+    lines.append("------------------------")
+    units = sorted(agg["unit_busy"].items(), key=lambda kv: -kv[1])[:top]
+    for unit, busy in units:
+        utils = agg["unit_util"].get(unit, [])
+        mean_util = sum(utils) / len(utils) if utils else 0.0
+        lines.append(
+            f"  {unit:<10} {int(busy):>12,} cycles  "
+            f"mean util {mean_util:6.1%}"
+        )
+    if not units:
+        lines.append("  (no simulations recorded)")
+
+    lines.append("")
+    lines.append("issue-stall breakdown by policy")
+    lines.append("-------------------------------")
+    if agg["stalls"]:
+        for policy in sorted(agg["stalls"]):
+            parts = ", ".join(
+                f"{kind}={int(count)}"
+                for kind, count in sorted(agg["stalls"][policy].items())
+            )
+            lines.append(f"  {policy:<10} {parts}")
+    else:
+        lines.append("  (no stalls recorded)")
+
+    return "\n".join(lines)

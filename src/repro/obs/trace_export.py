@@ -1,0 +1,163 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Renders a drained :class:`~repro.obs.core.Snapshot` as a Chrome trace:
+
+- every simulation record becomes one *process*, with **one thread track
+  per accelerator unit instance** (``qr[0]``, ``qr[1]``, ...) carrying
+  that instance's scheduled instructions as complete (``"ph": "X"``)
+  events, timed in microseconds of simulated accelerator time;
+- host-side spans (optimizer iterations, compiler passes, experiment
+  wrappers) become tracks of a ``host`` process, timed in wall-clock
+  microseconds since the collector epoch.
+
+The output loads in https://ui.perfetto.dev and ``chrome://tracing``.
+Format reference: the Trace Event Format document (the ``traceEvents``
+array-of-objects JSON flavor).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.core import Snapshot
+
+HOST_PID = 1
+SIM_PID_BASE = 100
+
+
+def assign_unit_instances(
+    intervals: List[Tuple[float, float, int]], count: int
+) -> Dict[int, int]:
+    """Greedy interval partitioning: map each uid to a unit instance.
+
+    ``intervals`` holds ``(start, finish, uid)`` triples of one unit
+    class.  Each interval (in start order) takes the lowest-index free
+    instance, so serial work packs onto track 0 and overlap fans out.
+    With a feasible schedule this needs at most ``count`` instances; an
+    infeasible (over-subscribed) schedule spills onto extra indices
+    ``>= count`` rather than failing, so traces stay viewable and the
+    overflow is visible as extra tracks.
+    """
+    free_idx: List[int] = list(range(max(1, count)))
+    heapq.heapify(free_idx)
+    busy: List[Tuple[float, int]] = []   # (free_at, idx)
+    assignment: Dict[int, int] = {}
+    spill = max(1, count)
+    for start, finish, uid in sorted(intervals):
+        while busy and busy[0][0] <= start + 1e-9:
+            heapq.heappush(free_idx, heapq.heappop(busy)[1])
+        if free_idx:
+            inst = heapq.heappop(free_idx)
+        else:
+            inst = spill
+            spill += 1
+        assignment[uid] = inst
+        heapq.heappush(busy, (max(finish, start), inst))
+    return assignment
+
+
+def _meta(pid: int, tid: Optional[int], name: str, label: str) -> dict:
+    event: Dict[str, Any] = {
+        "ph": "M", "pid": pid, "name": name, "args": {"name": label},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def sim_trace_events(record: Dict[str, Any], pid: int) -> List[dict]:
+    """Trace events for one simulation record (one track per instance)."""
+    clock_mhz = float(record.get("clock_mhz", 1.0)) or 1.0
+    us_per_cycle = 1.0 / clock_mhz
+    schedule: Dict[int, Tuple[float, float]] = record.get("schedule") or {}
+    instrs: Dict[int, Dict[str, Any]] = record.get("instructions") or {}
+
+    label = record.get("label") or record.get("algorithm") or "program"
+    events: List[dict] = [
+        _meta(pid, None, "process_name",
+              f"sim:{label} [{record.get('policy', '?')}]"),
+    ]
+
+    by_unit: Dict[str, List[Tuple[float, float, int]]] = {}
+    for uid, (start, finish) in schedule.items():
+        info = instrs.get(uid)
+        if info is None or info.get("unit") in (None, "none"):
+            continue
+        by_unit.setdefault(info["unit"], []).append((start, finish, uid))
+
+    counts = record.get("unit_instance_counts") or {}
+    tid = 0
+    for unit in sorted(by_unit):
+        count = int(counts.get(unit, 1))
+        assignment = assign_unit_instances(by_unit[unit], count)
+        used = max(assignment.values(), default=count - 1) + 1
+        base_tid = tid
+        for k in range(used):
+            events.append(_meta(pid, base_tid + k, "thread_name",
+                                f"{unit}[{k}]"))
+        for start, finish, uid in by_unit[unit]:
+            info = instrs[uid]
+            events.append({
+                "name": info.get("op", "instr"),
+                "cat": f"sim.{info.get('phase', '')}",
+                "ph": "X",
+                "ts": start * us_per_cycle,
+                "dur": max(finish - start, 0.0) * us_per_cycle,
+                "pid": pid,
+                "tid": base_tid + assignment[uid],
+                "args": {
+                    "uid": uid,
+                    "phase": info.get("phase", ""),
+                    "algorithm": info.get("algorithm", ""),
+                    "cycles": finish - start,
+                },
+            })
+        tid = base_tid + used
+    return events
+
+
+def host_span_events(snapshot: Snapshot, pid: int = HOST_PID) -> List[dict]:
+    """Host-side spans as one trace track per originating thread."""
+    if not snapshot.spans:
+        return []
+    events: List[dict] = [_meta(pid, None, "process_name", "host")]
+    tid_of: Dict[int, int] = {}
+    for span in snapshot.spans:
+        tid = tid_of.setdefault(span.thread, len(tid_of))
+    for thread, tid in tid_of.items():
+        events.append(_meta(pid, tid, "thread_name", f"host-{tid}"))
+    for span in snapshot.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": pid,
+            "tid": tid_of[span.thread],
+            "args": dict(span.args),
+        })
+    return events
+
+
+def chrome_trace(snapshot: Snapshot) -> Dict[str, Any]:
+    """Assemble the full ``{"traceEvents": [...]}`` document."""
+    events = host_span_events(snapshot)
+    for idx, record in enumerate(snapshot.sims):
+        events.extend(sim_trace_events(record, SIM_PID_BASE + idx))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "counters": dict(snapshot.counters),
+        },
+    }
+
+
+def write_chrome_trace(path, snapshot: Snapshot) -> None:
+    """Write the snapshot as a Chrome ``trace_event`` JSON file."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(snapshot), fh)

@@ -19,6 +19,7 @@ from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
 from repro.factorgraph.ordering import min_degree_ordering
 from repro.factorgraph.values import Values
+from repro.obs import counters, trace
 from repro.optim.result import IterationRecord, OptimizationResult
 
 
@@ -54,15 +55,20 @@ def gauss_newton(
     converged = False
 
     for iteration in range(params.max_iterations):
-        error_before = graph.error(values)
-        linear = graph.linearize(values)
-        order = list(ordering) if ordering is not None else (
-            min_degree_ordering(linear)
-        )
-        delta, stats = eliminate_and_solve(linear, order)
-        values = values.retract(delta)
-        error_after = graph.error(values)
-        norm = step_norm(delta)
+        with trace.span("gn.iteration", category="optimizer",
+                        iteration=iteration) as sp:
+            error_before = graph.error(values)
+            linear = graph.linearize(values)
+            order = list(ordering) if ordering is not None else (
+                min_degree_ordering(linear)
+            )
+            delta, stats = eliminate_and_solve(linear, order)
+            values = values.retract(delta)
+            error_after = graph.error(values)
+            norm = step_norm(delta)
+            sp.set(error_before=error_before, error_after=error_after,
+                   step_norm=norm)
+        counters.incr("optim.gn.iterations")
         records.append(
             IterationRecord(iteration, error_before, error_after, norm, stats)
         )

@@ -19,6 +19,7 @@ from repro.factorgraph.keys import Key
 from repro.factorgraph.linear import GaussianFactor, GaussianFactorGraph
 from repro.factorgraph.ordering import min_degree_ordering
 from repro.factorgraph.values import Values
+from repro.obs import counters, trace
 from repro.optim.gauss_newton import step_norm
 from repro.optim.result import IterationRecord, OptimizationResult
 
@@ -65,34 +66,47 @@ def levenberg_marquardt(
     converged = False
 
     for iteration in range(params.max_iterations):
-        error_before = graph.error(values)
-        linear = graph.linearize(values)
-        order = list(ordering) if ordering is not None else (
-            min_degree_ordering(linear)
-        )
+        with trace.span("lm.iteration", category="optimizer",
+                        iteration=iteration) as sp:
+            error_before = graph.error(values)
+            linear = graph.linearize(values)
+            order = list(ordering) if ordering is not None else (
+                min_degree_ordering(linear)
+            )
 
-        # Inner loop: raise lambda until a trial step reduces the error.
-        accepted = False
-        while lam <= params.max_lambda:
-            trial_linear = damped_graph(linear, lam)
-            trial_order = order + [
-                k for k in trial_linear.keys() if k not in order
-            ]
-            delta, stats = eliminate_and_solve(trial_linear, trial_order)
-            trial_values = values.retract(delta)
-            error_after = graph.error(trial_values)
-            if error_after <= error_before:
-                accepted = True
-                values = trial_values
-                lam = max(lam / params.lambda_factor, params.min_lambda)
-                norm = step_norm(delta)
-                records.append(
-                    IterationRecord(
-                        iteration, error_before, error_after, norm, stats
+            # Inner loop: raise lambda until a trial step reduces the
+            # error.
+            accepted = False
+            trials = 0
+            while lam <= params.max_lambda:
+                trials += 1
+                trial_linear = damped_graph(linear, lam)
+                trial_order = order + [
+                    k for k in trial_linear.keys() if k not in order
+                ]
+                delta, stats = eliminate_and_solve(trial_linear, trial_order)
+                trial_values = values.retract(delta)
+                error_after = graph.error(trial_values)
+                if error_after <= error_before:
+                    accepted = True
+                    values = trial_values
+                    norm = step_norm(delta)
+                    sp.set(error_before=error_before,
+                           error_after=error_after, step_norm=norm,
+                           damping=lam, trials=trials)
+                    lam = max(lam / params.lambda_factor, params.min_lambda)
+                    counters.incr("optim.lm.iterations")
+                    records.append(
+                        IterationRecord(
+                            iteration, error_before, error_after, norm, stats
+                        )
                     )
-                )
-                break
-            lam *= params.lambda_factor
+                    break
+                counters.incr("optim.lm.rejected_steps")
+                lam *= params.lambda_factor
+            if not accepted:
+                sp.set(error_before=error_before, accepted=False,
+                       damping=lam, trials=trials)
 
         if not accepted:
             if not records:

@@ -25,6 +25,7 @@ from repro.errors import SimulationError
 from repro.compiler.isa import Instruction, Opcode, Program, UNIT_NONE
 from repro.hw.accelerator import AcceleratorConfig
 from repro.hw.units import BASE_STATIC_POWER_MW, STATIC_POWER_MW
+from repro.obs import core as obs
 from repro.sim.stats import EnergyBreakdown, SimulationResult
 
 POLICIES = ("ooo", "inorder", "sequential")
@@ -106,6 +107,10 @@ class Simulator:
         total_to_issue = len(pending_preds)
         next_inorder = 0  # index into non-const instruction order
         order = [i.uid for i in instructions if i.op is not Opcode.CONST]
+        # Issue-stall events, by kind.  Plain local ints: counting is
+        # always on (it is nearly free and feeds SimulationResult);
+        # export to the obs collector happens once at end of run.
+        stalls = {"structural": 0, "raw": 0, "overlap": 0, "width": 0}
 
         def try_issue() -> bool:
             """Issue as many instructions as the policy allows at `now`."""
@@ -127,24 +132,35 @@ class Simulator:
                         slots -= 1
                     else:
                         deferred.append(uid)
+                # Counted per round, not per attempt, to keep the issue
+                # loop free of bookkeeping overhead.
+                if deferred:
+                    stalls["structural"] += len(deferred)
+                if ready and slots == 0:
+                    stalls["width"] += 1
                 for uid in deferred:
                     heapq.heappush(ready, uid)
             else:
                 while next_inorder < len(order) and slots > 0:
                     uid = order[next_inorder]
                     if pending_preds.get(uid):
+                        stalls["raw"] += 1
                         break  # head-of-line RAW stall
                     if policy == "sequential" and inflight > 0:
+                        stalls["overlap"] += 1
                         break  # a naive controller never overlaps
                     if not self._issue_one(uid, instructions, latencies,
                                            unit_free, now, start, finish,
                                            completion_events, busy_cycles):
+                        stalls["structural"] += 1
                         break  # structural hazard
                     issued.add(uid)
                     inflight += 1
                     next_inorder += 1
                     progress = True
                     slots -= 1
+                if next_inorder < len(order) and slots == 0:
+                    stalls["width"] += 1
             return progress
 
         try_issue()
@@ -172,9 +188,14 @@ class Simulator:
         total_cycles = int(round(max(finish.values(), default=0.0)))
         result = self._collect(program, policy, total_cycles, start, finish,
                                latencies, busy_cycles)
-        if record_schedule:
+        result.stall_counts = {k: v for k, v in stalls.items() if v}
+        if record_schedule or obs.is_enabled():
             result.schedule = {uid: (start[uid], finish[uid])
                                for uid in start}
+        if obs.is_enabled():
+            if obs.debug_enabled():
+                self._check_schedule_invariants(program, result, latencies)
+            obs.collector().record_sim(self._telemetry(program, result))
         return result
 
     # ------------------------------------------------------------------
@@ -203,6 +224,102 @@ class Simulator:
         heapq.heappush(completion_events, (now + latency, uid))
         busy_cycles[unit] = busy_cycles.get(unit, 0.0) + latency
         return True
+
+    def _telemetry(self, program: Program,
+                   result: SimulationResult) -> Dict[str, object]:
+        """The obs-collector record for one run (see repro.obs.metrics)."""
+        instructions = {
+            instr.uid: {
+                "op": instr.op.value,
+                "unit": instr.unit,
+                "phase": instr.phase,
+                "algorithm": instr.algorithm,
+            }
+            for instr in program.instructions
+            if instr.uid in result.schedule
+        }
+        return {
+            "label": program.algorithm or "program",
+            "policy": result.policy,
+            "total_cycles": result.total_cycles,
+            "clock_mhz": result.clock_mhz,
+            "time_ms": result.time_ms,
+            "instruction_count": result.instruction_count,
+            "issued_count": result.issued_count,
+            "energy_mj": result.energy_mj,
+            "energy": {
+                "dynamic_mj": result.energy.dynamic_mj,
+                "static_mj": result.energy.static_mj,
+                "memory_mj": result.energy.memory_mj,
+            },
+            "stall_counts": dict(result.stall_counts),
+            "unit_busy_cycles": dict(result.unit_busy_cycles),
+            "unit_instance_counts": dict(result.unit_instance_counts),
+            "utilization": {
+                unit: result.utilization(unit)
+                for unit in result.unit_busy_cycles
+            },
+            "peak_live_words": result.peak_live_words,
+            "spilled_words": result.spilled_words,
+            "schedule": dict(result.schedule),
+            "instructions": instructions,
+        }
+
+    def _check_schedule_invariants(self, program: Program,
+                                   result: SimulationResult,
+                                   latencies: Dict[int, int]) -> None:
+        """Debug-mode consistency checks over a recorded schedule.
+
+        Verifies that the ``unit_free`` heap bookkeeping in
+        :meth:`_issue_one` never over-subscribed a unit class: summed
+        per-unit busy cycles must equal the scheduled instruction
+        latencies, never exceed ``instances * makespan`` (utilization
+        <= 1), and the schedule must be packable onto the configured
+        instance count.  Armed by ``repro.obs.enable(debug=True)``.
+        """
+        scheduled_busy: Dict[str, float] = {}
+        by_unit: Dict[str, List[Tuple[float, float]]] = {}
+        for instr in program.instructions:
+            if instr.unit == UNIT_NONE or instr.uid not in result.schedule:
+                continue
+            s, f = result.schedule[instr.uid]
+            if abs((f - s) - latencies[instr.uid]) > 1e-9:
+                raise SimulationError(
+                    f"schedule invariant violated: instruction "
+                    f"#{instr.uid} spans {f - s} cycles but has latency "
+                    f"{latencies[instr.uid]}"
+                )
+            scheduled_busy[instr.unit] = (
+                scheduled_busy.get(instr.unit, 0.0) + (f - s)
+            )
+            by_unit.setdefault(instr.unit, []).append((s, f))
+
+        for unit, busy in scheduled_busy.items():
+            accounted = result.unit_busy_cycles.get(unit, 0)
+            if abs(busy - accounted) > 1e-6:
+                raise SimulationError(
+                    f"busy-cycle accounting mismatch for {unit!r}: "
+                    f"schedule says {busy}, counters say {accounted}"
+                )
+            if result.utilization(unit) > 1.0 + 1e-9:
+                raise SimulationError(
+                    f"unit {unit!r} utilization "
+                    f"{result.utilization(unit):.3f} > 1.0: the unit_free "
+                    f"heap admitted more work than its instances can do"
+                )
+
+        for unit, intervals in by_unit.items():
+            count = self.config.unit_counts.get(unit, 0)
+            free_at: List[float] = [0.0] * max(count, 1)
+            heapq.heapify(free_at)
+            for s, f in sorted(intervals):
+                if free_at[0] > s + 1e-9:
+                    raise SimulationError(
+                        f"unit {unit!r} over-subscribed at cycle {s}: "
+                        f"{count} instances cannot realize the recorded "
+                        f"schedule"
+                    )
+                heapq.heapreplace(free_at, max(f, s))
 
     def _latencies(self, program: Program) -> Dict[int, int]:
         latencies: Dict[int, int] = {}

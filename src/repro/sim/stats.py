@@ -36,6 +36,9 @@ class SimulationResult:
     algorithm_span_cycles: Dict[str, int] = field(default_factory=dict)
     peak_live_words: int = 0
     spilled_words: int = 0
+    # Issue-stall events by kind ("structural", "raw", "overlap",
+    # "width"); which kinds occur depends on the issue policy.
+    stall_counts: Dict[str, int] = field(default_factory=dict)
     # Optional per-instruction schedule: uid -> (start, finish) cycles,
     # recorded when Simulator.run(record_schedule=True).
     schedule: Dict[int, tuple] = field(default_factory=dict)
@@ -80,4 +83,8 @@ class SimulationResult:
                 f"  {unit:>8}: util {self.utilization(unit):5.1%} "
                 f"busy {busy} cycles x{self.unit_instance_counts.get(unit, 1)}"
             )
+        if self.stall_counts:
+            stalls = ", ".join(f"{k}={v}"
+                               for k, v in sorted(self.stall_counts.items()))
+            lines.append(f"  stalls: {stalls}")
         return "\n".join(lines)

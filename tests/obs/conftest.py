@@ -1,0 +1,14 @@
+"""Keep the process-global obs collector clean around every test."""
+
+import pytest
+
+from repro.obs import core
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    core.disable()
+    core.collector().drain()
+    yield
+    core.disable()
+    core.collector().drain()

@@ -1,0 +1,111 @@
+"""Tests for the span/counter API and the process-global collector."""
+
+import threading
+
+from repro import obs
+from repro.obs import core, counters, trace
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+        assert not obs.debug_enabled()
+
+    def test_enable_disable(self):
+        obs.enable()
+        assert obs.is_enabled()
+        assert not obs.debug_enabled()
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_debug_requires_enabled(self):
+        obs.enable(debug=True)
+        assert obs.debug_enabled()
+        obs.disable()
+        assert not obs.debug_enabled()
+
+    def test_enabled_scope_restores_prior_state(self):
+        assert not obs.is_enabled()
+        with obs.enabled_scope():
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+        obs.enable()
+        with obs.enabled_scope(debug=True):
+            assert obs.debug_enabled()
+        assert obs.is_enabled() and not obs.debug_enabled()
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        a = trace.span("x")
+        b = trace.span("y", category="anything", arg=1)
+        assert a is b  # the singleton: no allocation on the fast path
+        with a as sp:
+            sp.set(ignored=True)
+        assert obs.collector().spans == []
+
+    def test_enabled_span_records(self):
+        obs.enable()
+        with trace.span("work", category="test", tag="t") as sp:
+            sp.set(result=42)
+        snap = obs.collector().drain()
+        assert len(snap.spans) == 1
+        span = snap.spans[0]
+        assert span.name == "work"
+        assert span.category == "test"
+        assert span.args == {"tag": "t", "result": 42}
+        assert span.duration_s >= 0.0
+        assert span.thread == threading.get_ident()
+
+    def test_span_survives_exception(self):
+        obs.enable()
+        try:
+            with trace.span("boom"):
+                raise ValueError("inner")
+        except ValueError:
+            pass
+        snap = obs.collector().drain()
+        assert [s.name for s in snap.spans] == ["boom"]
+
+    def test_span_totals_by_category(self):
+        obs.enable()
+        with trace.span("a", category="c1"):
+            pass
+        with trace.span("a", category="c1"):
+            pass
+        with trace.span("b", category="c2"):
+            pass
+        snap = obs.collector().drain()
+        assert set(snap.span_totals()) == {"a", "b"}
+        assert set(snap.span_totals(category="c1")) == {"a"}
+
+
+class TestCounters:
+    def test_disabled_incr_is_noop(self):
+        counters.incr("k")
+        assert obs.collector().counters == {}
+
+    def test_incr_accumulates(self):
+        obs.enable()
+        counters.incr("k")
+        counters.incr("k", 2.5)
+        counters.merge("pre", {"x": 2, "y": 3})
+        snap = obs.collector().drain()
+        assert snap.counters == {"k": 3.5, "pre.x": 2.0, "pre.y": 3.0}
+
+
+class TestDrain:
+    def test_drain_clears_everything(self):
+        obs.enable()
+        counters.incr("k")
+        with trace.span("s"):
+            pass
+        obs.collector().record_sim({"policy": "ooo"})
+        snap = obs.collector().drain()
+        assert snap.counters and snap.spans and snap.sims
+        empty = obs.collector().drain()
+        assert not empty.counters and not empty.spans and not empty.sims
+
+    def test_collector_is_process_global(self):
+        assert core.collector() is obs.collector()

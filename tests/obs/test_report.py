@@ -1,0 +1,58 @@
+"""Tests for ``python -m repro.obs report``."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.metrics import experiment_entry, write_metrics
+from repro.obs.report import render_report
+from tests.obs.test_metrics import fake_snapshot
+
+
+def sample_document():
+    from repro.obs.metrics import metrics_document
+
+    return metrics_document([experiment_entry("F13", 2.0, fake_snapshot())])
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(sample_document())
+        assert "experiments" in text
+        assert "top compiler passes by wall time" in text
+        assert "top units by busy cycles" in text
+        assert "issue-stall breakdown by policy" in text
+
+    def test_ranks_passes_and_units(self):
+        text = render_report(sample_document())
+        assert "cse" in text
+        assert "qr" in text
+        assert "structural=7" in text
+
+    def test_empty_document(self):
+        from repro.obs.metrics import metrics_document
+
+        text = render_report(metrics_document([]))
+        assert "(none)" in text
+        assert "(no simulations recorded)" in text
+
+
+class TestCli:
+    def test_report_prints_summary(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(path, [experiment_entry("F13", 2.0, fake_snapshot())])
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(["report", str(path)])
+        assert code == 0
+        assert "top units by busy cycles" in buffer.getvalue()
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "nope.json")])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,114 @@
+"""Tests for the Chrome ``trace_event`` exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.trace_export import (
+    assign_unit_instances,
+    chrome_trace,
+    host_span_events,
+    sim_trace_events,
+    write_chrome_trace,
+)
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.sim import Simulator
+
+
+def pose_chain(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+@pytest.fixture
+def snapshot():
+    compiled = pose_chain()
+    with obs.enabled_scope():
+        with obs.trace.span("experiment.test", category="eval"):
+            Simulator().run(compiled.program, "ooo")
+        return obs.collector().drain()
+
+
+class TestAssignUnitInstances:
+    def test_serial_intervals_share_one_instance(self):
+        intervals = [(0.0, 2.0, 0), (2.0, 4.0, 1), (4.0, 5.0, 2)]
+        assignment = assign_unit_instances(intervals, 2)
+        assert set(assignment.values()) == {0}
+
+    def test_overlapping_intervals_spread_across_instances(self):
+        intervals = [(0.0, 4.0, 0), (1.0, 5.0, 1), (2.0, 3.0, 2)]
+        assignment = assign_unit_instances(intervals, 3)
+        assert len(set(assignment.values())) == 3
+        assert max(assignment.values()) <= 2
+
+    def test_oversubscription_spills_instead_of_failing(self):
+        intervals = [(0.0, 4.0, 0), (0.0, 4.0, 1)]
+        assignment = assign_unit_instances(intervals, 1)
+        assert sorted(assignment.values()) == [0, 1]  # spill track
+
+
+class TestChromeTrace:
+    def test_events_are_valid_trace_event_objects(self, snapshot):
+        document = chrome_trace(snapshot)
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert {"ph", "pid", "name"} <= set(event)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+                assert isinstance(event["tid"], int)
+
+    def test_one_track_per_unit_instance(self, snapshot):
+        record = snapshot.sims[0]
+        events = sim_trace_events(record, pid=100)
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        # Track labels are unit[k] with k below the configured count.
+        counts = record["unit_instance_counts"]
+        assert names
+        for label in names:
+            unit, idx = label[:-1].split("[")
+            assert int(idx) < counts[unit]
+        assert len(names) == len(set(names))
+
+    def test_instruction_events_carry_phase_and_cycles(self, snapshot):
+        events = sim_trace_events(snapshot.sims[0], pid=100)
+        slices = [e for e in events if e["ph"] == "X"]
+        issued = snapshot.sims[0]["issued_count"]
+        assert len(slices) == issued
+        for event in slices:
+            assert event["cat"].startswith("sim.")
+            assert event["args"]["cycles"] >= 0
+
+    def test_host_spans_become_host_tracks(self, snapshot):
+        events = host_span_events(snapshot)
+        process = [e for e in events if e["ph"] == "M"
+                   and e["name"] == "process_name"]
+        assert process and process[0]["args"]["name"] == "host"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "experiment.test" for e in slices)
+
+    def test_write_round_trips_through_json(self, snapshot, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, snapshot)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["otherData"]["generator"] == "repro.obs"
+
+    def test_empty_snapshot_still_valid(self):
+        document = chrome_trace(obs.Snapshot())
+        assert document["traceEvents"] == []
+        json.dumps(document)

@@ -1,0 +1,146 @@
+"""Edge cases for SimulationResult accessors and utilization bounds."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_application, compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor, SmoothnessFactor
+from repro.geometry import Pose
+from repro.hw import AcceleratorConfig
+from repro.sim import POLICIES, EnergyBreakdown, SimulationResult, Simulator
+
+
+def make_result(**overrides):
+    base = dict(
+        policy="ooo",
+        total_cycles=100,
+        clock_mhz=200.0,
+        energy=EnergyBreakdown(dynamic_mj=1.0, static_mj=0.5,
+                               memory_mj=0.25),
+        instruction_count=10,
+        issued_count=8,
+        unit_busy_cycles={"qr": 60, "matmul": 40},
+        unit_instance_counts={"qr": 2, "matmul": 1},
+        phase_work_cycles={"construct": 30, "decompose": 70},
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestUtilization:
+    def test_zero_cycles_is_zero_not_nan(self):
+        result = make_result(total_cycles=0)
+        assert result.utilization("qr") == 0.0
+
+    def test_unknown_unit_class_is_zero(self):
+        result = make_result()
+        assert result.utilization("nonexistent") == 0.0
+
+    def test_unit_without_instance_count_defaults_to_one(self):
+        result = make_result(unit_busy_cycles={"qr": 50},
+                             unit_instance_counts={})
+        assert result.utilization("qr") == pytest.approx(0.5)
+
+    def test_multi_instance_normalization(self):
+        result = make_result()
+        assert result.utilization("qr") == pytest.approx(60 / (100 * 2))
+
+
+class TestPhaseShare:
+    def test_empty_phase_table_is_zero(self):
+        result = make_result(phase_work_cycles={})
+        assert result.phase_share("construct") == 0.0
+
+    def test_unknown_phase_is_zero(self):
+        result = make_result()
+        assert result.phase_share("warp-drive") == 0.0
+
+    def test_shares_sum_to_one(self):
+        result = make_result()
+        total = sum(result.phase_share(p)
+                    for p in result.phase_work_cycles)
+        assert total == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_summary_with_zero_cycles(self):
+        result = make_result(total_cycles=0)
+        text = result.summary()
+        assert "cycles=0" in text
+        assert "0.0%" in text  # utilization renders, no division error
+
+    def test_summary_without_units(self):
+        result = make_result(unit_busy_cycles={},
+                             unit_instance_counts={})
+        text = result.summary()
+        assert "policy=ooo" in text
+
+    def test_summary_includes_stalls_when_present(self):
+        result = make_result(stall_counts={"raw": 5, "structural": 2})
+        assert "stalls: raw=5, structural=2" in result.summary()
+        without = make_result()
+        assert "stalls" not in without.summary()
+
+
+# ----------------------------------------------------------------------
+# Regression (observability satellite): the unit_free heap bookkeeping
+# must never account more busy cycles than instances * makespan.
+# ----------------------------------------------------------------------
+
+def pose_chain_compiled(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+def two_stream_program():
+    rng = np.random.default_rng(7)
+    loc_graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                         Isotropic(6, 1e-2))])
+    loc_values = Values({X(0): Pose.identity(3)})
+    for i in range(3):
+        loc_graph.add(BetweenFactor(X(i + 1), X(i),
+                                    Pose.random(3, rng, scale=0.3)))
+        loc_values.insert(X(i + 1), Pose.random(3, rng))
+    plan_graph = FactorGraph()
+    plan_values = Values()
+    for i in range(4):
+        plan_values.insert(X(i), np.array([float(i), 0.0, 1.0, 0.0]))
+    for i in range(3):
+        plan_graph.add(SmoothnessFactor(X(i), X(i + 1), dof=2, dt=1.0))
+    plan_graph.add(PriorFactor(X(0), np.zeros(4), Isotropic(4, 1e-2)))
+    return compile_application({
+        "localization": (loc_graph, loc_values),
+        "planning": (plan_graph, plan_values),
+    })
+
+
+class TestUtilizationBoundRegression:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_utilization_at_most_one_single_stream(self, policy):
+        compiled = pose_chain_compiled()
+        result = Simulator().run(compiled.program, policy)
+        for unit in result.unit_busy_cycles:
+            assert result.utilization(unit) <= 1.0 + 1e-9, (
+                f"unit {unit} over-subscribed under {policy}"
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_utilization_at_most_one_multi_stream_multi_instance(
+            self, policy):
+        program = two_stream_program()
+        config = AcceleratorConfig(unit_counts={
+            "matmul": 2, "vector": 2, "special": 1, "qr": 3, "bsub": 2,
+        })
+        result = Simulator(config).run(program, policy)
+        for unit in result.unit_busy_cycles:
+            assert result.utilization(unit) <= 1.0 + 1e-9, (
+                f"unit {unit} over-subscribed under {policy}"
+            )
