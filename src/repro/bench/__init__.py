@@ -1,0 +1,28 @@
+"""Machine-readable performance benchmarking: ``python -m repro.bench``.
+
+Runs the paper's application workloads on the representative ORIANNA
+accelerator and writes a schema-versioned ``BENCH_*.json`` document
+(cycles, energy, utilization, provenance attribution per workload).
+``python -m repro.obs diff`` compares two such documents and exits
+nonzero on regressions, which is how CI gates performance against the
+committed baseline in ``benchmarks/baseline/``.
+"""
+
+from repro.bench.core import (
+    BENCH_SCHEMA,
+    bench_document,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.bench.diff import diff_documents, render_diff
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_document",
+    "load_bench",
+    "run_bench",
+    "write_bench",
+    "diff_documents",
+    "render_diff",
+]

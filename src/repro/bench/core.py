@@ -1,0 +1,110 @@
+"""BENCH document production: run the paper workloads, emit JSON.
+
+The benchmark suite is the same per-frame workload the Sec. 7
+latency/energy comparisons run (one steady-state frame per application,
+compiled through the standard pipeline, simulated on the representative
+ORIANNA accelerator).  Cycle counts are deterministic functions of the
+seed — latencies derive from operand shapes, not host timing — so two
+runs of the same tree produce identical documents and the CI diff gate
+can use tight thresholds without flake.
+
+Modes:
+
+- ``quick``: every application under the OoO controller only.  A few
+  seconds; this is what CI runs on every push.
+- ``full``: adds the in-order and sequential controllers per workload
+  plus the Fig. 13/14 comparison tables via the eval harness.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.apps import all_applications
+from repro.eval.experiments import ORIANNA_CONFIG, experiment_fig13_fig14
+from repro.obs import trace
+from repro.sim import Simulator
+
+BENCH_SCHEMA = "repro.bench/1"
+
+QUICK_POLICIES = ("ooo",)
+FULL_POLICIES = ("ooo", "inorder", "sequential")
+
+
+def _workload_entry(result) -> Dict[str, Any]:
+    entry = result.to_dict()
+    # The per-factor table is seed-specific detail; the regression gate
+    # and profile surfaces consume the aggregate views.
+    attribution = entry.get("attribution")
+    if attribution:
+        attribution.pop("by_factor", None)
+        attribution.pop("by_variable", None)
+    return entry
+
+
+def run_bench(quick: bool = True, seed: int = 0) -> Dict[str, Any]:
+    """Simulate every application workload; return the BENCH document."""
+    policies = QUICK_POLICIES if quick else FULL_POLICIES
+    sim = Simulator(ORIANNA_CONFIG)
+    workloads: Dict[str, Any] = {}
+    with trace.span("bench", category="bench",
+                    mode="quick" if quick else "full"):
+        for app in all_applications():
+            program = app.compile_frame(seed)
+            for policy in policies:
+                result = sim.run(program, policy)
+                workloads[f"{app.name}/{policy}"] = _workload_entry(result)
+
+    tables: List[Dict[str, Any]] = []
+    if not quick:
+        speed, energy = experiment_fig13_fig14(seed=seed)
+        tables = [speed.to_dict(), energy.to_dict()]
+    return bench_document(workloads, quick=quick, seed=seed, tables=tables)
+
+
+def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
+                   tables: Optional[List[Dict[str, Any]]] = None
+                   ) -> Dict[str, Any]:
+    document: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "workloads": workloads,
+    }
+    if tables:
+        document["tables"] = tables
+    return document
+
+
+def write_bench(path, document: Dict[str, Any]) -> None:
+    """Write a BENCH document as JSON (indent=1 keeps diffs reviewable)."""
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path) -> Dict[str, Any]:
+    with open(path) as fh:
+        document = json.load(fh)
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BENCH_SCHEMA} document "
+            f"(schema={document.get('schema')!r})"
+        )
+    return document
+
+
+def summarize(document: Dict[str, Any]) -> str:
+    """One line per workload, for the CLI and CI logs."""
+    lines = [f"BENCH {document.get('mode', '?')} "
+             f"(seed {document.get('seed', '?')})"]
+    for key in sorted(document.get("workloads", {})):
+        entry = document["workloads"][key]
+        coverage = (entry.get("attribution") or {}).get("coverage")
+        cov = f"  attr {coverage:.1%}" if coverage is not None else ""
+        lines.append(
+            f"  {key:<28} {entry.get('total_cycles', 0):>10,} cycles  "
+            f"{entry.get('energy_mj', 0.0):9.4f} mJ{cov}"
+        )
+    return "\n".join(lines)

@@ -52,6 +52,15 @@ from repro.compiler.isa import (
 )
 from repro.compiler.library import factor_expression
 from repro.compiler.lowering import Lowering, pose_error, vector_error
+from repro.compiler.provenance import (
+    Provenance,
+    STAGE_BACKSUB,
+    STAGE_ELIMINATE,
+    STAGE_EMBED,
+    STAGE_ERROR,
+    STAGE_JACOBIAN,
+    STAGE_WHITEN,
+)
 from repro.compiler.passes import (
     common_subexpression_elimination,
     dead_code_elimination,

@@ -32,6 +32,13 @@ from repro.compiler.isa import (
 )
 from repro.compiler.library import factor_expression
 from repro.compiler.modfg import MoDFG, ModfgEmitter
+from repro.compiler.provenance import (
+    STAGE_BACKSUB,
+    STAGE_ELIMINATE,
+    STAGE_EMBED,
+    STAGE_JACOBIAN,
+    STAGE_WHITEN,
+)
 from repro.factorgraph.factor import Factor
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
@@ -93,12 +100,19 @@ class CompiledGraph:
 # ----------------------------------------------------------------------
 
 def compile_factor(factor: Factor, program: Program,
-                   values: Values) -> RowBlock:
-    """Emit construct-phase instructions for one factor's row block."""
-    components = factor_expression(factor)
-    if components is None:
-        return _compile_embedded(factor, program, values)
-    return _compile_expression(factor, components, program, values)
+                   values: Values, factor_id: int = 0) -> RowBlock:
+    """Emit construct-phase instructions for one factor's row block.
+
+    Every emitted instruction carries provenance naming this factor
+    (``factor_id`` is the factor's index in its graph), so the simulator
+    can attribute busy cycles and energy back to the application layer.
+    """
+    with program.provenance(factor_id=factor_id,
+                            factor_type=type(factor).__name__):
+        components = factor_expression(factor)
+        if components is None:
+            return _compile_embedded(factor, program, values)
+        return _compile_expression(factor, components, program, values)
 
 
 def _key_dim(values: Values, key: Key) -> int:
@@ -108,6 +122,12 @@ def _key_dim(values: Values, key: Key) -> int:
 def _compile_embedded(factor: Factor, program: Program,
                       values: Values) -> RowBlock:
     """Single EMBED instruction for non-expressible sensor front-ends."""
+    with program.provenance(stage=STAGE_EMBED, node_kind="embed"):
+        return _emit_embedded(factor, program, values)
+
+
+def _emit_embedded(factor: Factor, program: Program,
+                   values: Values) -> RowBlock:
     m = factor.dim
     block_regs = []
     cols: Dict[Key, Tuple[int, int]] = {}
@@ -133,7 +153,19 @@ def _compile_embedded(factor: Factor, program: Program,
 
 def _compile_expression(factor: Factor, components, program: Program,
                         values: Values) -> RowBlock:
-    """Full MO-DFG emission: forward errors, backward derivatives."""
+    """Full MO-DFG emission: forward errors, backward derivatives.
+
+    Emitted inside a ``construct.whiten`` default stage; the MO-DFG
+    emitter narrows its own instructions to ``construct.error`` /
+    ``construct.jacobian``, leaving whitening, block assembly and row
+    stacking attributed to the whiten stage.
+    """
+    with program.provenance(stage=STAGE_WHITEN):
+        return _emit_expression(factor, components, program, values)
+
+
+def _emit_expression(factor: Factor, components, program: Program,
+                     values: Values) -> RowBlock:
     dfg = MoDFG(components)
     if dfg.error_dim != factor.dim:
         raise CompileError(
@@ -208,6 +240,13 @@ def _compile_expression(factor: Factor, components, program: Program,
 def _component_block(program: Program, values: Values, key: Key, dim: int,
                      rows: int, slots: Optional[Dict[str, str]]) -> str:
     """Assemble one component's (rows x dim) Jacobian block for a key."""
+    with program.provenance(stage=STAGE_JACOBIAN):
+        return _emit_component_block(program, values, key, dim, rows, slots)
+
+
+def _emit_component_block(program: Program, values: Values, key: Key,
+                          dim: int, rows: int,
+                          slots: Optional[Dict[str, str]]) -> str:
     value = values.at(key)
     from repro.geometry.pose import Pose
 
@@ -276,7 +315,8 @@ def _compile_graph(graph: FactorGraph, values: Values,
     graph.check_values(values)
     key_dims = {k: values.dim(k) for k in graph.keys()}
 
-    row_blocks = [compile_factor(f, program, values) for f in graph.factors]
+    row_blocks = [compile_factor(f, program, values, factor_id=i)
+                  for i, f in enumerate(graph.factors)]
     all_blocks = list(row_blocks)
 
     if ordering is None:
@@ -341,20 +381,22 @@ def _compile_graph(graph: FactorGraph, values: Values,
             }
             marg_block = RowBlock(marg_reg, marginal_rows, marg_cols)
 
-        program.emit(
-            Opcode.QR,
-            [s["reg"] for s in sources],
-            dsts,
-            {
-                "frontal_dim": frontal_dim,
-                "total_cols": total_cols,
-                "col_layout": [(str(k), s, d) for k, s, d in col_layout],
-                "sources": sources,
-                "marginal_rows": marginal_rows,
-                "variable": str(key),
-            },
-            PHASE_DECOMPOSE,
-        )
+        with program.provenance(variable=str(key), stage=STAGE_ELIMINATE,
+                                node_kind="qr"):
+            program.emit(
+                Opcode.QR,
+                [s["reg"] for s in sources],
+                dsts,
+                {
+                    "frontal_dim": frontal_dim,
+                    "total_cols": total_cols,
+                    "col_layout": [(str(k), s, d) for k, s, d in col_layout],
+                    "sources": sources,
+                    "marginal_rows": marginal_rows,
+                    "variable": str(key),
+                },
+                PHASE_DECOMPOSE,
+            )
         if marg_block is not None:
             active.append(marg_block)
             all_blocks.append(marg_block)
@@ -367,15 +409,17 @@ def _compile_graph(graph: FactorGraph, values: Values,
     for key, cond_reg, parents in reversed(conditionals):
         srcs = [cond_reg] + [solution[k] for k, _, _ in parents]
         sol_reg = program.new_register("sol", (key_dims[key],))
-        program.emit(
-            Opcode.BSUB, srcs, [sol_reg],
-            {
-                "frontal_dim": key_dims[key],
-                "parents": [(s, d) for _, s, d in parents],
-                "variable": str(key),
-            },
-            PHASE_BACKSUB,
-        )
+        with program.provenance(variable=str(key), stage=STAGE_BACKSUB,
+                                node_kind="bsub"):
+            program.emit(
+                Opcode.BSUB, srcs, [sol_reg],
+                {
+                    "frontal_dim": key_dims[key],
+                    "parents": [(s, d) for _, s, d in parents],
+                    "variable": str(key),
+                },
+                PHASE_BACKSUB,
+            )
         solution[key] = sol_reg
 
     return CompiledGraph(

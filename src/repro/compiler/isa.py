@@ -19,6 +19,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CompileError
+from repro.compiler.provenance import (
+    Provenance,
+    ProvenanceScope,
+    compose_frames,
+)
 
 
 class Opcode(enum.Enum):
@@ -103,6 +108,11 @@ class Instruction:
     algorithm:
         Tag of the owning algorithm stream (e.g. ``localization``) for
         coarse-grained out-of-order execution.
+    provenance:
+        Application-layer attribution (factor ids/types, variable keys,
+        MO-DFG node kind, algorithm stage) attached at emission time and
+        preserved (merged) through the optimization passes; ``None`` for
+        instructions emitted outside any provenance scope.
     """
 
     uid: int
@@ -112,6 +122,7 @@ class Instruction:
     meta: Dict[str, Any] = field(default_factory=dict)
     phase: str = PHASE_CONSTRUCT
     algorithm: str = ""
+    provenance: Optional[Provenance] = None
 
     @property
     def unit(self) -> str:
@@ -132,6 +143,10 @@ class Program:
         self.algorithm = algorithm
         self._counter = 0
         self._reg_counter = 0
+        # Provenance scope stack: emit() attaches the composed record of
+        # the currently open Program.provenance(...) scopes.
+        self._prov_frames: List[Dict[str, Any]] = []
+        self._prov_cache: Optional[Provenance] = None
 
     # ------------------------------------------------------------------
     # Emission
@@ -142,6 +157,24 @@ class Program:
         self.register_shapes[name] = tuple(shape)
         return name
 
+    def provenance(self, **fields) -> "ProvenanceScope":
+        """Open a provenance scope: instructions emitted inside carry it.
+
+        Recognized fields: ``factor_id`` + ``factor_type`` (accumulate
+        across nested scopes), ``variable`` (accumulates), ``node_kind``,
+        ``stage``, ``origin`` (innermost non-empty wins).  Scopes nest;
+        see :mod:`repro.compiler.provenance`.
+        """
+        return ProvenanceScope(self, fields)
+
+    def current_provenance(self) -> Optional[Provenance]:
+        """The composed record of the open provenance scopes."""
+        if not self._prov_frames:
+            return None
+        if self._prov_cache is None:
+            self._prov_cache = compose_frames(self._prov_frames)
+        return self._prov_cache
+
     def emit(
         self,
         op: Opcode,
@@ -149,6 +182,7 @@ class Program:
         dsts: Sequence[str],
         meta: Optional[Dict[str, Any]] = None,
         phase: str = PHASE_CONSTRUCT,
+        provenance: Optional[Provenance] = None,
     ) -> Instruction:
         for s in srcs:
             if s not in self.register_shapes:
@@ -161,6 +195,7 @@ class Program:
             meta=dict(meta or {}),
             phase=phase,
             algorithm=self.algorithm,
+            provenance=provenance or self.current_provenance(),
         )
         self._counter += 1
         self.instructions.append(instr)
@@ -270,6 +305,7 @@ class Program:
                 meta=dict(instr.meta),
                 phase=instr.phase,
                 algorithm=instr.algorithm,
+                provenance=instr.provenance,
             )
             sub._counter += 1
             sub.instructions.append(clone)
@@ -296,6 +332,7 @@ class Program:
                 meta=dict(instr.meta),
                 phase=instr.phase,
                 algorithm=instr.algorithm or other.algorithm,
+                provenance=instr.provenance,
             )
             self.instructions.append(clone)
         self._counter += other._counter

@@ -72,6 +72,11 @@ class Lowering:
         else:
             raise CompileError(f"cannot lower {type(expr).__name__}")
 
+        # Provenance origin hints: the MO-DFG emitter copies these onto
+        # the instructions computing each part, so profiles can separate
+        # rotation-chain from translation-chain work.
+        _tag_origin(result[0], "pose.rot")
+        _tag_origin(result[1], "pose.trans")
         self._pose_cache[id(expr)] = result
         return result
 
@@ -86,16 +91,27 @@ class Lowering:
         return cached
 
 
+def _tag_origin(expr: Expr, origin: str) -> None:
+    """Mark a lowered node with its pose-level origin (idempotent)."""
+    if getattr(expr, "origin", ""):
+        return
+    expr.origin = origin
+
+
 def pose_error(expr: PoseExpr) -> List[Expr]:
     """Lower a pose-valued error expression to its components.
 
     Returns ``[e_o, e_p]``: the Log of the rotation part and the
     translation part, matching the residual layout ``[phi, t]`` used by
-    :meth:`repro.geometry.Pose.vector`.
+    :meth:`repro.geometry.Pose.vector`.  Both components carry a
+    provenance ``origin`` tag naming the pose part they compute.
     """
     lowering = Lowering()
     rot, trans = lowering.lower_pose(expr)
-    return [LogMap(rot), trans]
+    log = LogMap(rot)
+    _tag_origin(log, "pose.rot")
+    _tag_origin(trans, "pose.trans")
+    return [log, trans]
 
 
 def vector_error(*components: Expr) -> List[Expr]:

@@ -46,6 +46,7 @@ from repro.compiler.exprs import (
     topological_order,
 )
 from repro.compiler.isa import Opcode, Program
+from repro.compiler.provenance import STAGE_ERROR, STAGE_JACOBIAN
 from repro.factorgraph.keys import Key
 from repro.factorgraph.values import Values
 
@@ -131,8 +132,9 @@ class ModfgEmitter:
     # ------------------------------------------------------------------
     def emit_forward(self, dfg: MoDFG) -> List[str]:
         """Emit value computation for every node; return component regs."""
-        for node in dfg.nodes:
-            self._emit_node(node)
+        with self.program.provenance(stage=STAGE_ERROR):
+            for node in dfg.nodes:
+                self._emit_node(node)
         return [self._value_regs[id(c)] for c in dfg.components]
 
     def _const(self, value: np.ndarray, label: str) -> str:
@@ -146,6 +148,16 @@ class ModfgEmitter:
         existing = self._value_regs.get(id(node))
         if existing is not None:
             return existing
+        # Nested scopes: children emitted recursively below re-enter this
+        # method and override node_kind/origin with their own.
+        with self.program.provenance(
+                node_kind=type(node).__name__,
+                origin=getattr(node, "origin", "")):
+            reg = self._emit_node_body(node)
+        self._value_regs[id(node)] = reg
+        return reg
+
+    def _emit_node_body(self, node: Expr) -> str:
         emit = self.program.emit
 
         if isinstance(node, RotVar):
@@ -196,7 +208,6 @@ class ModfgEmitter:
         else:
             raise CompileError(f"cannot emit {type(node).__name__}")
 
-        self._value_regs[id(node)] = reg
         return reg
 
     def _transpose(self, reg: str, n: int) -> str:
@@ -227,23 +238,30 @@ class ModfgEmitter:
         order = topological_order([component])
         leaf_blocks: Dict[Key, Dict[str, str]] = {}
 
-        for node in reversed(order):
-            contribs = contributions.pop(id(node), [])
-            if not contribs:
-                continue
-            adjoint = self._merge(contribs, rows, node.tangent_dim)
+        with self.program.provenance(stage=STAGE_JACOBIAN):
+            for node in reversed(order):
+                contribs = contributions.pop(id(node), [])
+                if not contribs:
+                    continue
+                with self.program.provenance(
+                        node_kind=type(node).__name__,
+                        origin=getattr(node, "origin", "")):
+                    adjoint = self._merge(contribs, rows, node.tangent_dim)
 
-            if isinstance(node, (RotVar, TransVar, VecVar)):
-                slot = ("rot" if isinstance(node, RotVar)
-                        else "trans" if isinstance(node, TransVar) else "vec")
-                reg = self._materialize(adjoint, node.tangent_dim)
-                leaf_blocks.setdefault(node.key, {})[slot] = reg
-                continue
-            if isinstance(node, (RotConst, VecConst)):
-                continue
+                    if isinstance(node, (RotVar, TransVar, VecVar)):
+                        slot = ("rot" if isinstance(node, RotVar)
+                                else "trans" if isinstance(node, TransVar)
+                                else "vec")
+                        reg = self._materialize(adjoint, node.tangent_dim)
+                        leaf_blocks.setdefault(node.key, {})[slot] = reg
+                        continue
+                    if isinstance(node, (RotConst, VecConst)):
+                        continue
 
-            for child, child_adj in self._propagate(node, adjoint, rows):
-                contributions.setdefault(id(child), []).append(child_adj)
+                    for child, child_adj in self._propagate(node, adjoint,
+                                                            rows):
+                        contributions.setdefault(id(child),
+                                                 []).append(child_adj)
 
         return leaf_blocks
 

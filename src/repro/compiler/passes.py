@@ -67,6 +67,9 @@ def _cse(program: Program) -> Program:
     out = Program(algorithm=program.algorithm)
     canonical: Dict[str, str] = {}
     seen: Dict[tuple, str] = {}
+    # Surviving clone per canonical destination register, so a CSE hit
+    # can fold the dropped duplicate's provenance into the survivor.
+    survivor: Dict[str, Instruction] = {}
 
     for instr in program.instructions:
         if instr.op is Opcode.CONST:
@@ -81,6 +84,14 @@ def _cse(program: Program) -> Program:
             existing = seen.get(scoped_key)
             if existing is not None:
                 canonical[instr.dsts[0]] = existing
+                kept = survivor.get(existing)
+                if kept is not None and instr.provenance is not None:
+                    # One instruction now computes a value several
+                    # factors contributed: accumulate their identities.
+                    kept.provenance = (
+                        instr.provenance if kept.provenance is None
+                        else kept.provenance.merged_with(instr.provenance)
+                    )
                 continue
 
         new_srcs = [canonical.get(s, s) for s in instr.srcs]
@@ -99,6 +110,7 @@ def _cse(program: Program) -> Program:
             meta=meta,
             phase=instr.phase,
             algorithm=instr.algorithm,
+            provenance=instr.provenance,
         )
         out.instructions.append(clone)
         out._counter = len(out.instructions)
@@ -106,6 +118,7 @@ def _cse(program: Program) -> Program:
             out.register_shapes[dst] = program.register_shapes[dst]
         if key is not None:
             seen[(instr.algorithm,) + key] = instr.dsts[0]
+            survivor[instr.dsts[0]] = clone
 
     return out
 
@@ -152,6 +165,7 @@ def _dce(program: Program,
             meta=dict(instr.meta),
             phase=instr.phase,
             algorithm=instr.algorithm,
+            provenance=instr.provenance,
         )
         out.instructions.append(clone)
         out._counter = len(out.instructions)

@@ -1,0 +1,166 @@
+"""Provenance: attributing instructions back to the application layer.
+
+ORIANNA's central claim is that factor-graph *structure* determines where
+cycles and energy go, so the profiler must answer "which factor, variable
+or algorithm stage caused this work?" — not just "which unit was busy".
+Every :class:`~repro.compiler.isa.Instruction` carries an optional
+:class:`Provenance` record attached at emission time:
+
+- ``factors`` — the ``(factor id, factor type)`` pairs whose MO-DFG the
+  instruction belongs to.  After common-subexpression elimination one
+  instruction may serve several factors (a pose's ``Exp(phi)`` is shared
+  by every adjacent factor), so this is a tuple that CSE *accumulates*.
+- ``variables`` — the eliminated/solved variable keys for QR and
+  back-substitution instructions.
+- ``node_kind`` — the MO-DFG node class that emitted the instruction
+  (``RotRot``, ``LogMap``, ...) or ``qr``/``bsub`` for inference.
+- ``stage`` — the algorithm stage: ``construct.error``,
+  ``construct.jacobian``, ``construct.whiten``, ``eliminate``,
+  ``backsub``.
+- ``origin`` — the pose-level lowering origin (``pose.rot`` /
+  ``pose.trans``) when the node came out of
+  :mod:`repro.compiler.lowering`.
+
+Provenance is plain data: frozen, hashable, mergeable, and JSON-ready via
+:meth:`Provenance.to_dict`, so the simulator can aggregate busy cycles
+and energy by any of these axes (see :mod:`repro.sim.attribution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where one instruction's work comes from, application-side."""
+
+    factors: Tuple[Tuple[int, str], ...] = ()
+    variables: Tuple[str, ...] = ()
+    node_kind: str = ""
+    stage: str = ""
+    origin: str = ""
+
+    def merged_with(self, other: Optional["Provenance"]) -> "Provenance":
+        """Union of two provenance records (used on CSE hits).
+
+        Factor and variable sets accumulate; the scalar descriptors keep
+        the first (surviving) instruction's value and only fill in from
+        ``other`` when empty — CSE merges value-identical computations,
+        so the kinds agree in practice.
+        """
+        if other is None:
+            return self
+        return Provenance(
+            factors=tuple(sorted(set(self.factors) | set(other.factors))),
+            variables=tuple(sorted(set(self.variables)
+                                   | set(other.variables))),
+            node_kind=self.node_kind or other.node_kind,
+            stage=self.stage or other.stage,
+            origin=self.origin or other.origin,
+        )
+
+    @property
+    def factor_ids(self) -> Tuple[int, ...]:
+        return tuple(fid for fid, _ in self.factors)
+
+    @property
+    def factor_types(self) -> Tuple[str, ...]:
+        return tuple(sorted({ftype for _, ftype in self.factors}))
+
+    def is_empty(self) -> bool:
+        return not (self.factors or self.variables or self.node_kind
+                    or self.stage or self.origin)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict, omitting empty fields."""
+        out: Dict[str, Any] = {}
+        if self.factors:
+            out["factors"] = [[fid, ftype] for fid, ftype in self.factors]
+        if self.variables:
+            out["variables"] = list(self.variables)
+        if self.node_kind:
+            out["node_kind"] = self.node_kind
+        if self.stage:
+            out["stage"] = self.stage
+        if self.origin:
+            out["origin"] = self.origin
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "Provenance":
+        data = data or {}
+        return cls(
+            factors=tuple((int(fid), str(ftype))
+                          for fid, ftype in data.get("factors", ())),
+            variables=tuple(str(v) for v in data.get("variables", ())),
+            node_kind=str(data.get("node_kind", "")),
+            stage=str(data.get("stage", "")),
+            origin=str(data.get("origin", "")),
+        )
+
+
+# Stage names (sub-phases of the per-iteration pipeline, finer than the
+# construct/decompose/backsub phases of repro.compiler.isa).
+STAGE_ERROR = "construct.error"
+STAGE_JACOBIAN = "construct.jacobian"
+STAGE_WHITEN = "construct.whiten"
+STAGE_ELIMINATE = "eliminate"
+STAGE_BACKSUB = "backsub"
+STAGE_EMBED = "construct.embed"
+
+
+class ProvenanceScope:
+    """One stacked frame of provenance context on a Program.
+
+    Frames compose: factor/variable fields accumulate across nested
+    scopes, scalar fields (``node_kind``, ``stage``, ``origin``) are
+    overridden by the innermost non-empty frame.  Produced by
+    :meth:`repro.compiler.isa.Program.provenance`.
+    """
+
+    __slots__ = ("_program", "_fields")
+
+    def __init__(self, program, fields: Dict[str, Any]):
+        self._program = program
+        self._fields = fields
+
+    def __enter__(self) -> "ProvenanceScope":
+        self._program._prov_frames.append(self._fields)
+        self._program._prov_cache = None
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._program._prov_frames.pop()
+        self._program._prov_cache = None
+        return False
+
+
+def compose_frames(frames: Iterable[Dict[str, Any]]) -> Optional[Provenance]:
+    """Fold a stack of scope frames into one Provenance record."""
+    factors: Dict[Tuple[int, str], None] = {}
+    variables: Dict[str, None] = {}
+    node_kind = stage = origin = ""
+    any_frame = False
+    for frame in frames:
+        any_frame = True
+        factor_id = frame.get("factor_id")
+        if factor_id is not None:
+            factors[(int(factor_id),
+                     str(frame.get("factor_type", "")))] = None
+        variable = frame.get("variable")
+        if variable is not None:
+            variables[str(variable)] = None
+        node_kind = frame.get("node_kind") or node_kind
+        stage = frame.get("stage") or stage
+        origin = frame.get("origin") or origin
+    if not any_frame:
+        return None
+    return Provenance(
+        factors=tuple(factors),
+        variables=tuple(variables),
+        node_kind=node_kind,
+        stage=stage,
+        origin=origin,
+    )

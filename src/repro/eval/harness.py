@@ -80,6 +80,35 @@ class ExperimentTable:
         ]
         return "\n".join([head, sep] + body)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (numpy scalars coerced to Python numbers)."""
+        return {
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {c: _json_cell(row[c]) for c in self.columns}
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        """Serialize the table as JSON without a markdown detour."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _json_cell(value):
+    """Coerce a table cell to a JSON-native type."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return item()
+    return str(value)
+
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean (the right average for speedup ratios)."""

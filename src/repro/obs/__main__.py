@@ -1,8 +1,14 @@
-"""Observability CLI: ``python -m repro.obs report metrics.json``.
+"""Observability CLI: ``python -m repro.obs <command>``.
 
-Prints a profile summary (per-experiment totals, top compiler passes by
-wall time, top units by busy cycles, stall breakdown) over a metrics
-document produced by ``python -m repro.eval --metrics``.
+- ``report metrics.json`` — flat profile summary (per-experiment totals,
+  top compiler passes by wall time, top units by busy cycles, stalls)
+  over a metrics document from ``python -m repro.eval --metrics``.
+- ``profile metrics.json`` — provenance-attributed hotspot profile: top
+  factor types/factors by cycles and energy, the algorithm-stage
+  breakdown, the critical-path listing, and the slack histogram.
+- ``diff old.json new.json`` — compare two BENCH documents from
+  ``python -m repro.bench``; exits 1 when any workload's cycles or
+  energy regressed beyond ``--threshold`` (the CI gate).
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ import argparse
 import sys
 
 from repro.obs.metrics import load_metrics
+from repro.obs.profile import render_profile
 from repro.obs.report import render_report
 
 
@@ -20,20 +27,56 @@ def main(argv=None) -> int:
         description="Inspect exported observability artifacts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
     report = sub.add_parser(
         "report", help="print a profile summary of a metrics JSON file"
     )
     report.add_argument("metrics", help="path to a --metrics output file")
     report.add_argument("--top", type=int, default=10,
                         help="rows per ranking section (default 10)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="print a provenance-attributed hotspot profile of a "
+             "metrics JSON file",
+    )
+    profile.add_argument("metrics", help="path to a --metrics output file")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per ranking section (default 10)")
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two BENCH JSON documents; exit 1 on regression",
+    )
+    diff.add_argument("old", help="baseline BENCH document")
+    diff.add_argument("new", help="candidate BENCH document")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative regression tolerance (default 0.10)")
+
     args = parser.parse_args(argv)
 
-    if args.command == "report":
+    if args.command in ("report", "profile"):
         try:
             document = load_metrics(args.metrics)
         except (OSError, ValueError) as exc:
             parser.error(str(exc))
-        print(render_report(document, top=args.top))
+        renderer = render_report if args.command == "report" \
+            else render_profile
+        print(renderer(document, top=args.top))
+        return 0
+
+    if args.command == "diff":
+        from repro.bench.core import load_bench
+        from repro.bench.diff import diff_documents, render_diff
+
+        try:
+            old = load_bench(args.old)
+            new = load_bench(args.new)
+            result = diff_documents(old, new, threshold=args.threshold)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        print(render_diff(result))
+        return 1 if result["regressions"] else 0
     return 0
 
 

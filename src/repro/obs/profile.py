@@ -1,0 +1,185 @@
+"""Provenance-attributed hotspot profiles over metrics documents.
+
+``python -m repro.obs profile metrics.json`` answers the question the
+flat report cannot: *which factors* (and which algorithm stages) the
+simulated cycles and energy were spent on, and which instructions gate
+the makespan.  It renders, over every simulation in the document:
+
+- attribution coverage (the fraction of unit busy cycles that carry a
+  provenance record — the instrumentation's own health metric);
+- top factor types and individual factors by attributed cycles/energy;
+- the algorithm-stage breakdown (error / jacobian / whiten / eliminate /
+  backsub);
+- the longest dependency chain of the dominant simulation, step by step;
+- the aggregate slack histogram (how much of the instruction stream is
+  schedule-critical vs free to slip).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+def _merge_buckets(into: Dict[str, Dict[str, float]],
+                   buckets: Dict[str, Any]) -> None:
+    for key, bucket in (buckets or {}).items():
+        slot = into.setdefault(
+            key, {"cycles": 0.0, "energy_mj": 0.0, "instructions": 0.0})
+        slot["cycles"] += float(bucket.get("cycles", 0.0))
+        slot["energy_mj"] += float(bucket.get("energy_mj", 0.0))
+        slot["instructions"] += float(bucket.get("instructions", 0.0))
+
+
+def _collect_sims(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    sims: List[Dict[str, Any]] = []
+    for entry in document.get("experiments", []):
+        sims.extend(entry.get("simulations", []))
+    return sims
+
+
+def aggregate_attribution(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold every simulation's attribution tables into one profile."""
+    total_busy = 0.0
+    attributed = 0.0
+    total_energy = 0.0
+    by_factor_type: Dict[str, Dict[str, float]] = {}
+    by_factor: Dict[str, Dict[str, float]] = {}
+    by_stage: Dict[str, Dict[str, float]] = {}
+    slack_hist: Dict[str, int] = {}
+    best_path: Tuple[float, Dict[str, Any], str] = (-1.0, {}, "")
+    with_attr = 0
+
+    for sim in _collect_sims(document):
+        attr = sim.get("attribution")
+        if attr:
+            with_attr += 1
+            total_busy += float(attr.get("total_busy_cycles", 0.0))
+            attributed += float(attr.get("attributed_cycles", 0.0))
+            total_energy += float(attr.get("total_energy_mj", 0.0))
+            _merge_buckets(by_factor_type, attr.get("by_factor_type"))
+            _merge_buckets(by_factor, attr.get("by_factor"))
+            _merge_buckets(by_stage, attr.get("by_stage"))
+        cp = sim.get("critical_path")
+        if cp:
+            for label, count in (cp.get("slack_histogram") or {}).items():
+                slack_hist[label] = slack_hist.get(label, 0) + int(count)
+            length = float(cp.get("length_cycles", 0.0))
+            if length > best_path[0]:
+                best_path = (length, cp, str(sim.get("label", "?")))
+
+    return {
+        "simulations": len(_collect_sims(document)),
+        "with_attribution": with_attr,
+        "total_busy_cycles": total_busy,
+        "attributed_cycles": attributed,
+        "coverage": attributed / total_busy if total_busy else 1.0,
+        "total_energy_mj": total_energy,
+        "by_factor_type": by_factor_type,
+        "by_factor": by_factor,
+        "by_stage": by_stage,
+        "slack_histogram": slack_hist,
+        "critical_path": best_path[1],
+        "critical_path_label": best_path[2],
+    }
+
+
+def _ranked(buckets: Dict[str, Dict[str, float]],
+            top: int) -> List[Tuple[str, Dict[str, float]]]:
+    return sorted(buckets.items(), key=lambda kv: -kv[1]["cycles"])[:top]
+
+
+def render_profile(document: Dict[str, Any], top: int = 10) -> str:
+    """Render the provenance profile of one metrics document."""
+    agg = aggregate_attribution(document)
+    lines: List[str] = []
+
+    lines.append("attribution coverage")
+    lines.append("--------------------")
+    lines.append(
+        f"  {agg['with_attribution']}/{agg['simulations']} simulations "
+        f"carry attribution"
+    )
+    lines.append(
+        f"  {agg['attributed_cycles']:,.0f} of "
+        f"{agg['total_busy_cycles']:,.0f} busy cycles attributed "
+        f"({agg['coverage']:.1%})"
+    )
+
+    lines.append("")
+    lines.append(f"top factor types by attributed cycles (top {top})")
+    lines.append("-------------------------------------")
+    ranked = _ranked(agg["by_factor_type"], top)
+    for name, bucket in ranked:
+        lines.append(
+            f"  {name:<24} {bucket['cycles']:>12,.0f} cycles  "
+            f"{bucket['energy_mj']:10.4f} mJ  "
+            f"{bucket['instructions']:8.1f} instrs"
+        )
+    if not ranked:
+        lines.append("  (no factor attribution recorded)")
+
+    lines.append("")
+    lines.append(f"top individual factors (top {top})")
+    lines.append("----------------------")
+    ranked = _ranked(agg["by_factor"], top)
+    for name, bucket in ranked:
+        lines.append(
+            f"  {name:<28} {bucket['cycles']:>12,.0f} cycles  "
+            f"{bucket['energy_mj']:10.4f} mJ"
+        )
+    if not ranked:
+        lines.append("  (no factor attribution recorded)")
+
+    lines.append("")
+    lines.append("cycles by algorithm stage")
+    lines.append("-------------------------")
+    stage_total = sum(b["cycles"] for b in agg["by_stage"].values())
+    for name, bucket in _ranked(agg["by_stage"], top):
+        share = bucket["cycles"] / stage_total if stage_total else 0.0
+        lines.append(
+            f"  {name:<20} {bucket['cycles']:>12,.0f} cycles  "
+            f"({share:6.1%})"
+        )
+    if not agg["by_stage"]:
+        lines.append("  (no stage attribution recorded)")
+
+    lines.append("")
+    cp = agg["critical_path"]
+    if cp:
+        lines.append(
+            f"critical path [{agg['critical_path_label']}]: "
+            f"{cp.get('length_cycles', 0):,.0f} cycles dependency-bound "
+            f"of {cp.get('makespan_cycles', 0):,.0f} makespan"
+        )
+        lines.append("-------------")
+        for step in (cp.get("path") or [])[:top]:
+            where = step.get("stage") or step.get("variable") or ""
+            factors = ",".join(step.get("factors") or [])
+            detail = " ".join(x for x in (where, factors) if x)
+            lines.append(
+                f"  #{step.get('uid', '?'):>5} {step.get('op', '?'):<6} "
+                f"{step.get('unit', '?'):<8} "
+                f"{step.get('cycles', 0):>6,.0f} cy  {detail}"
+            )
+        shown = min(len(cp.get("path") or []), top)
+        remaining = int(cp.get("path_length", shown)) - shown
+        if remaining > 0:
+            lines.append(f"  ... {remaining} more steps")
+    else:
+        lines.append("critical path")
+        lines.append("-------------")
+        lines.append("  (no critical-path analysis recorded)")
+
+    lines.append("")
+    lines.append("slack histogram (cycles of slip before makespan grows)")
+    lines.append("------------------------------------------------------")
+    hist = agg["slack_histogram"]
+    if hist:
+        total = sum(hist.values()) or 1
+        for label, count in hist.items():
+            bar = "#" * int(round(40 * count / total))
+            lines.append(f"  {label:>8}: {count:>7,}  {bar}")
+    else:
+        lines.append("  (no slack recorded)")
+
+    return "\n".join(lines)

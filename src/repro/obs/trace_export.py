@@ -99,6 +99,17 @@ def sim_trace_events(record: Dict[str, Any], pid: int) -> List[dict]:
                                 f"{unit}[{k}]"))
         for start, finish, uid in by_unit[unit]:
             info = instrs[uid]
+            args: Dict[str, Any] = {
+                "uid": uid,
+                "phase": info.get("phase", ""),
+                "algorithm": info.get("algorithm", ""),
+                "cycles": finish - start,
+            }
+            # Provenance makes the trace navigable by application
+            # concept: clicking a slice names the factors and stage it
+            # computes, not just an opcode.
+            for key, value in (info.get("provenance") or {}).items():
+                args[f"prov.{key}"] = value
             events.append({
                 "name": info.get("op", "instr"),
                 "cat": f"sim.{info.get('phase', '')}",
@@ -107,12 +118,7 @@ def sim_trace_events(record: Dict[str, Any], pid: int) -> List[dict]:
                 "dur": max(finish - start, 0.0) * us_per_cycle,
                 "pid": pid,
                 "tid": base_tid + assignment[uid],
-                "args": {
-                    "uid": uid,
-                    "phase": info.get("phase", ""),
-                    "algorithm": info.get("algorithm", ""),
-                    "cycles": finish - start,
-                },
+                "args": args,
             })
         tid = base_tid + used
     return events

@@ -1,5 +1,11 @@
 """Cycle-level simulation of generated accelerators (Sec. 6.3 runtime)."""
 
+from repro.sim.attribution import (
+    Attribution,
+    CriticalPathAnalysis,
+    compute_attribution,
+    compute_critical_path,
+)
 from repro.sim.engine import POLICIES, Simulator
 from repro.sim.stats import EnergyBreakdown, SimulationResult
 from repro.sim.pipeline import (
@@ -11,4 +17,6 @@ from repro.sim.timeline import busy_summary, render_timeline
 
 __all__ = ["Simulator", "POLICIES", "SimulationResult",
            "EnergyBreakdown", "render_timeline", "busy_summary",
-           "replicate_frames", "steady_state_throughput", "ThroughputResult"]
+           "replicate_frames", "steady_state_throughput", "ThroughputResult",
+           "Attribution", "CriticalPathAnalysis",
+           "compute_attribution", "compute_critical_path"]

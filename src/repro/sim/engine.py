@@ -26,6 +26,7 @@ from repro.compiler.isa import Instruction, Opcode, Program, UNIT_NONE
 from repro.hw.accelerator import AcceleratorConfig
 from repro.hw.units import BASE_STATIC_POWER_MW, STATIC_POWER_MW
 from repro.obs import core as obs
+from repro.sim.attribution import compute_attribution, compute_critical_path
 from repro.sim.stats import EnergyBreakdown, SimulationResult
 
 POLICIES = ("ooo", "inorder", "sequential")
@@ -186,9 +187,14 @@ class Simulator:
             try_issue()
 
         total_cycles = int(round(max(finish.values(), default=0.0)))
+        energies = self._energies(program)
         result = self._collect(program, policy, total_cycles, start, finish,
-                               latencies, busy_cycles)
+                               latencies, energies, busy_cycles)
         result.stall_counts = {k: v for k, v in stalls.items() if v}
+        result.attribution = compute_attribution(program, latencies,
+                                                 energies)
+        result.critical_path = compute_critical_path(program, latencies,
+                                                     start, finish)
         if record_schedule or obs.is_enabled():
             result.schedule = {uid: (start[uid], finish[uid])
                                for uid in start}
@@ -228,42 +234,23 @@ class Simulator:
     def _telemetry(self, program: Program,
                    result: SimulationResult) -> Dict[str, object]:
         """The obs-collector record for one run (see repro.obs.metrics)."""
-        instructions = {
-            instr.uid: {
+        instructions = {}
+        for instr in program.instructions:
+            if instr.uid not in result.schedule:
+                continue
+            entry = {
                 "op": instr.op.value,
                 "unit": instr.unit,
                 "phase": instr.phase,
                 "algorithm": instr.algorithm,
             }
-            for instr in program.instructions
-            if instr.uid in result.schedule
-        }
-        return {
-            "label": program.algorithm or "program",
-            "policy": result.policy,
-            "total_cycles": result.total_cycles,
-            "clock_mhz": result.clock_mhz,
-            "time_ms": result.time_ms,
-            "instruction_count": result.instruction_count,
-            "issued_count": result.issued_count,
-            "energy_mj": result.energy_mj,
-            "energy": {
-                "dynamic_mj": result.energy.dynamic_mj,
-                "static_mj": result.energy.static_mj,
-                "memory_mj": result.energy.memory_mj,
-            },
-            "stall_counts": dict(result.stall_counts),
-            "unit_busy_cycles": dict(result.unit_busy_cycles),
-            "unit_instance_counts": dict(result.unit_instance_counts),
-            "utilization": {
-                unit: result.utilization(unit)
-                for unit in result.unit_busy_cycles
-            },
-            "peak_live_words": result.peak_live_words,
-            "spilled_words": result.spilled_words,
-            "schedule": dict(result.schedule),
-            "instructions": instructions,
-        }
+            if instr.provenance is not None:
+                entry["provenance"] = instr.provenance.to_dict()
+            instructions[instr.uid] = entry
+        record = result.to_dict(include_schedule=True)
+        record["label"] = program.algorithm or "program"
+        record["instructions"] = instructions
+        return record
 
     def _check_schedule_invariants(self, program: Program,
                                    result: SimulationResult,
@@ -336,21 +323,34 @@ class Simulator:
             latencies[instr.uid] = max(1, int(template.latency(instr, shapes)))
         return latencies
 
+    def _energies(self, program: Program) -> Dict[int, float]:
+        """Per-instruction dynamic energy in nJ (UNIT_NONE costs zero)."""
+        energies: Dict[int, float] = {}
+        shapes = program.register_shapes
+        for instr in program.instructions:
+            if instr.unit == UNIT_NONE:
+                energies[instr.uid] = 0.0
+                continue
+            template = self.config.templates.get(instr.unit)
+            if template is None:
+                raise SimulationError(
+                    f"no template for unit class {instr.unit!r}"
+                )
+            energies[instr.uid] = float(template.energy(instr, shapes))
+        return energies
+
     # ------------------------------------------------------------------
     def _collect(self, program: Program, policy: str, total_cycles: int,
                  start: Dict[int, float], finish: Dict[int, float],
-                 latencies: Dict[int, int],
+                 latencies: Dict[int, int], energies: Dict[int, float],
                  busy_cycles: Dict[str, float]) -> SimulationResult:
-        shapes = program.register_shapes
-
         dynamic_nj = 0.0
         phase_work: Dict[str, int] = {}
         phase_span: Dict[str, Tuple[float, float]] = {}
         algo_span: Dict[str, Tuple[float, float]] = {}
         for instr in program.instructions:
             if instr.unit != UNIT_NONE:
-                template = self.config.templates[instr.unit]
-                dynamic_nj += template.energy(instr, shapes)
+                dynamic_nj += energies[instr.uid]
                 phase_work[instr.phase] = (
                     phase_work.get(instr.phase, 0) + latencies[instr.uid]
                 )

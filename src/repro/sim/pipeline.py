@@ -48,6 +48,7 @@ def replicate_frames(program: Program, frames: int) -> Program:
                 phase=instr.phase,
                 algorithm=f"{instr.algorithm}@{frame}" if instr.algorithm
                 else f"frame{frame}",
+                provenance=instr.provenance,
             )
             out.instructions.append(clone)
             out._counter = len(out.instructions)

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.attribution import Attribution, CriticalPathAnalysis
 
 
 @dataclass
@@ -42,6 +45,10 @@ class SimulationResult:
     # Optional per-instruction schedule: uid -> (start, finish) cycles,
     # recorded when Simulator.run(record_schedule=True).
     schedule: Dict[int, tuple] = field(default_factory=dict)
+    # Provenance-attributed cycle/energy breakdown and critical-path
+    # analysis, always computed by Simulator.run.
+    attribution: Optional["Attribution"] = None
+    critical_path: Optional["CriticalPathAnalysis"] = None
 
     @property
     def time_ms(self) -> float:
@@ -56,12 +63,60 @@ class SimulationResult:
         return self.energy.total_mj
 
     def utilization(self, unit_class: str) -> float:
-        """Average busy fraction across a unit class's instances."""
-        busy = self.unit_busy_cycles.get(unit_class, 0)
-        count = self.unit_instance_counts.get(unit_class, 1)
-        if self.total_cycles == 0:
+        """Average busy fraction across a unit class's instances.
+
+        A unit class absent from ``unit_instance_counts`` has zero
+        instances configured, so its utilization is 0.0 — it cannot be
+        busy.  (Defaulting the count to 1 would silently report a
+        nonzero utilization for hardware that does not exist.)
+        """
+        count = self.unit_instance_counts.get(unit_class, 0)
+        if count == 0 or self.total_cycles == 0:
             return 0.0
+        busy = self.unit_busy_cycles.get(unit_class, 0)
         return busy / (self.total_cycles * count)
+
+    def to_dict(self, include_schedule: bool = False) -> Dict[str, Any]:
+        """JSON-ready view of this result.
+
+        The single source of truth for exporting a simulation outcome:
+        the metrics exporter, bench harness, and profile CLI all build
+        on this shape.  ``include_schedule`` additionally embeds the
+        per-instruction ``schedule`` map when one was recorded.
+        """
+        out: Dict[str, Any] = {
+            "policy": self.policy,
+            "total_cycles": self.total_cycles,
+            "clock_mhz": self.clock_mhz,
+            "time_ms": self.time_ms,
+            "instruction_count": self.instruction_count,
+            "issued_count": self.issued_count,
+            "energy_mj": self.energy_mj,
+            "energy": {
+                "dynamic_mj": self.energy.dynamic_mj,
+                "static_mj": self.energy.static_mj,
+                "memory_mj": self.energy.memory_mj,
+            },
+            "stall_counts": dict(self.stall_counts),
+            "unit_busy_cycles": dict(self.unit_busy_cycles),
+            "unit_instance_counts": dict(self.unit_instance_counts),
+            "utilization": {
+                unit: self.utilization(unit)
+                for unit in self.unit_busy_cycles
+            },
+            "phase_work_cycles": dict(self.phase_work_cycles),
+            "phase_span_cycles": dict(self.phase_span_cycles),
+            "algorithm_span_cycles": dict(self.algorithm_span_cycles),
+            "peak_live_words": self.peak_live_words,
+            "spilled_words": self.spilled_words,
+        }
+        if self.attribution is not None:
+            out["attribution"] = self.attribution.to_dict()
+        if self.critical_path is not None:
+            out["critical_path"] = self.critical_path.to_dict()
+        if include_schedule and self.schedule:
+            out["schedule"] = dict(self.schedule)
+        return out
 
     def phase_share(self, phase: str) -> float:
         """Share of total compute work spent in a pipeline phase."""

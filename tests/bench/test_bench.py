@@ -1,0 +1,141 @@
+"""Tests for the BENCH harness and the regression diff gate."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    diff_documents,
+    load_bench,
+    render_diff,
+    run_bench,
+    write_bench,
+)
+from repro.bench.core import summarize
+from repro.obs.__main__ import main as obs_main
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_bench(quick=True, seed=0)
+
+
+class TestRunBench:
+    def test_schema_and_structure(self, document):
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["mode"] == "quick"
+        assert document["seed"] == 0
+        assert document["workloads"]
+
+    def test_one_workload_per_application(self, document):
+        from repro.apps import all_applications
+
+        expected = {f"{app.name}/ooo" for app in all_applications()}
+        assert set(document["workloads"]) == expected
+
+    def test_workload_entries_carry_gated_metrics(self, document):
+        for entry in document["workloads"].values():
+            assert entry["total_cycles"] > 0
+            assert entry["energy_mj"] > 0.0
+            assert entry["attribution"]["coverage"] >= 0.95
+            assert entry["critical_path"]["length_cycles"] > 0
+
+    def test_write_and_load_round_trip(self, document, tmp_path):
+        path = tmp_path / "BENCH_quick.json"
+        write_bench(path, document)
+        loaded = load_bench(path)
+        assert loaded["workloads"].keys() == document["workloads"].keys()
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_determinism(self, document):
+        again = run_bench(quick=True, seed=0)
+        for key, entry in document["workloads"].items():
+            assert again["workloads"][key]["total_cycles"] == \
+                entry["total_cycles"]
+
+    def test_summarize_lists_every_workload(self, document):
+        text = summarize(document)
+        for key in document["workloads"]:
+            assert key in text
+
+
+def regress(document, factor=1.2, metric="total_cycles"):
+    worse = copy.deepcopy(document)
+    key = sorted(worse["workloads"])[0]
+    entry = worse["workloads"][key]
+    entry[metric] = type(entry[metric])(entry[metric] * factor)
+    return worse, key
+
+
+class TestDiff:
+    def test_identical_documents_pass(self, document):
+        diff = diff_documents(document, document, threshold=0.10)
+        assert not diff["regressions"]
+        assert "OK" in render_diff(diff)
+
+    def test_twenty_percent_cycle_regression_fails(self, document):
+        """Acceptance criterion: a synthetic +20% must trip the gate."""
+        worse, key = regress(document, 1.2, "total_cycles")
+        diff = diff_documents(document, worse, threshold=0.10)
+        assert any(r["workload"] == key and r["metric"] == "cycles"
+                   for r in diff["regressions"])
+        assert "FAIL" in render_diff(diff)
+
+    def test_energy_regression_fails_too(self, document):
+        worse, key = regress(document, 1.5, "energy_mj")
+        diff = diff_documents(document, worse, threshold=0.10)
+        assert any(r["metric"] == "energy" for r in diff["regressions"])
+
+    def test_improvement_is_not_a_regression(self, document):
+        better, _ = regress(document, 0.5, "total_cycles")
+        diff = diff_documents(document, better, threshold=0.10)
+        assert not diff["regressions"]
+        assert diff["improvements"]
+
+    def test_within_threshold_passes(self, document):
+        slightly = regress(document, 1.05, "total_cycles")[0]
+        diff = diff_documents(document, slightly, threshold=0.10)
+        assert not diff["regressions"]
+
+    def test_disjoint_workloads_reported_not_failed(self, document):
+        renamed = copy.deepcopy(document)
+        key = sorted(renamed["workloads"])[0]
+        renamed["workloads"]["NewApp/ooo"] = \
+            renamed["workloads"].pop(key)
+        diff = diff_documents(document, renamed, threshold=0.10)
+        assert key in diff["only_old"]
+        assert "NewApp/ooo" in diff["only_new"]
+        assert not diff["regressions"]
+
+
+class TestDiffCli:
+    def test_exit_zero_on_identical(self, document, tmp_path):
+        path = tmp_path / "a.json"
+        write_bench(path, document)
+        assert obs_main(["diff", str(path), str(path)]) == 0
+
+    def test_exit_nonzero_on_regression(self, document, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_bench(old, document)
+        write_bench(new, regress(document, 1.2, "total_cycles")[0])
+        assert obs_main(["diff", str(old), str(new),
+                         "--threshold", "0.10"]) == 1
+
+
+class TestCommittedBaseline:
+    def test_baseline_matches_current_tree(self, document):
+        """The CI gate must be green on the committed baseline."""
+        path = (pathlib.Path(__file__).resolve().parents[2]
+                / "benchmarks" / "baseline" / "BENCH_seed.json")
+        baseline = load_bench(path)
+        diff = diff_documents(baseline, document, threshold=0.10)
+        assert not diff["regressions"], render_diff(diff)

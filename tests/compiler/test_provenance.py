@@ -1,0 +1,171 @@
+"""Tests for provenance threading: emission, merging, preservation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    Opcode,
+    Program,
+    Provenance,
+    STAGE_BACKSUB,
+    STAGE_ELIMINATE,
+    compile_graph,
+)
+from repro.compiler.passes import (
+    common_subexpression_elimination,
+    dead_code_elimination,
+    optimize_program,
+)
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, GPSFactor, PriorFactor
+from repro.geometry import Pose
+from repro.sim.pipeline import replicate_frames
+
+
+def star_problem(num_factors=4, seed=0):
+    """Many factors adjacent to one pose: maximal Exp(phi) sharing."""
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 0.1))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(num_factors):
+        graph.add(BetweenFactor(X(i + 1), X(0),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+        graph.add(GPSFactor(X(i + 1), rng.standard_normal(3),
+                            Isotropic(3, 0.5)))
+    return graph, values
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    graph, values = star_problem()
+    return compile_graph(graph, values)
+
+
+class TestProvenanceRecord:
+    def test_merge_unions_factors_and_variables(self):
+        a = Provenance(factors=((0, "PriorFactor"),), variables=("x0",),
+                       stage="construct.error", node_kind="RotRot")
+        b = Provenance(factors=((2, "GPSFactor"), (0, "PriorFactor")),
+                       variables=("x1",))
+        merged = a.merged_with(b)
+        assert merged.factors == ((0, "PriorFactor"), (2, "GPSFactor"))
+        assert merged.variables == ("x0", "x1")
+        assert merged.stage == "construct.error"
+        assert merged.node_kind == "RotRot"
+
+    def test_dict_round_trip(self):
+        p = Provenance(factors=((1, "GPSFactor"),), variables=("x1",),
+                       stage="construct.jacobian", node_kind="GenMatVec",
+                       origin="pose.rot")
+        assert Provenance.from_dict(p.to_dict()) == p
+
+    def test_empty_record(self):
+        assert Provenance().is_empty()
+        assert not Provenance(stage="backsub").is_empty()
+
+
+class TestEmission:
+    def test_every_instruction_is_tagged(self, compiled):
+        program = compiled.program
+        assert program.instructions
+        for instr in program.instructions:
+            assert instr.provenance is not None, (
+                f"untagged instruction #{instr.uid} {instr.op}"
+            )
+            assert not instr.provenance.is_empty()
+
+    def test_factor_work_names_its_factor(self, compiled):
+        graph, _ = star_problem()
+        factor_tags = {
+            instr.provenance.factors
+            for instr in compiled.program.instructions
+            if instr.provenance.factors
+        }
+        seen_ids = {fid for tags in factor_tags for fid, _ in tags}
+        assert seen_ids == set(range(len(graph.factors)))
+        seen_types = {ftype for tags in factor_tags for _, ftype in tags}
+        assert seen_types == {"PriorFactor", "BetweenFactor", "GPSFactor"}
+
+    def test_qr_and_bsub_carry_variable_and_stage(self, compiled):
+        qrs = [i for i in compiled.program.instructions
+               if i.op is Opcode.QR]
+        bsubs = [i for i in compiled.program.instructions
+                 if i.op is Opcode.BSUB]
+        assert qrs and bsubs
+        for instr in qrs:
+            assert instr.provenance.stage == STAGE_ELIMINATE
+            assert instr.provenance.variables
+        for instr in bsubs:
+            assert instr.provenance.stage == STAGE_BACKSUB
+            assert instr.provenance.variables
+
+    def test_stages_cover_the_pipeline(self, compiled):
+        stages = {i.provenance.stage
+                  for i in compiled.program.instructions}
+        assert {"construct.error", "construct.jacobian",
+                "construct.whiten", "eliminate", "backsub"} <= stages
+
+    def test_scope_composition_and_restoration(self):
+        program = Program()
+        with program.provenance(factor_id=3, factor_type="TestFactor"):
+            with program.provenance(stage="construct.error",
+                                    node_kind="RotRot"):
+                inner = program.current_provenance()
+            outer = program.current_provenance()
+        assert inner.factors == ((3, "TestFactor"),)
+        assert inner.stage == "construct.error"
+        assert inner.node_kind == "RotRot"
+        assert outer.factors == ((3, "TestFactor"),)
+        assert outer.stage == ""
+        assert program.current_provenance() is None
+
+
+class TestPassPreservation:
+    def test_cse_merges_multi_factor_provenance(self, compiled):
+        """A CSE survivor accumulates every folded factor's identity."""
+        after = common_subexpression_elimination(compiled.program)
+        multi = [i for i in after.instructions
+                 if i.provenance is not None
+                 and len(i.provenance.factors) > 1]
+        assert multi, "expected CSE to create shared multi-factor work"
+        # The star center's Exp(phi_x0) serves the prior and every
+        # between factor: its survivor must name several factor types.
+        types = {frozenset(t for _, t in i.provenance.factors)
+                 for i in multi}
+        assert any({"PriorFactor", "BetweenFactor"} <= ts for ts in types)
+
+    def test_cse_keeps_all_instructions_tagged(self, compiled):
+        after = common_subexpression_elimination(compiled.program)
+        assert all(i.provenance is not None for i in after.instructions)
+
+    def test_dce_preserves_provenance(self, compiled):
+        after = dead_code_elimination(compiled.program)
+        assert after.instructions
+        assert all(i.provenance is not None for i in after.instructions)
+
+    def test_optimized_program_keeps_full_coverage(self, compiled):
+        after = optimize_program(compiled.program)
+        assert all(not i.provenance.is_empty()
+                   for i in after.instructions)
+
+
+class TestCloningPreservation:
+    def test_subset_by_algorithm_preserves_provenance(self, compiled):
+        program = compiled.program
+        algo = program.instructions[0].algorithm
+        subset = program.subset_by_algorithm(algo)
+        assert subset.instructions
+        assert all(i.provenance is not None for i in subset.instructions)
+
+    def test_extend_preserves_provenance(self, compiled):
+        merged = Program(algorithm="merged")
+        merged.extend(compiled.program)
+        assert all(i.provenance is not None
+                   for i in merged.instructions)
+
+    def test_replicate_frames_preserves_provenance(self, compiled):
+        replicated = replicate_frames(compiled.program, 2)
+        assert all(i.provenance is not None
+                   for i in replicated.instructions)

@@ -60,6 +60,34 @@ class TestExperimentTable:
         assert "note: hello note" in t.format()
 
 
+class TestTableJson:
+    def test_to_dict_shape(self):
+        t = sample_table()
+        payload = t.to_dict()
+        assert payload["experiment"] == "X1"
+        assert payload["columns"] == ["name", "value"]
+        assert payload["rows"] == [{"name": "a", "value": 1.5},
+                                   {"name": "b", "value": 2.0}]
+
+    def test_to_json_round_trips(self):
+        import json
+
+        loaded = json.loads(sample_table().to_json())
+        assert loaded["rows"][1]["value"] == 2.0
+
+    def test_numpy_scalars_are_coerced(self):
+        import json
+
+        import numpy as np
+
+        t = ExperimentTable("X2", "np", ["name", "value"])
+        t.add_row(name="a", value=np.float64(3.25))
+        t.add_row(name="b", value=np.int64(7))
+        loaded = json.loads(t.to_json())
+        assert loaded["rows"][0]["value"] == 3.25
+        assert loaded["rows"][1]["value"] == 7
+
+
 class TestHelpers:
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)

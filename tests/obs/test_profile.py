@@ -1,0 +1,78 @@
+"""Tests for the provenance profile renderer and CLI."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main as obs_main
+from repro.obs.metrics import experiment_entry, metrics_document, \
+    write_metrics
+from repro.obs.profile import aggregate_attribution, render_profile
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.sim import Simulator
+
+
+def pose_chain(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+@pytest.fixture(scope="module")
+def document():
+    compiled = pose_chain()
+    with obs.enabled_scope():
+        Simulator().run(compiled.optimized().program, "ooo")
+        snapshot = obs.collector().drain()
+    return metrics_document([experiment_entry("TEST", 0.1, snapshot)])
+
+
+class TestAggregation:
+    def test_coverage_meets_the_bar(self, document):
+        """Acceptance criterion: >= 95% of busy cycles attributed."""
+        agg = aggregate_attribution(document)
+        assert agg["with_attribution"] == agg["simulations"] == 1
+        assert agg["coverage"] >= 0.95
+
+    def test_tables_are_populated(self, document):
+        agg = aggregate_attribution(document)
+        assert {"PriorFactor", "BetweenFactor"} <= \
+            set(agg["by_factor_type"])
+        assert "eliminate" in agg["by_stage"]
+        assert agg["critical_path"]
+        assert sum(agg["slack_histogram"].values()) > 0
+
+    def test_empty_document(self):
+        agg = aggregate_attribution(metrics_document([]))
+        assert agg["coverage"] == 1.0
+        assert agg["critical_path"] == {}
+
+
+class TestRenderProfile:
+    def test_renders_all_sections(self, document):
+        text = render_profile(document, top=5)
+        assert "attribution coverage" in text
+        assert "top factor types by attributed cycles" in text
+        assert "cycles by algorithm stage" in text
+        assert "critical path" in text
+        assert "slack histogram" in text
+        assert "BetweenFactor" in text
+
+    def test_renders_empty_document(self):
+        text = render_profile(metrics_document([]))
+        assert "no factor attribution recorded" in text
+        assert "no slack recorded" in text
+
+    def test_cli_round_trip(self, document, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(path, document["experiments"])
+        assert obs_main(["profile", str(path), "--top", "3"]) == 0

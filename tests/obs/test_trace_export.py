@@ -112,3 +112,56 @@ class TestChromeTrace:
         document = chrome_trace(obs.Snapshot())
         assert document["traceEvents"] == []
         json.dumps(document)
+
+    def test_instruction_events_carry_provenance_args(self, snapshot):
+        events = sim_trace_events(snapshot.sims[0], pid=100)
+        slices = [e for e in events if e["ph"] == "X"]
+        tagged = [e for e in slices if "prov.stage" in e["args"]]
+        assert tagged, "expected provenance args on sim slices"
+        stages = {e["args"]["prov.stage"] for e in tagged}
+        assert "eliminate" in stages
+        assert any("prov.factors" in e["args"] for e in tagged)
+
+
+class TestSchedulelessRecords:
+    """A record without a schedule must yield a valid, empty trace."""
+
+    def _record(self, **overrides):
+        record = {
+            "label": "bare", "policy": "ooo", "clock_mhz": 200.0,
+            "unit_instance_counts": {"qr": 1},
+        }
+        record.update(overrides)
+        return record
+
+    def test_missing_schedule_key(self):
+        events = sim_trace_events(self._record(), pid=100)
+        assert all(e["ph"] == "M" for e in events)
+        json.dumps(events)
+
+    def test_empty_schedule(self):
+        events = sim_trace_events(
+            self._record(schedule={}, instructions={}), pid=100)
+        assert all(e["ph"] == "M" for e in events)
+
+    def test_schedule_none(self):
+        events = sim_trace_events(
+            self._record(schedule=None, instructions=None), pid=100)
+        assert all(e["ph"] == "M" for e in events)
+
+    def test_snapshot_without_schedules_round_trips(self, tmp_path):
+        snapshot = obs.Snapshot(sims=[self._record()])
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, snapshot)
+        loaded = json.loads(path.read_text())
+        assert all(e["ph"] == "M" for e in loaded["traceEvents"])
+
+    def test_unscheduled_run_exports_cleanly(self, tmp_path):
+        """record_schedule=False + no obs: telemetry-free result still
+        exports (the collector simply has no sim records)."""
+        compiled = pose_chain()
+        result = Simulator().run(compiled.program, "ooo",
+                                 record_schedule=False)
+        assert result.schedule == {}
+        document = chrome_trace(obs.Snapshot())
+        json.dumps(document)

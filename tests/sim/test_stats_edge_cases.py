@@ -37,10 +37,12 @@ class TestUtilization:
         result = make_result()
         assert result.utilization("nonexistent") == 0.0
 
-    def test_unit_without_instance_count_defaults_to_one(self):
+    def test_unit_without_instance_count_is_zero(self):
+        # A class absent from unit_instance_counts has no configured
+        # hardware; utilization must be 0.0, not a silent count=1 guess.
         result = make_result(unit_busy_cycles={"qr": 50},
                              unit_instance_counts={})
-        assert result.utilization("qr") == pytest.approx(0.5)
+        assert result.utilization("qr") == 0.0
 
     def test_multi_instance_normalization(self):
         result = make_result()
