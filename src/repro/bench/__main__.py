@@ -13,6 +13,7 @@ import sys
 import time
 
 from repro.bench.core import run_bench, summarize, write_bench
+from repro.compiler.cache import set_cache_enabled
 
 
 def main(argv=None) -> int:
@@ -25,10 +26,20 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", metavar="FILE",
                         help="output path (default BENCH_<mode>.json)")
+    parser.add_argument("--compile-repeats", type=int, default=3,
+                        metavar="N",
+                        help="frame compiles per app for the compile-time "
+                             "measurement (default 3)")
+    parser.add_argument("--no-compile-cache", action="store_true",
+                        help="disable the structural compilation cache "
+                             "(cold compile every frame)")
     args = parser.parse_args(argv)
 
+    if args.no_compile_cache:
+        set_cache_enabled(False)
     started = time.perf_counter()
-    document = run_bench(quick=args.quick, seed=args.seed)
+    document = run_bench(quick=args.quick, seed=args.seed,
+                         compile_repeats=args.compile_repeats)
     elapsed = time.perf_counter() - started
 
     path = args.output or f"BENCH_{document['mode']}.json"

@@ -5,8 +5,9 @@ latency/energy comparisons run (one steady-state frame per application,
 compiled through the standard pipeline, simulated on the representative
 ORIANNA accelerator).  Cycle counts are deterministic functions of the
 seed — latencies derive from operand shapes, not host timing — so two
-runs of the same tree produce identical documents and the CI diff gate
-can use tight thresholds without flake.
+runs of the same tree produce identical workload metrics and the CI
+diff gate can use tight thresholds without flake.  (The ``compile``
+section records host wall-clock compile timings and is *not* gated.)
 
 Modes:
 
@@ -19,9 +20,11 @@ Modes:
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.apps import all_applications
+from repro.compiler.cache import cache_enabled
 from repro.eval.experiments import ORIANNA_CONFIG, experiment_fig13_fig14
 from repro.obs import trace
 from repro.sim import Simulator
@@ -43,28 +46,65 @@ def _workload_entry(result) -> Dict[str, Any]:
     return entry
 
 
-def run_bench(quick: bool = True, seed: int = 0) -> Dict[str, Any]:
-    """Simulate every application workload; return the BENCH document."""
+def run_bench(quick: bool = True, seed: int = 0,
+              compile_repeats: int = 3) -> Dict[str, Any]:
+    """Simulate every application workload; return the BENCH document.
+
+    Besides the (deterministic) cycle/energy workload entries, the
+    document records a ``compile`` section measuring repeated-structure
+    frame compiles per application: ``compile_repeats`` frames with
+    consecutive seeds share graph structure, so with the compilation
+    cache on every frame after the first is a rebind.  These wall-clock
+    fields are host-timing dependent — the ``repro.obs diff`` gate
+    ignores them and compares only the workload metrics.
+    """
+    if compile_repeats < 1:
+        raise ValueError("compile_repeats must be >= 1")
     policies = QUICK_POLICIES if quick else FULL_POLICIES
     sim = Simulator(ORIANNA_CONFIG)
     workloads: Dict[str, Any] = {}
+    compile_apps: Dict[str, Any] = {}
+    total_compile_s = 0.0
     with trace.span("bench", category="bench",
                     mode="quick" if quick else "full"):
         for app in all_applications():
-            program = app.compile_frame(seed)
+            times = []
+            program = None
+            for repeat in range(compile_repeats):
+                started = time.perf_counter()
+                compiled = app.compile_frame(seed + repeat)
+                times.append(time.perf_counter() - started)
+                if repeat == 0:
+                    program = compiled
+            warm = times[1:] or times
+            warm_mean = sum(warm) / len(warm)
+            compile_apps[app.name] = {
+                "cold_s": times[0],
+                "warm_mean_s": warm_mean,
+                "speedup": times[0] / warm_mean if warm_mean > 0 else 1.0,
+            }
+            total_compile_s += sum(times)
             for policy in policies:
                 result = sim.run(program, policy)
                 workloads[f"{app.name}/{policy}"] = _workload_entry(result)
 
+    compile_section = {
+        "cache_enabled": cache_enabled(),
+        "repeats": compile_repeats,
+        "total_s": total_compile_s,
+        "apps": compile_apps,
+    }
     tables: List[Dict[str, Any]] = []
     if not quick:
         speed, energy = experiment_fig13_fig14(seed=seed)
         tables = [speed.to_dict(), energy.to_dict()]
-    return bench_document(workloads, quick=quick, seed=seed, tables=tables)
+    return bench_document(workloads, quick=quick, seed=seed, tables=tables,
+                          compile_section=compile_section)
 
 
 def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
-                   tables: Optional[List[Dict[str, Any]]] = None
+                   tables: Optional[List[Dict[str, Any]]] = None,
+                   compile_section: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     document: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
@@ -72,6 +112,8 @@ def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
         "seed": seed,
         "workloads": workloads,
     }
+    if compile_section:
+        document["compile"] = compile_section
     if tables:
         document["tables"] = tables
     return document
@@ -107,4 +149,19 @@ def summarize(document: Dict[str, Any]) -> str:
             f"  {key:<28} {entry.get('total_cycles', 0):>10,} cycles  "
             f"{entry.get('energy_mj', 0.0):9.4f} mJ{cov}"
         )
+    compile_section = document.get("compile")
+    if compile_section:
+        state = "on" if compile_section.get("cache_enabled") else "off"
+        lines.append(
+            f"  compile: cache {state}, "
+            f"{compile_section.get('total_s', 0.0):.2f}s total over "
+            f"{compile_section.get('repeats', '?')} repeats/app"
+        )
+        for name in sorted(compile_section.get("apps", {})):
+            entry = compile_section["apps"][name]
+            lines.append(
+                f"    {name:<26} cold {entry['cold_s']:.3f}s  "
+                f"warm {entry['warm_mean_s']:.3f}s  "
+                f"({entry['speedup']:.1f}x)"
+            )
     return "\n".join(lines)

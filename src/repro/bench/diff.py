@@ -20,8 +20,14 @@ GATED_METRICS = (
 
 
 def diff_documents(old: Dict[str, Any], new: Dict[str, Any],
-                   threshold: float = 0.10) -> Dict[str, Any]:
-    """Compare two BENCH documents; returns comparisons + regressions."""
+                   threshold: float = 0.10,
+                   exact: bool = False) -> Dict[str, Any]:
+    """Compare two BENCH documents; returns comparisons + regressions.
+
+    With ``exact=True`` any metric difference in either direction is a
+    regression — the parity gate used to assert the compilation cache
+    produces bit-identical cycle/energy numbers to cold compilation.
+    """
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
     old_wl = old.get("workloads", {})
@@ -41,13 +47,26 @@ def diff_documents(old: Dict[str, Any], new: Dict[str, Any],
                 "old": before, "new": after, "ratio": ratio,
             }
             comparisons.append(row)
-            if ratio > 1.0 + threshold:
+            if exact:
+                if after != before:
+                    regressions.append(row)
+            elif ratio > 1.0 + threshold:
                 regressions.append(row)
             elif ratio < 1.0 - threshold:
                 improvements.append(row)
 
+    if exact:
+        missing = sorted(set(old_wl) ^ set(new_wl))
+        for key in missing:
+            regressions.append({
+                "workload": key, "metric": "presence",
+                "old": float(key in old_wl), "new": float(key in new_wl),
+                "ratio": float("inf"),
+            })
+
     return {
-        "threshold": threshold,
+        "threshold": 0.0 if exact else threshold,
+        "exact": exact,
         "comparisons": comparisons,
         "regressions": regressions,
         "improvements": improvements,
@@ -76,7 +95,15 @@ def render_diff(diff: Dict[str, Any]) -> str:
         lines.append(f"? {key:<28} missing from the new document")
     for key in diff["only_new"]:
         lines.append(f"? {key:<28} new workload (no baseline)")
-    if diff["regressions"]:
+    if diff.get("exact"):
+        if diff["regressions"]:
+            lines.append(
+                f"FAIL: {len(diff['regressions'])} metric(s) differ "
+                f"(exact parity required)"
+            )
+        else:
+            lines.append("OK: documents are metric-identical")
+    elif diff["regressions"]:
         lines.append(
             f"FAIL: {len(diff['regressions'])} metric(s) regressed "
             f"beyond {threshold:.0%}"

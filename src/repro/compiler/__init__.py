@@ -13,6 +13,17 @@ from repro.compiler.codegen import (
     compile_factor,
     compile_graph,
 )
+from repro.compiler.cache import (
+    CompilationCache,
+    cache_enabled,
+    cached_compile_graph,
+    clear_default_cache,
+    default_cache,
+    graph_structure,
+    rebind,
+    set_cache_enabled,
+    structural_fingerprint,
+)
 from repro.compiler.executor import Executor
 from repro.compiler.expression_factor import ExpressionFactor
 from repro.compiler.exprs import (
@@ -85,4 +96,7 @@ __all__ = [
     "common_subexpression_elimination", "dead_code_elimination",
     "optimize_program",
     "CompiledGraph", "RowBlock",
+    "CompilationCache", "cached_compile_graph", "structural_fingerprint",
+    "graph_structure", "rebind", "default_cache", "clear_default_cache",
+    "cache_enabled", "set_cache_enabled",
 ]

@@ -111,8 +111,9 @@ def compile_factor(factor: Factor, program: Program,
                             factor_type=type(factor).__name__):
         components = factor_expression(factor)
         if components is None:
-            return _compile_embedded(factor, program, values)
-        return _compile_expression(factor, components, program, values)
+            return _compile_embedded(factor, program, values, factor_id)
+        return _compile_expression(factor, components, program, values,
+                                   factor_id)
 
 
 def _key_dim(values: Values, key: Key) -> int:
@@ -120,14 +121,14 @@ def _key_dim(values: Values, key: Key) -> int:
 
 
 def _compile_embedded(factor: Factor, program: Program,
-                      values: Values) -> RowBlock:
+                      values: Values, factor_id: int = 0) -> RowBlock:
     """Single EMBED instruction for non-expressible sensor front-ends."""
     with program.provenance(stage=STAGE_EMBED, node_kind="embed"):
-        return _emit_embedded(factor, program, values)
+        return _emit_embedded(factor, program, values, factor_id)
 
 
 def _emit_embedded(factor: Factor, program: Program,
-                   values: Values) -> RowBlock:
+                   values: Values, factor_id: int = 0) -> RowBlock:
     m = factor.dim
     block_regs = []
     cols: Dict[Key, Tuple[int, int]] = {}
@@ -142,7 +143,8 @@ def _emit_embedded(factor: Factor, program: Program,
     program.emit(
         Opcode.EMBED, [], block_regs + [rhs_reg],
         {"factor": factor, "values": values,
-         "kind": type(factor).__name__},
+         "kind": type(factor).__name__,
+         "binding": ("embed", factor_id)},
         PHASE_CONSTRUCT,
     )
     row_reg = program.new_register("row", (m, start + 1))
@@ -152,7 +154,7 @@ def _emit_embedded(factor: Factor, program: Program,
 
 
 def _compile_expression(factor: Factor, components, program: Program,
-                        values: Values) -> RowBlock:
+                        values: Values, factor_id: int = 0) -> RowBlock:
     """Full MO-DFG emission: forward errors, backward derivatives.
 
     Emitted inside a ``construct.whiten`` default stage; the MO-DFG
@@ -161,18 +163,22 @@ def _compile_expression(factor: Factor, components, program: Program,
     stacking attributed to the whiten stage.
     """
     with program.provenance(stage=STAGE_WHITEN):
-        return _emit_expression(factor, components, program, values)
+        return _emit_expression(factor, components, program, values,
+                                factor_id)
 
 
 def _emit_expression(factor: Factor, components, program: Program,
-                     values: Values) -> RowBlock:
+                     values: Values, factor_id: int = 0) -> RowBlock:
     dfg = MoDFG(components)
     if dfg.error_dim != factor.dim:
         raise CompileError(
             f"{type(factor).__name__} expression has error dim "
             f"{dfg.error_dim}, factor reports {factor.dim}"
         )
-    emitter = ModfgEmitter(program, values, PHASE_CONSTRUCT)
+    emitter = ModfgEmitter(
+        program, values, PHASE_CONSTRUCT, factor_id=factor_id,
+        node_index={id(n): i for i, n in enumerate(dfg.nodes)},
+    )
     component_regs = emitter.emit_forward(dfg)
 
     # Backward propagation per component; collect leaf adjoint blocks.
@@ -191,7 +197,8 @@ def _emit_expression(factor: Factor, components, program: Program,
     m = factor.dim
     w_reg = program.new_register("c", (m, m))
     program.emit(Opcode.CONST, [], [w_reg],
-                 {"value": factor.noise.sqrt_information, "label": "W"},
+                 {"value": factor.noise.sqrt_information, "label": "W",
+                  "binding": ("noise", factor_id)},
                  PHASE_CONSTRUCT)
 
     # Error vector: stack components, then b = -W e.
@@ -253,7 +260,8 @@ def _emit_component_block(program: Program, values: Values, key: Key,
     def zeros(shape) -> str:
         reg = program.new_register("z", shape)
         program.emit(Opcode.CONST, [], [reg],
-                     {"value": np.zeros(shape), "label": "0"},
+                     {"value": np.zeros(shape), "label": "0",
+                      "binding": ("static",)},
                      PHASE_CONSTRUCT)
         return reg
 
@@ -432,21 +440,37 @@ def _compile_graph(graph: FactorGraph, values: Values,
 
 
 def compile_application(algorithm_graphs: Dict[str, Tuple[FactorGraph, Values]],
-                        orderings: Optional[Dict[str, Sequence[Key]]] = None
-                        ) -> Program:
+                        orderings: Optional[Dict[str, Sequence[Key]]] = None,
+                        use_cache: Optional[bool] = None) -> Program:
     """Compile several algorithms into one merged application program.
 
     Register namespaces are prefixed per algorithm, so the merged program
     has no false dependencies between algorithms — this is precisely what
     enables the coarse-grained out-of-order execution of Sec. 6.3.
+
+    ``use_cache`` routes per-algorithm compiles through the structural
+    compilation cache (:mod:`repro.compiler.cache`): same-structure
+    streams (e.g. the repeated control solves of one frame) compile once
+    and rebind.  ``None`` defers to the process-wide cache toggle; the
+    rebound streams are instruction-identical to cold compiles.
     """
+    from repro.compiler.cache import cache_enabled, cached_compile_graph
+
+    if use_cache is None:
+        use_cache = cache_enabled()
     with trace.span("compile_application", category="compiler",
                     algorithms=len(algorithm_graphs)) as sp:
         merged = Program(algorithm="application")
         for name, (graph, values) in algorithm_graphs.items():
             order = (orderings or {}).get(name)
-            compiled = compile_graph(graph, values, order, algorithm=name,
-                                     register_prefix=name)
+            if use_cache:
+                compiled = cached_compile_graph(graph, values, order,
+                                                algorithm=name,
+                                                register_prefix=name)
+            else:
+                compiled = compile_graph(graph, values, order,
+                                         algorithm=name,
+                                         register_prefix=name)
             merged.extend(compiled.program)
         sp.set(instructions_after=len(merged.instructions))
     return merged

@@ -316,24 +316,34 @@ class Program:
 
     def extend(self, other: "Program") -> None:
         """Append another program's instructions (register names must not
-        collide; callers use distinct prefixes per algorithm)."""
+        collide; callers use distinct prefixes per algorithm).
+
+        Instructions are immutable after emission, so their field objects
+        (``srcs``/``dsts``/``meta``) are shared rather than copied; with
+        ``uid`` and ``algorithm`` already final the instruction object
+        itself is shared.  Passes that rewrite instructions always build
+        fresh clones, never mutate in place.
+        """
         overlap = set(self.register_shapes) & set(other.register_shapes)
         if overlap:
             raise CompileError(
                 f"register collision while merging programs: {sorted(overlap)[:5]}"
             )
         base = self._counter
+        append = self.instructions.append
         for instr in other.instructions:
-            clone = Instruction(
+            if base == 0 and instr.algorithm:
+                append(instr)
+                continue
+            append(Instruction(
                 uid=base + instr.uid,
                 op=instr.op,
-                srcs=list(instr.srcs),
-                dsts=list(instr.dsts),
-                meta=dict(instr.meta),
+                srcs=instr.srcs,
+                dsts=instr.dsts,
+                meta=instr.meta,
                 phase=instr.phase,
                 algorithm=instr.algorithm or other.algorithm,
                 provenance=instr.provenance,
-            )
-            self.instructions.append(clone)
+            ))
         self._counter += other._counter
         self.register_shapes.update(other.register_shapes)

@@ -117,12 +117,23 @@ class _Adjoint:
 
 
 class ModfgEmitter:
-    """Emits forward (error) and backward (derivative) instructions."""
+    """Emits forward (error) and backward (derivative) instructions.
 
-    def __init__(self, program: Program, values: Values, phase: str):
+    ``factor_id`` and ``node_index`` (a ``{id(node): position}`` map over
+    the owning MO-DFG's topological node order) let emitted CONST
+    instructions carry binding specs for the compilation cache (see
+    :mod:`repro.compiler.cache`); both default to off for standalone
+    expression evaluation.
+    """
+
+    def __init__(self, program: Program, values: Values, phase: str,
+                 factor_id: Optional[int] = None,
+                 node_index: Optional[Dict[int, int]] = None):
         self.program = program
         self.values = values
         self.phase = phase
+        self.factor_id = factor_id
+        self.node_index = node_index or {}
         self._value_regs: Dict[int, str] = {}
         self._transpose_regs: Dict[str, str] = {}
         self._const_regs: Dict[int, str] = {}
@@ -137,12 +148,21 @@ class ModfgEmitter:
                 self._emit_node(node)
         return [self._value_regs[id(c)] for c in dfg.components]
 
-    def _const(self, value: np.ndarray, label: str) -> str:
+    def _const(self, value: np.ndarray, label: str,
+               spec: Optional[Tuple] = None) -> str:
         value = np.asarray(value, dtype=float)
         reg = self.program.new_register("c", value.shape)
-        self.program.emit(Opcode.CONST, [], [reg],
-                          {"value": value, "label": label}, self.phase)
+        meta = {"value": value, "label": label}
+        if spec is not None:
+            meta["binding"] = spec
+        self.program.emit(Opcode.CONST, [], [reg], meta, self.phase)
         return reg
+
+    def _expr_spec(self, node: Expr) -> Optional[Tuple]:
+        """Binding spec for a constant carried by an expression node."""
+        if self.factor_id is None or id(node) not in self.node_index:
+            return None
+        return ("expr", self.factor_id, self.node_index[id(node)])
 
     def _emit_node(self, node: Expr) -> str:
         existing = self._value_regs.get(id(node))
@@ -163,17 +183,20 @@ class ModfgEmitter:
         if isinstance(node, RotVar):
             # R = Exp(phi): load the current estimate, one EXP instruction.
             pose = self.values.pose(node.key)
-            phi_reg = self._const(pose.phi, f"phi:{node.key}")
+            phi_reg = self._const(pose.phi, f"phi:{node.key}",
+                                  ("pose_phi", node.key))
             reg = self.program.new_register("r", (node.n, node.n))
             emit(Opcode.EXP, [phi_reg], [reg], {}, self.phase)
         elif isinstance(node, TransVar):
-            reg = self._const(self.values.pose(node.key).t, f"t:{node.key}")
+            reg = self._const(self.values.pose(node.key).t, f"t:{node.key}",
+                              ("pose_t", node.key))
         elif isinstance(node, VecVar):
-            reg = self._const(self.values.vector(node.key), f"v:{node.key}")
+            reg = self._const(self.values.vector(node.key), f"v:{node.key}",
+                              ("vector", node.key))
         elif isinstance(node, RotConst):
-            reg = self._const(node.value, node.name)
+            reg = self._const(node.value, node.name, self._expr_spec(node))
         elif isinstance(node, VecConst):
-            reg = self._const(node.value, node.name)
+            reg = self._const(node.value, node.name, self._expr_spec(node))
         elif isinstance(node, RotRot):
             a = self._emit_node(node.a)
             b = self._emit_node(node.b)
@@ -201,7 +224,8 @@ class ModfgEmitter:
             reg = self.program.new_register("r", (node.n, node.n))
             emit(Opcode.EXP, [t], [reg], {}, self.phase)
         elif isinstance(node, GenMatVec):
-            m_reg = self._const(node.matrix, node.name)
+            m_reg = self._const(node.matrix, node.name,
+                                self._expr_spec(node))
             v = self._emit_node(node.v)
             reg = self.program.new_register("v", (node.n,))
             emit(Opcode.MV, [m_reg, v], [reg], {}, self.phase)
@@ -334,7 +358,8 @@ class ModfgEmitter:
     def _const_for_matrix(self, node: GenMatVec) -> str:
         cached = self._const_regs.get(id(node))
         if cached is None:
-            cached = self._const(node.matrix, node.name)
+            cached = self._const(node.matrix, node.name,
+                                 self._expr_spec(node))
             self._const_regs[id(node)] = cached
         return cached
 
@@ -377,4 +402,4 @@ class ModfgEmitter:
     def _materialize(self, g: _Adjoint, cols: Optional[int]) -> str:
         if not g.is_identity:
             return g.reg
-        return self._const(np.eye(g.rows), f"I{g.rows}")
+        return self._const(np.eye(g.rows), f"I{g.rows}", ("static",))

@@ -115,7 +115,15 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-debug", action="store_true",
                         help="arm the simulator's schedule-invariant "
                              "assertions while observing")
+    parser.add_argument("--no-compile-cache", action="store_true",
+                        help="disable the structural compilation cache "
+                             "(cold compile every graph)")
     args = parser.parse_args(argv)
+
+    if args.no_compile_cache:
+        from repro.compiler.cache import set_cache_enabled
+
+        set_cache_enabled(False)
 
     if args.only:
         unknown = [x for x in args.only if x not in EXPERIMENTS]

@@ -52,6 +52,10 @@ def main(argv=None) -> int:
     diff.add_argument("new", help="candidate BENCH document")
     diff.add_argument("--threshold", type=float, default=0.10,
                       help="relative regression tolerance (default 0.10)")
+    diff.add_argument("--exact", action="store_true",
+                      help="require bit-identical metrics (the "
+                           "compile-cache parity gate); any difference "
+                           "in either direction fails")
 
     args = parser.parse_args(argv)
 
@@ -72,7 +76,8 @@ def main(argv=None) -> int:
         try:
             old = load_bench(args.old)
             new = load_bench(args.new)
-            result = diff_documents(old, new, threshold=args.threshold)
+            result = diff_documents(old, new, threshold=args.threshold,
+                                    exact=args.exact)
         except (OSError, ValueError) as exc:
             parser.error(str(exc))
         print(render_diff(result))

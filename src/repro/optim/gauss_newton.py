@@ -46,23 +46,45 @@ def gauss_newton(
     initial: Values,
     params: Optional[GaussNewtonParams] = None,
     ordering: Optional[Sequence[Key]] = None,
+    backend: str = "reference",
 ) -> OptimizationResult:
-    """Run Gauss-Newton on ``graph`` starting from ``initial``."""
+    """Run Gauss-Newton on ``graph`` starting from ``initial``.
+
+    ``backend="reference"`` (the default) linearizes and solves each
+    iteration with the numpy elimination path.  ``backend="compiled"``
+    solves through the ORIANNA compiler with the structural compilation
+    cache: the first iteration compiles the graph, every later iteration
+    rebinds the cached template with fresh numerics (compile once, bind
+    many).  The compiled backend reports empty per-iteration elimination
+    stats (QR shapes live in the compiled program, not the solver).
+    """
     if params is None:
         params = GaussNewtonParams()
+    if backend not in ("reference", "compiled"):
+        raise ValueError(f"unknown gauss_newton backend {backend!r}")
+    solver = None
+    if backend == "compiled":
+        from repro.factorgraph.elimination import EliminationStats
+        from repro.optim.compiled import CompiledSolver
+
+        solver = CompiledSolver()
     values = initial.copy()
     records = []
     converged = False
 
     for iteration in range(params.max_iterations):
         with trace.span("gn.iteration", category="optimizer",
-                        iteration=iteration) as sp:
+                        iteration=iteration, backend=backend) as sp:
             error_before = graph.error(values)
-            linear = graph.linearize(values)
-            order = list(ordering) if ordering is not None else (
-                min_degree_ordering(linear)
-            )
-            delta, stats = eliminate_and_solve(linear, order)
+            if solver is not None:
+                delta = solver.solve(graph, values, ordering)
+                stats = EliminationStats()
+            else:
+                linear = graph.linearize(values)
+                order = list(ordering) if ordering is not None else (
+                    min_degree_ordering(linear)
+                )
+                delta, stats = eliminate_and_solve(linear, order)
             values = values.retract(delta)
             error_after = graph.error(values)
             norm = step_norm(delta)

@@ -56,10 +56,30 @@ def levenberg_marquardt(
     initial: Values,
     params: Optional[LevenbergParams] = None,
     ordering: Optional[Sequence[Key]] = None,
+    backend: str = "reference",
 ) -> OptimizationResult:
-    """Run LM on ``graph`` starting from ``initial``."""
+    """Run LM on ``graph`` starting from ``initial``.
+
+    ``backend="compiled"`` solves every damped trial through the ORIANNA
+    compiler with the structural compilation cache: damping is expressed
+    as per-variable prior factors at the current estimate (which
+    linearize to exactly the ``sqrt(lambda) I`` rows of
+    :func:`damped_graph`), so the damped graph's structure is the same
+    for every iteration and every lambda trial — one compile, then
+    rebinds.  The compiled backend reports empty per-trial elimination
+    stats.
+    """
     if params is None:
         params = LevenbergParams()
+    if backend not in ("reference", "compiled"):
+        raise ValueError(f"unknown levenberg_marquardt backend {backend!r}")
+    solver = None
+    if backend == "compiled":
+        from repro.factorgraph.elimination import EliminationStats
+        from repro.optim.compiled import CompiledSolver, \
+            damped_nonlinear_graph
+
+        solver = CompiledSolver()
     values = initial.copy()
     lam = params.initial_lambda
     records = []
@@ -67,12 +87,15 @@ def levenberg_marquardt(
 
     for iteration in range(params.max_iterations):
         with trace.span("lm.iteration", category="optimizer",
-                        iteration=iteration) as sp:
+                        iteration=iteration, backend=backend) as sp:
             error_before = graph.error(values)
-            linear = graph.linearize(values)
-            order = list(ordering) if ordering is not None else (
-                min_degree_ordering(linear)
-            )
+            if solver is None:
+                linear = graph.linearize(values)
+                order = list(ordering) if ordering is not None else (
+                    min_degree_ordering(linear)
+                )
+            else:
+                order = list(ordering) if ordering is not None else None
 
             # Inner loop: raise lambda until a trial step reduces the
             # error.
@@ -80,11 +103,17 @@ def levenberg_marquardt(
             trials = 0
             while lam <= params.max_lambda:
                 trials += 1
-                trial_linear = damped_graph(linear, lam)
-                trial_order = order + [
-                    k for k in trial_linear.keys() if k not in order
-                ]
-                delta, stats = eliminate_and_solve(trial_linear, trial_order)
+                if solver is not None:
+                    trial_graph = damped_nonlinear_graph(graph, values, lam)
+                    delta = solver.solve(trial_graph, values, order)
+                    stats = EliminationStats()
+                else:
+                    trial_linear = damped_graph(linear, lam)
+                    trial_order = order + [
+                        k for k in trial_linear.keys() if k not in order
+                    ]
+                    delta, stats = eliminate_and_solve(trial_linear,
+                                                       trial_order)
                 trial_values = values.retract(delta)
                 error_after = graph.error(trial_values)
                 if error_after <= error_before:

@@ -1,0 +1,98 @@
+"""Property tests: retract/local round-trips on SO(2), SO(3), SE(3).
+
+The optimizer contract (Sec. 2) requires ``local(x, retract(x, d)) == d``
+for tangent steps inside the injectivity radius, and
+``retract(x, local(x, y)) == y`` for any pair of group elements.  These
+are randomized but deterministic: hypothesis draws integer seeds that
+feed ``np.random.default_rng``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorgraph.values import local_value, retract_value, value_dim
+from repro.geometry import Pose, se3, so2, so3
+
+SEEDS = st.integers(0, 10_000)
+
+
+class TestSO2:
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_exp_log_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        theta = rng.uniform(-np.pi + 1e-6, np.pi - 1e-6)
+        assert np.isclose(so2.log(so2.exp(theta)), theta, atol=1e-12)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_exp_is_rotation(self, seed):
+        rng = np.random.default_rng(seed)
+        r = so2.exp(rng.uniform(-10, 10))
+        assert so2.is_rotation(r)
+
+
+class TestSO3:
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_exp_log_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        phi = rng.standard_normal(3)
+        norm = np.linalg.norm(phi)
+        if norm >= np.pi:  # stay inside the injectivity radius
+            phi *= (np.pi - 1e-3) / norm
+        assert np.allclose(so3.log(so3.exp(phi)), phi, atol=1e-9)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_exp_is_rotation(self, seed):
+        rng = np.random.default_rng(seed)
+        assert so3.is_rotation(so3.exp(rng.standard_normal(3)))
+
+
+class TestSE3:
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_exp_log_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        xi = 0.5 * rng.standard_normal(6)
+        assert np.allclose(se3.se3_log(se3.se3_exp(xi)), xi, atol=1e-9)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_pose_conversion_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        pose = Pose.random(3, rng)
+        back = se3.se3_to_pose(se3.pose_to_se3(pose))
+        assert np.allclose(back.rotation, pose.rotation, atol=1e-9)
+        assert np.allclose(back.t, pose.t, atol=1e-9)
+
+
+class TestPoseRetractLocal:
+    @given(seed=SEEDS, space=st.sampled_from([2, 3]))
+    @settings(max_examples=30, deadline=None)
+    def test_local_of_retract_is_identity(self, seed, space):
+        rng = np.random.default_rng(seed)
+        x = Pose.random(space, rng)
+        delta = 0.2 * rng.standard_normal(x.dim)
+        assert np.allclose(x.local(x.retract(delta)), delta, atol=1e-8)
+
+    @given(seed=SEEDS, space=st.sampled_from([2, 3]))
+    @settings(max_examples=30, deadline=None)
+    def test_retract_of_local_reaches_target(self, seed, space):
+        rng = np.random.default_rng(seed)
+        x, y = Pose.random(space, rng), Pose.random(space, rng)
+        z = x.retract(x.local(y))
+        assert np.allclose(z.rotation, y.rotation, atol=1e-8)
+        assert np.allclose(z.t, y.t, atol=1e-8)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_value_level_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        for value in (Pose.random(3, rng), rng.standard_normal(4)):
+            delta = 0.1 * rng.standard_normal(value_dim(value))
+            stepped = retract_value(value, delta)
+            assert np.allclose(local_value(value, stepped), delta,
+                               atol=1e-8)
