@@ -1,0 +1,34 @@
+"""Tbl. R1: fault-injection campaign — success and recovery rates.
+
+Runs the quick seeded campaign (all four applications at the default
+fault rate) and gates on the resilience headlines: ABFT + bounded retry
+must recover at least 90% of injected faults in aggregate, and every
+application must keep a ≥90% mission success rate.
+"""
+
+from repro.resilience import quick_config, run_campaign
+
+from conftest import run_once
+
+
+def run_quick_campaign():
+    table, _ = run_campaign(quick_config())
+    return table
+
+
+def test_resilience_campaign(benchmark, record_table):
+    table = run_once(benchmark, run_quick_campaign)
+    record_table(table)
+
+    assert table.experiment_id == "R1"
+    injected = sum(row["injected"] for row in table.rows)
+    recovered = sum(row["recovered_rate"] * row["injected"]
+                    for row in table.rows)
+    assert injected > 0
+    assert recovered / injected >= 0.9
+
+    for row in table.rows:
+        # Faults at the default rate must not cost missions...
+        assert row["success_rate"] >= 0.9
+        # ... and the protection overhead stays modest.
+        assert 1.0 <= row["cycle_overhead"] <= 1.5

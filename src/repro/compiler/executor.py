@@ -41,11 +41,17 @@ class Executor:
     def execute(self, instr: Instruction) -> None:
         handler = getattr(self, f"_op_{instr.op.value}", None)
         if handler is None:
-            raise ExecutionError(f"no handler for opcode {instr.op}")
+            raise ExecutionError(
+                f"no handler for opcode {instr.op} ({instr.describe()})"
+            )
         handler(instr)
 
     def _srcs(self, instr: Instruction):
-        return [self.read(s) for s in instr.srcs]
+        try:
+            return [self.read(s) for s in instr.srcs]
+        except ExecutionError as exc:
+            raise ExecutionError(f"{exc} (while executing "
+                                 f"{instr.describe()})") from None
 
     def _write(self, instr: Instruction, *values: np.ndarray) -> None:
         if len(values) != len(instr.dsts):

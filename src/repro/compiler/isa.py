@@ -128,6 +128,31 @@ class Instruction:
     def unit(self) -> str:
         return UNIT_OF_OPCODE[self.op]
 
+    def describe(self) -> str:
+        """One-line identification for error messages and fault logs.
+
+        Names the instruction, its unit class and algorithm stream, and
+        the application-layer provenance (factor types, stage) when
+        present, so a failure deep in the simulator or executor can be
+        traced back to the factor graph that produced it.
+        """
+        parts = [f"instruction #{self.uid} {self.op.value}",
+                 f"unit={UNIT_OF_OPCODE.get(self.op, '?')}"]
+        if self.algorithm:
+            parts.append(f"algorithm={self.algorithm}")
+        if self.phase:
+            parts.append(f"phase={self.phase}")
+        if self.provenance is not None and not self.provenance.is_empty():
+            prov = self.provenance
+            if prov.stage:
+                parts.append(f"stage={prov.stage}")
+            if prov.factors:
+                types = ",".join(prov.factor_types)
+                ids = ",".join(str(fid) for fid in prov.factor_ids[:4])
+                more = "..." if len(prov.factors) > 4 else ""
+                parts.append(f"factors=[{ids}{more}]({types})")
+        return " ".join(parts)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         srcs = ", ".join(self.srcs)
         dsts = ", ".join(self.dsts)

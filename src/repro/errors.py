@@ -38,3 +38,17 @@ class HardwareError(OriannaError):
 
 class SimulationError(OriannaError):
     """The cycle-level simulator detected an inconsistency."""
+
+
+class ResilienceError(OriannaError):
+    """Invalid resilience configuration or campaign failure."""
+
+
+class FaultInjectionError(ResilienceError):
+    """An injected fault exhausted every recovery tier.
+
+    Raised by the resilient executor when a detected fault survives
+    bounded retries and checkpoint replay (or those tiers are disabled)
+    and the recovery policy escalates.  The optimizer safeguards catch
+    this and degrade gracefully instead of propagating corrupt values.
+    """

@@ -99,6 +99,19 @@ class ExperimentTable:
 
         return json.dumps(self.to_dict(), indent=indent)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_dict` output (round-trip safe)."""
+        table = cls(
+            experiment_id=str(data["experiment"]),
+            title=str(data["title"]),
+            columns=list(data["columns"]),
+            notes=list(data.get("notes", ())),
+        )
+        for row in data.get("rows", ()):
+            table.add_row(**row)
+        return table
+
 
 def _json_cell(value):
     """Coerce a table cell to a JSON-native type."""

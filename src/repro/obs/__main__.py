@@ -8,7 +8,8 @@
   breakdown, the critical-path listing, and the slack histogram.
 - ``diff old.json new.json`` — compare two BENCH documents from
   ``python -m repro.bench``; exits 1 when any workload's cycles or
-  energy regressed beyond ``--threshold`` (the CI gate).
+  energy regressed beyond ``--threshold`` (the CI gate), 2 when a
+  document is missing or unreadable.
 """
 
 from __future__ import annotations
@@ -79,7 +80,11 @@ def main(argv=None) -> int:
             result = diff_documents(old, new, threshold=args.threshold,
                                     exact=args.exact)
         except (OSError, ValueError) as exc:
-            parser.error(str(exc))
+            # A missing or malformed document is a usage problem, not a
+            # regression: one line on stderr, exit 2 (distinct from the
+            # exit-1 regression signal the CI gate keys on).
+            print(f"repro.obs diff: {exc}", file=sys.stderr)
+            return 2
         print(render_diff(result))
         return 1 if result["regressions"] else 0
     return 0

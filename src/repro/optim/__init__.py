@@ -1,15 +1,24 @@
 """Nonlinear optimization over factor graphs (Fig. 3)."""
 
-from repro.optim.gauss_newton import GaussNewtonParams, gauss_newton, step_norm
+from repro.optim.gauss_newton import (
+    GaussNewtonParams,
+    NONFINITE_FALLBACK,
+    NONFINITE_RAISE,
+    gauss_newton,
+    step_norm,
+)
 from repro.optim.levenberg import (
     LevenbergParams,
     damped_graph,
     levenberg_marquardt,
 )
 from repro.optim.result import IterationRecord, OptimizationResult
+from repro.optim.safeguards import SolveBudget, clip_delta, delta_is_finite
 
 __all__ = [
     "GaussNewtonParams",
+    "NONFINITE_FALLBACK",
+    "NONFINITE_RAISE",
     "gauss_newton",
     "step_norm",
     "LevenbergParams",
@@ -17,4 +26,7 @@ __all__ = [
     "damped_graph",
     "IterationRecord",
     "OptimizationResult",
+    "SolveBudget",
+    "clip_delta",
+    "delta_is_finite",
 ]

@@ -30,13 +30,23 @@ from repro.factorgraph.values import Values
 
 
 class CompiledSolver:
-    """Compile-once/bind-many linear solver for optimizer iterations."""
+    """Compile-once/bind-many linear solver for optimizer iterations.
 
-    def __init__(self, cache=None, max_entries: int = 8):
+    ``executor_factory`` swaps the functional executor for a hardened
+    (or fault-injecting) one — e.g. ``lambda: ResilientExecutor(plan,
+    policy)`` from :mod:`repro.resilience.executor`.  An executor that
+    escalates an unrecoverable fault raises
+    :class:`~repro.errors.FaultInjectionError`, which the safeguarded
+    optimizer loops catch and degrade on.
+    """
+
+    def __init__(self, cache=None, max_entries: int = 8,
+                 executor_factory=None):
         from repro.compiler.cache import CompilationCache
 
         self.cache = cache if cache is not None \
             else CompilationCache(max_entries=max_entries)
+        self.executor_factory = executor_factory
 
     def solve(self, graph: FactorGraph, values: Values,
               ordering: Optional[Sequence[Key]] = None
@@ -45,7 +55,8 @@ class CompiledSolver:
         from repro.compiler.executor import Executor
 
         compiled = self.cache.compile(graph, values, ordering)
-        registers = Executor().run(compiled.program)
+        factory = self.executor_factory or Executor
+        registers = factory().run(compiled.program)
         return compiled.extract_solution(registers)
 
 

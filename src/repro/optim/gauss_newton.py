@@ -5,6 +5,14 @@ sparse linear system ``A delta = b`` by factor-graph inference (QR variable
 elimination and back substitution), and retracts the solution onto the
 variables, until the error improvement or the step norm falls below the
 configured thresholds.
+
+The loop is safeguarded (see :mod:`repro.optim.safeguards`): a
+non-finite residual or update — a degenerate graph, a diverging
+iterate, or an unrecovered accelerator fault escalated by the resilient
+executor — never propagates into :class:`Values`.  Depending on
+``GaussNewtonParams.on_nonfinite`` the solve either falls back to
+Levenberg-Marquardt with escalating damping from the last finite
+iterate, or raises :class:`~repro.errors.OptimizationError`.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.errors import FaultInjectionError, OptimizationError
 from repro.factorgraph.elimination import solve as eliminate_and_solve
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
@@ -21,16 +30,36 @@ from repro.factorgraph.ordering import min_degree_ordering
 from repro.factorgraph.values import Values
 from repro.obs import counters, trace
 from repro.optim.result import IterationRecord, OptimizationResult
+from repro.optim.safeguards import (
+    SolveBudget,
+    clip_delta,
+    delta_is_finite,
+    is_finite_scalar,
+    nonfinite_error,
+)
+
+# Non-finite handling modes.
+NONFINITE_FALLBACK = "fallback"  # degrade to LM with escalating damping
+NONFINITE_RAISE = "raise"        # raise OptimizationError
+
+# Damping the LM fallback starts from: aggressive enough that the first
+# trials already regularize a near-singular system.
+FALLBACK_INITIAL_LAMBDA = 1e-2
 
 
 @dataclass
 class GaussNewtonParams:
-    """Convergence thresholds for the Fig. 3 loop."""
+    """Convergence thresholds and safeguards for the Fig. 3 loop."""
 
     max_iterations: int = 25
     absolute_error_tol: float = 1e-10
     relative_error_tol: float = 1e-8
     step_tol: float = 1e-10
+    # Safeguards (None/defaults keep the classic unguarded trajectory
+    # bit-identical on healthy problems).
+    on_nonfinite: str = NONFINITE_FALLBACK
+    max_step_norm: Optional[float] = None
+    max_wall_clock_s: Optional[float] = None
 
 
 def step_norm(delta) -> float:
@@ -39,6 +68,35 @@ def step_norm(delta) -> float:
     for d in delta.values():
         total += float(np.asarray(d) @ np.asarray(d))
     return float(np.sqrt(total))
+
+
+def _lm_fallback(graph: FactorGraph, values: Values,
+                 params: GaussNewtonParams, iteration: int,
+                 ordering, backend: str, budget: SolveBudget,
+                 records) -> OptimizationResult:
+    """Degrade to LM with escalating damping from the last finite iterate."""
+    from repro.optim.levenberg import LevenbergParams, levenberg_marquardt
+
+    counters.incr("resilience.solver.gn_fallback_lm")
+    lm_params = LevenbergParams(
+        max_iterations=max(1, params.max_iterations - iteration),
+        initial_lambda=FALLBACK_INITIAL_LAMBDA,
+        absolute_error_tol=params.absolute_error_tol,
+        relative_error_tol=params.relative_error_tol,
+        step_tol=params.step_tol,
+        max_step_norm=params.max_step_norm,
+        max_wall_clock_s=budget.remaining_s(),
+    )
+    fallback = levenberg_marquardt(graph, values, lm_params,
+                                   ordering=ordering, backend=backend)
+    merged = list(records) + [
+        IterationRecord(iteration + r.iteration, r.error_before,
+                        r.error_after, r.step_norm, r.stats)
+        for r in fallback.iterations
+    ]
+    return OptimizationResult(values=fallback.values,
+                              converged=fallback.converged,
+                              iterations=merged)
 
 
 def gauss_newton(
@@ -62,6 +120,10 @@ def gauss_newton(
         params = GaussNewtonParams()
     if backend not in ("reference", "compiled"):
         raise ValueError(f"unknown gauss_newton backend {backend!r}")
+    if params.on_nonfinite not in (NONFINITE_FALLBACK, NONFINITE_RAISE):
+        raise ValueError(
+            f"unknown on_nonfinite mode {params.on_nonfinite!r}"
+        )
     solver = None
     if backend == "compiled":
         from repro.factorgraph.elimination import EliminationStats
@@ -71,23 +133,51 @@ def gauss_newton(
     values = initial.copy()
     records = []
     converged = False
+    budget = SolveBudget(params.max_wall_clock_s, label="gauss_newton")
+
+    def degraded(iteration: int, context: str) -> OptimizationResult:
+        counters.incr("resilience.solver.gn_nonfinite")
+        if params.on_nonfinite == NONFINITE_RAISE:
+            raise nonfinite_error(context, iteration)
+        return _lm_fallback(graph, values, params, iteration, ordering,
+                            backend, budget, records)
 
     for iteration in range(params.max_iterations):
+        budget.check(iteration)
         with trace.span("gn.iteration", category="optimizer",
                         iteration=iteration, backend=backend) as sp:
             error_before = graph.error(values)
-            if solver is not None:
-                delta = solver.solve(graph, values, ordering)
-                stats = EliminationStats()
-            else:
-                linear = graph.linearize(values)
-                order = list(ordering) if ordering is not None else (
-                    min_degree_ordering(linear)
-                )
-                delta, stats = eliminate_and_solve(linear, order)
-            values = values.retract(delta)
-            error_after = graph.error(values)
+            if not is_finite_scalar(error_before):
+                return degraded(iteration, "residual error")
+            try:
+                if solver is not None:
+                    delta = solver.solve(graph, values, ordering)
+                    stats = EliminationStats()
+                else:
+                    linear = graph.linearize(values)
+                    order = list(ordering) if ordering is not None else (
+                        min_degree_ordering(linear)
+                    )
+                    delta, stats = eliminate_and_solve(linear, order)
+            except FaultInjectionError:
+                # The resilient executor escalated an unrecoverable
+                # accelerator fault out of this solve: degrade exactly
+                # like a corrupt (non-finite) update.
+                counters.incr("resilience.solver.escalations")
+                return degraded(iteration, "escalated solve")
+            if not delta_is_finite(delta):
+                return degraded(iteration, "update delta")
             norm = step_norm(delta)
+            delta = clip_delta(delta, norm, params.max_step_norm)
+            if params.max_step_norm is not None:
+                norm = min(norm, params.max_step_norm)
+            trial = values.retract(delta)
+            error_after = graph.error(trial)
+            if not is_finite_scalar(error_after):
+                # Keep the pre-step iterate: the step itself is what
+                # left the feasible region.
+                return degraded(iteration, "post-step residual error")
+            values = trial
             sp.set(error_before=error_before, error_after=error_after,
                    step_norm=norm)
         counters.incr("optim.gn.iterations")

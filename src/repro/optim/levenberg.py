@@ -3,6 +3,14 @@
 Damping is realized inside the factor-graph abstraction itself: each LM
 trial adds per-variable prior rows ``sqrt(lambda) * I`` to the linear
 graph, so the same QR elimination machinery solves the damped system.
+
+The trial loop is safeguarded (see :mod:`repro.optim.safeguards`): a
+trial whose update or post-step error is non-finite is rejected like
+any non-descending step — the damping escalates and the solve continues
+from the intact iterate.  A non-finite residual at the *current*
+iterate (nothing left to damp) and an exhausted wall-clock budget raise
+:class:`~repro.errors.OptimizationError` instead of hanging or
+returning NaN poses.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import OptimizationError
+from repro.errors import FaultInjectionError, OptimizationError
 from repro.factorgraph.elimination import solve as eliminate_and_solve
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.keys import Key
@@ -22,11 +30,18 @@ from repro.factorgraph.values import Values
 from repro.obs import counters, trace
 from repro.optim.gauss_newton import step_norm
 from repro.optim.result import IterationRecord, OptimizationResult
+from repro.optim.safeguards import (
+    SolveBudget,
+    clip_delta,
+    delta_is_finite,
+    is_finite_scalar,
+    nonfinite_error,
+)
 
 
 @dataclass
 class LevenbergParams:
-    """LM damping schedule and convergence thresholds."""
+    """LM damping schedule, convergence thresholds, and safeguards."""
 
     max_iterations: int = 50
     initial_lambda: float = 1e-4
@@ -36,6 +51,9 @@ class LevenbergParams:
     absolute_error_tol: float = 1e-10
     relative_error_tol: float = 1e-8
     step_tol: float = 1e-10
+    # Safeguards (defaults keep healthy trajectories bit-identical).
+    max_step_norm: Optional[float] = None
+    max_wall_clock_s: Optional[float] = None
 
 
 def damped_graph(
@@ -84,11 +102,19 @@ def levenberg_marquardt(
     lam = params.initial_lambda
     records = []
     converged = False
+    budget = SolveBudget(params.max_wall_clock_s, label="levenberg_marquardt")
 
     for iteration in range(params.max_iterations):
+        budget.check(iteration)
         with trace.span("lm.iteration", category="optimizer",
                         iteration=iteration, backend=backend) as sp:
             error_before = graph.error(values)
+            if not is_finite_scalar(error_before):
+                # The *current* iterate is already corrupt — damping
+                # cannot help because there is no finite reference to
+                # descend from.
+                counters.incr("resilience.solver.lm_nonfinite")
+                raise nonfinite_error("residual error", iteration)
             if solver is None:
                 linear = graph.linearize(values)
                 order = list(ordering) if ordering is not None else (
@@ -98,28 +124,52 @@ def levenberg_marquardt(
                 order = list(ordering) if ordering is not None else None
 
             # Inner loop: raise lambda until a trial step reduces the
-            # error.
+            # error.  Non-finite trials (NaN Jacobians surfacing in the
+            # solve, escalated accelerator faults, steps that leave the
+            # feasible region) are rejected exactly like ascending
+            # steps: escalate the damping and try again.
             accepted = False
             trials = 0
             while lam <= params.max_lambda:
+                budget.check(iteration)
                 trials += 1
-                if solver is not None:
-                    trial_graph = damped_nonlinear_graph(graph, values, lam)
-                    delta = solver.solve(trial_graph, values, order)
-                    stats = EliminationStats()
-                else:
-                    trial_linear = damped_graph(linear, lam)
-                    trial_order = order + [
-                        k for k in trial_linear.keys() if k not in order
-                    ]
-                    delta, stats = eliminate_and_solve(trial_linear,
-                                                       trial_order)
+                try:
+                    if solver is not None:
+                        trial_graph = damped_nonlinear_graph(graph, values,
+                                                             lam)
+                        delta = solver.solve(trial_graph, values, order)
+                        stats = EliminationStats()
+                    else:
+                        trial_linear = damped_graph(linear, lam)
+                        trial_order = order + [
+                            k for k in trial_linear.keys() if k not in order
+                        ]
+                        delta, stats = eliminate_and_solve(trial_linear,
+                                                           trial_order)
+                except FaultInjectionError:
+                    counters.incr("resilience.solver.escalations")
+                    counters.incr("optim.lm.rejected_steps")
+                    lam *= params.lambda_factor
+                    continue
+                if not delta_is_finite(delta):
+                    counters.incr("resilience.solver.lm_nonfinite_trial")
+                    counters.incr("optim.lm.rejected_steps")
+                    lam *= params.lambda_factor
+                    continue
+                norm = step_norm(delta)
+                delta = clip_delta(delta, norm, params.max_step_norm)
+                if params.max_step_norm is not None:
+                    norm = min(norm, params.max_step_norm)
                 trial_values = values.retract(delta)
                 error_after = graph.error(trial_values)
+                if not is_finite_scalar(error_after):
+                    counters.incr("resilience.solver.lm_nonfinite_trial")
+                    counters.incr("optim.lm.rejected_steps")
+                    lam *= params.lambda_factor
+                    continue
                 if error_after <= error_before:
                     accepted = True
                     values = trial_values
-                    norm = step_norm(delta)
                     sp.set(error_before=error_before,
                            error_after=error_after, step_norm=norm,
                            damping=lam, trials=trials)

@@ -1,0 +1,96 @@
+"""Solver safeguards: non-finite detection, step bounds, solve budgets.
+
+Shared by :func:`~repro.optim.gauss_newton.gauss_newton` and
+:func:`~repro.optim.levenberg.levenberg_marquardt` so a corrupted
+linearization (an accelerator fault, a degenerate graph, a diverging
+iterate) degrades gracefully — a raised
+:class:`~repro.errors.OptimizationError` or a damped fallback — instead
+of silently writing NaN poses into :class:`~repro.factorgraph.values.
+Values` or hanging past its deadline.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+
+def is_finite_scalar(value: float) -> bool:
+    """Whether one residual/error scalar is a usable number."""
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+def delta_is_finite(delta: Dict) -> bool:
+    """Whether every entry of a stacked per-variable update is finite."""
+    for d in delta.values():
+        if not np.all(np.isfinite(np.asarray(d, dtype=float))):
+            return False
+    return True
+
+
+def clip_delta(delta: Dict, norm: float,
+               max_step_norm: Optional[float]) -> Dict:
+    """Scale an update down to the trust bound when it overshoots.
+
+    A bounded step cannot fix a wrong direction, but it keeps one
+    corrupted or ill-conditioned solve from catapulting the iterate out
+    of the basin (the classic failure mode of an undamped GN step).
+    Returns ``delta`` unchanged when no bound is set or it holds.
+    """
+    if max_step_norm is None or norm <= max_step_norm or norm == 0.0:
+        return delta
+    scale = max_step_norm / norm
+    return {k: np.asarray(d, dtype=float) * scale
+            for k, d in delta.items()}
+
+
+class SolveBudget:
+    """Wall-clock budget for one optimizer invocation.
+
+    ``check`` raises :class:`OptimizationError` once the budget is
+    exhausted — called at iteration boundaries (and LM trial
+    boundaries), so a diverging solve stops at a clean point instead of
+    hanging indefinitely.  A ``None`` budget never trips.
+    """
+
+    def __init__(self, max_wall_clock_s: Optional[float],
+                 label: str = "solve"):
+        self.max_wall_clock_s = max_wall_clock_s
+        self.label = label
+        self.started_s = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started_s
+
+    def remaining_s(self) -> Optional[float]:
+        if self.max_wall_clock_s is None:
+            return None
+        return max(0.0, self.max_wall_clock_s - self.elapsed_s())
+
+    def check(self, iteration: int) -> None:
+        if self.max_wall_clock_s is None:
+            return
+        elapsed = self.elapsed_s()
+        if elapsed > self.max_wall_clock_s:
+            raise OptimizationError(
+                f"{self.label} exceeded its wall-clock budget "
+                f"({elapsed:.3f}s > {self.max_wall_clock_s:.3f}s "
+                f"at iteration {iteration})"
+            )
+
+
+def nonfinite_error(context: str, iteration: int) -> OptimizationError:
+    """The uniform error for a NaN/inf residual, Jacobian, or update."""
+    return OptimizationError(
+        f"non-finite {context} at iteration {iteration}; the "
+        f"linearization or solve produced NaN/inf (corrupt input, "
+        f"degenerate graph, or an unrecovered hardware fault)"
+    )

@@ -1,0 +1,185 @@
+"""Campaign and recovery-policy specifications.
+
+A :class:`CampaignSpec` describes *what goes wrong*: the fault model,
+the per-instruction fault rate, and which instructions are eligible
+(by unit class or provenance stage).  A :class:`RecoveryPolicy`
+describes *what the runtime does about it*: how faults are detected
+(ABFT checksums, with an optional dual-modular-redundancy fallback for
+opcodes without an algebraic invariant) and how detected faults are
+recovered (bounded per-instruction retry, recompute-from-checkpoint,
+escalate to the solver).
+
+Both are frozen dataclasses with JSON round-trips so campaign documents
+fully record the configuration that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ResilienceError
+
+# Fault models (CampaignSpec.fault_model).
+FAULT_VALUE = "value"      # relative perturbation of one result element
+FAULT_BITFLIP = "bitflip"  # single bit flip in one float64 result element
+FAULT_STALL = "stall"      # the executing unit stalls for extra cycles
+FAULT_DROP = "drop"        # the instruction is dropped and must reissue
+FAULT_MIXED = "mixed"      # draw one of the above per fault site
+FAULT_MODELS = (FAULT_VALUE, FAULT_BITFLIP, FAULT_STALL, FAULT_DROP,
+                FAULT_MIXED)
+
+# Fault kinds that corrupt architectural values (vs timing-only kinds).
+VALUE_KINDS = (FAULT_VALUE, FAULT_BITFLIP)
+TIMING_KINDS = (FAULT_STALL, FAULT_DROP)
+
+# Escalation behaviors (RecoveryPolicy.escalate).
+ESCALATE_ERROR = "error"        # raise FaultInjectionError
+ESCALATE_CONTINUE = "continue"  # keep the corrupted value, count it
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fault-injection configuration (the *attack* side).
+
+    Attributes
+    ----------
+    fault_model:
+        One of :data:`FAULT_MODELS`.  ``mixed`` draws uniformly among
+        the four concrete models per fault site.
+    rate:
+        Per-instruction fault probability (CONST loads are never
+        eligible: constants are preloaded before execution starts).
+    seed:
+        Seed for the fault schedule; the schedule is a deterministic
+        function of ``(program structure, spec)``.
+    target_units:
+        Restrict eligible instructions to these unit classes (empty
+        means all non-CONST instructions).
+    target_stages:
+        Restrict to instructions whose provenance stage starts with one
+        of these prefixes (e.g. ``construct`` or ``eliminate``).
+    magnitude:
+        Relative size of ``value`` perturbations.
+    stall_cycles:
+        Extra latency charged by a ``stall`` fault.
+    persistent_fraction:
+        Fraction of faults that recur on re-execution (stuck-at style)
+        rather than being transient.
+    max_faults:
+        Optional cap on scheduled faults per program.
+    """
+
+    fault_model: str = FAULT_VALUE
+    rate: float = 0.02
+    seed: int = 0
+    target_units: Tuple[str, ...] = ()
+    target_stages: Tuple[str, ...] = ()
+    magnitude: float = 0.05
+    stall_cycles: int = 16
+    persistent_fraction: float = 0.0
+    max_faults: Optional[int] = None
+
+    def __post_init__(self):
+        if self.fault_model not in FAULT_MODELS:
+            raise ResilienceError(
+                f"unknown fault model {self.fault_model!r}; "
+                f"pick one of {FAULT_MODELS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ResilienceError(f"fault rate {self.rate} not in [0, 1]")
+        if not 0.0 <= self.persistent_fraction <= 1.0:
+            raise ResilienceError(
+                f"persistent_fraction {self.persistent_fraction} "
+                f"not in [0, 1]"
+            )
+        if self.magnitude <= 0.0:
+            raise ResilienceError("magnitude must be > 0")
+        if self.stall_cycles < 1:
+            raise ResilienceError("stall_cycles must be >= 1")
+
+    def with_seed(self, seed: int) -> "CampaignSpec":
+        return replace(self, seed=int(seed))
+
+    def with_rate(self, rate: float) -> "CampaignSpec":
+        return replace(self, rate=float(rate))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["target_units"] = list(self.target_units)
+        out["target_stages"] = list(self.target_stages)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        data = dict(data)
+        data["target_units"] = tuple(data.get("target_units", ()))
+        data["target_stages"] = tuple(data.get("target_stages", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Detection + recovery configuration (the *defense* side).
+
+    Attributes
+    ----------
+    abft:
+        Verify matrix-op results against algebraic checksum invariants
+        (see :mod:`repro.resilience.abft`).
+    dmr_fallback:
+        For opcodes without an ABFT invariant (LOG/EXP/JR/JRINV/EMBED),
+        re-execute and compare — dual modular redundancy in time.
+    max_retries:
+        Bounded per-instruction re-execution attempts after a detected
+        fault (transient faults clear on retry).
+    checkpoint_every:
+        Snapshot the register file every N instructions; a fault that
+        survives all retries (a persistent fault) is recovered by
+        restoring the snapshot and replaying with the faulty site
+        remapped to a spare unit instance (injection suppressed).
+        ``0`` disables checkpointing.
+    escalate:
+        What to do when every recovery tier is exhausted or disabled:
+        ``error`` raises :class:`~repro.errors.FaultInjectionError`
+        (the solver safeguards catch it), ``continue`` keeps the
+        corrupted value and counts it.
+    rtol / atol:
+        Checksum comparison tolerances, relative to operand magnitude.
+        Clean float64 checksums sit below ``4e-16`` of the operand
+        scale across the application suite, so the default leaves
+        three-plus orders of safety margin against false alarms while
+        still catching absolute corruptions down to ``1e-12 * scale``.
+    """
+
+    abft: bool = True
+    dmr_fallback: bool = True
+    max_retries: int = 2
+    checkpoint_every: int = 64
+    escalate: str = ESCALATE_ERROR
+    rtol: float = 1e-12
+    atol: float = 1e-12
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ResilienceError("max_retries must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ResilienceError("checkpoint_every must be >= 0")
+        if self.escalate not in (ESCALATE_ERROR, ESCALATE_CONTINUE):
+            raise ResilienceError(
+                f"unknown escalation {self.escalate!r}; pick "
+                f"{ESCALATE_ERROR!r} or {ESCALATE_CONTINUE!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RecoveryPolicy":
+        return cls(**dict(data))
+
+
+# A detection-only policy (no retry, no checkpoint): useful to measure
+# raw ABFT coverage of a fault model.
+DETECT_ONLY = RecoveryPolicy(max_retries=0, checkpoint_every=0,
+                             escalate=ESCALATE_CONTINUE)

@@ -58,7 +58,17 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self, program: Program, policy: str = "ooo",
-            record_schedule: bool = False) -> SimulationResult:
+            record_schedule: bool = False,
+            fault_plan=None) -> SimulationResult:
+        """Simulate ``program`` under ``policy``.
+
+        ``fault_plan`` (a :class:`repro.resilience.faults.FaultPlan`)
+        folds a fault campaign's timing costs into the schedule: unit
+        stalls and dropped-instruction reissues directly, and the retry
+        attempts the value-domain executor recorded on the same plan.
+        ``None`` (the default) simulates fault-free and is bit-identical
+        to the pre-resilience engine.
+        """
         if policy not in POLICIES:
             raise SimulationError(
                 f"unknown policy {policy!r}; pick one of {POLICIES}"
@@ -67,6 +77,11 @@ class Simulator:
         instructions = program.instructions
         deps = program.dependencies()
         latencies = self._latencies(program)
+        fault_counts: Dict[str, float] = {}
+        energies = self._energies(program)
+        if fault_plan is not None:
+            fault_counts = fault_plan.apply_timing(program, latencies,
+                                                   energies)
 
         # Per-unit-class instance free times (min-heaps of ready-at times).
         unit_free: Dict[str, List[float]] = {
@@ -187,10 +202,13 @@ class Simulator:
             try_issue()
 
         total_cycles = int(round(max(finish.values(), default=0.0)))
-        energies = self._energies(program)
         result = self._collect(program, policy, total_cycles, start, finish,
                                latencies, energies, busy_cycles)
         result.stall_counts = {k: v for k, v in stalls.items() if v}
+        if fault_counts:
+            result.fault_counts = fault_counts
+            for kind, value in fault_counts.items():
+                obs.counters.incr(f"resilience.sim.{kind}", value)
         result.attribution = compute_attribution(program, latencies,
                                                  energies)
         result.critical_path = compute_critical_path(program, latencies,
@@ -217,7 +235,8 @@ class Simulator:
         heap = unit_free.get(unit)
         if not heap:
             raise SimulationError(
-                f"no unit instances of class {unit!r} configured"
+                f"no unit instances of class {unit!r} configured "
+                f"(needed by {instr.describe()})"
             )
         if heap[0] > now:
             return False
@@ -318,7 +337,8 @@ class Simulator:
             template = self.config.templates.get(instr.unit)
             if template is None:
                 raise SimulationError(
-                    f"no template for unit class {instr.unit!r}"
+                    f"no latency template for unit class {instr.unit!r} "
+                    f"(needed by {instr.describe()})"
                 )
             latencies[instr.uid] = max(1, int(template.latency(instr, shapes)))
         return latencies
@@ -334,7 +354,8 @@ class Simulator:
             template = self.config.templates.get(instr.unit)
             if template is None:
                 raise SimulationError(
-                    f"no template for unit class {instr.unit!r}"
+                    f"no energy template for unit class {instr.unit!r} "
+                    f"(needed by {instr.describe()})"
                 )
             energies[instr.uid] = float(template.energy(instr, shapes))
         return energies

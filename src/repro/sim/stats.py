@@ -42,6 +42,10 @@ class SimulationResult:
     # Issue-stall events by kind ("structural", "raw", "overlap",
     # "width"); which kinds occur depends on the issue policy.
     stall_counts: Dict[str, int] = field(default_factory=dict)
+    # Fault-campaign timing overheads ("injected", "stall_cycles",
+    # "retry_cycles", "drop_cycles"), populated only when the run was
+    # given a fault plan; empty for fault-free simulation.
+    fault_counts: Dict[str, float] = field(default_factory=dict)
     # Optional per-instruction schedule: uid -> (start, finish) cycles,
     # recorded when Simulator.run(record_schedule=True).
     schedule: Dict[int, tuple] = field(default_factory=dict)
@@ -110,6 +114,8 @@ class SimulationResult:
             "peak_live_words": self.peak_live_words,
             "spilled_words": self.spilled_words,
         }
+        if self.fault_counts:
+            out["fault_counts"] = dict(self.fault_counts)
         if self.attribution is not None:
             out["attribution"] = self.attribution.to_dict()
         if self.critical_path is not None:

@@ -130,6 +130,33 @@ class TestDiffCli:
         assert obs_main(["diff", str(old), str(new),
                          "--threshold", "0.10"]) == 1
 
+    def test_missing_baseline_exits_two_with_one_line(
+            self, document, tmp_path, capsys):
+        new = tmp_path / "new.json"
+        write_bench(new, document)
+        missing = tmp_path / "does-not-exist.json"
+        assert obs_main(["diff", str(missing), str(new)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro.obs diff: ")
+        assert err.count("\n") == 1
+
+    def test_unreadable_baseline_exits_two(self, document, tmp_path,
+                                           capsys):
+        old = tmp_path / "old.json"
+        old.write_text("{not json")
+        new = tmp_path / "new.json"
+        write_bench(new, document)
+        assert obs_main(["diff", str(old), str(new)]) == 2
+        assert "repro.obs diff: " in capsys.readouterr().err
+
+    def test_foreign_schema_exits_two(self, document, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps({"schema": "someone-else/9"}))
+        new = tmp_path / "new.json"
+        write_bench(new, document)
+        assert obs_main(["diff", str(old), str(new)]) == 2
+        assert "repro.obs diff: " in capsys.readouterr().err
+
 
 class TestCommittedBaseline:
     def test_baseline_matches_current_tree(self, document):

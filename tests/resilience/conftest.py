@@ -1,0 +1,33 @@
+"""Shared fixtures for the resilience tests: one small compiled program."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+
+
+def pose_chain_program(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values).program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return pose_chain_program()
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    from repro.compiler.executor import Executor
+
+    return Executor().run(program)

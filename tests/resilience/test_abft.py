@@ -1,0 +1,111 @@
+"""ABFT checkers: clean results pass, corrupted results are caught."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.executor import Executor
+from repro.compiler.isa import Opcode
+from repro.resilience.abft import CHECKERS, check_instruction, has_checker
+
+UNCHECKED = (Opcode.LOG, Opcode.EXP, Opcode.SKEW, Opcode.JR,
+             Opcode.JRINV, Opcode.EMBED, Opcode.CONST)
+
+
+def executed_instructions(program):
+    """Execute the program, yielding (instruction, executor) pairs."""
+    ex = Executor()
+    for instr in program.instructions:
+        ex.execute(instr)
+        yield instr, ex
+
+
+class TestCleanPasses:
+    def test_no_false_alarms_on_clean_execution(self, program):
+        checked = 0
+        for instr, ex in executed_instructions(program):
+            verdict = check_instruction(instr, ex.read)
+            if has_checker(instr.op):
+                assert verdict is True, instr.describe()
+                checked += 1
+            else:
+                assert verdict is None
+        assert checked > 100
+
+    def test_unchecked_opcodes_have_no_checker(self):
+        for op in UNCHECKED:
+            assert not has_checker(op)
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize("op", sorted(CHECKERS, key=lambda o: o.value))
+    def test_detects_corrupted_first_element(self, program, op):
+        found = 0
+        for instr, ex in executed_instructions(program):
+            if instr.op is not op:
+                continue
+            dst = instr.dsts[0]
+            clean = ex.registers[dst]
+            if clean.size == 0:
+                continue
+            corrupt = np.array(clean, copy=True, order="C")
+            corrupt.reshape(-1)[0] += 0.5 * (1.0 + abs(
+                corrupt.reshape(-1)[0]))
+            ex.registers[dst] = corrupt
+            assert check_instruction(instr, ex.read) is False, \
+                instr.describe()
+            ex.registers[dst] = clean
+            assert check_instruction(instr, ex.read) is True
+            found += 1
+            if found >= 3:
+                break
+        if found == 0:
+            pytest.skip(f"program exercises no {op}")
+
+    def test_add_checker_synthetically(self):
+        # The pose-chain fixture emits no ADD; exercise its checker on a
+        # hand-built instruction over a scratch register file.
+        from repro.compiler.isa import Instruction
+
+        regs = {"a": np.arange(6.0).reshape(2, 3),
+                "b": np.ones((2, 3)),
+                "out": np.arange(6.0).reshape(2, 3) + 1.0}
+        instr = Instruction(0, Opcode.ADD, ["a", "b"], ["out"])
+        assert check_instruction(instr, regs.__getitem__) is True
+        regs["out"] = regs["out"].copy()
+        regs["out"][0, 0] += 0.5
+        assert check_instruction(instr, regs.__getitem__) is False
+
+    def test_detects_nan_results(self, program):
+        for instr, ex in executed_instructions(program):
+            if not has_checker(instr.op):
+                continue
+            dst = instr.dsts[0]
+            clean = ex.registers[dst]
+            if clean.size == 0:
+                continue
+            corrupt = np.array(clean, copy=True, order="C")
+            corrupt.reshape(-1)[0] = np.nan
+            ex.registers[dst] = corrupt
+            assert check_instruction(instr, ex.read) is False
+            ex.registers[dst] = clean
+            break
+
+    def test_dead_subdiagonal_of_bsub_input_is_not_blamed_on_bsub(
+            self, program):
+        # The triangular solve never reads below the diagonal; a
+        # corrupted dead element must not fail the *solve's* check.
+        for instr, ex in executed_instructions(program):
+            if instr.op is not Opcode.BSUB:
+                continue
+            frontal = instr.meta["frontal_dim"]
+            if frontal < 2:
+                continue
+            cond_reg = instr.srcs[0]
+            clean = ex.registers[cond_reg]
+            corrupt = np.array(clean, copy=True)
+            corrupt[frontal - 1, 0] += 0.25  # below the diagonal
+            ex.registers[cond_reg] = corrupt
+            assert check_instruction(instr, ex.read) is True
+            ex.registers[cond_reg] = clean
+            return
+        pytest.skip("no BSUB with frontal_dim >= 2 in this program")

@@ -1,0 +1,132 @@
+"""Campaign runner: determinism, document schema, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.eval.harness import ExperimentTable
+from repro.resilience.campaign import (
+    CampaignConfig,
+    run_campaign,
+    solution_registers,
+)
+from repro.resilience.spec import CampaignSpec
+
+
+def tiny_config(**overrides):
+    kwargs = dict(rates=(0.02,), trials=2, apps=("Manipulator",))
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    return run_campaign(tiny_config())
+
+
+class TestCampaign:
+    def test_same_config_same_document(self, campaign_result):
+        _, document = campaign_result
+        _, again = run_campaign(tiny_config())
+        assert json.dumps(document, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)
+
+    def test_document_is_bench_schema(self, campaign_result, tmp_path):
+        from repro.bench.core import BENCH_SCHEMA, load_bench, write_bench
+
+        _, document = campaign_result
+        assert document["schema"] == BENCH_SCHEMA
+        path = tmp_path / "campaign.json"
+        write_bench(path, document)
+        assert load_bench(path)["workloads"] == document["workloads"]
+
+    def test_document_diffs_clean_against_itself(self, campaign_result):
+        from repro.bench.diff import diff_documents
+
+        _, document = campaign_result
+        diff = diff_documents(document, document, exact=True)
+        assert not diff["regressions"]
+
+    def test_table_mirrors_workloads(self, campaign_result):
+        table, document = campaign_result
+        assert len(table.rows) == len(document["workloads"]) == 1
+        row = table.rows[0]
+        assert row["application"] == "Manipulator"
+        assert row["trials"] == 2
+        assert 0.0 <= row["success_rate"] <= 1.0
+        assert row["cycle_overhead"] >= 1.0
+
+    def test_table_round_trips_through_dict(self, campaign_result):
+        table, _ = campaign_result
+        again = ExperimentTable.from_dict(table.to_dict())
+        assert again.columns == table.columns
+        assert again.rows == table.to_dict()["rows"]
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ResilienceError):
+            run_campaign(tiny_config(apps=("Starship",)))
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ResilienceError):
+            CampaignConfig(trials=0)
+        with pytest.raises(ResilienceError):
+            CampaignConfig(rates=())
+
+    def test_solution_registers_are_bsub_outputs(self, program):
+        from repro.compiler.isa import Opcode
+
+        names = solution_registers(program)
+        bsub_dsts = {d for i in program.instructions
+                     if i.op is Opcode.BSUB for d in i.dsts}
+        assert set(names) == bsub_dsts
+        assert names
+
+    def test_fault_free_campaign_is_all_success(self):
+        table, _ = run_campaign(tiny_config(rates=(0.0,), trials=1))
+        row = table.rows[0]
+        assert row["success_rate"] == 1.0
+        assert row["injected"] == 0
+        assert row["max_degradation"] == 0.0
+        assert row["cycle_overhead"] == 1.0
+
+
+class TestCli:
+    def test_campaign_cli_writes_document(self, tmp_path, capsys):
+        from repro.resilience.__main__ import main
+
+        out = tmp_path / "doc.json"
+        code = main(["campaign", "--quick", "--apps", "Manipulator",
+                     "--trials", "1", "--output", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Manipulator" in text
+        assert json.loads(out.read_text())["mode"] == "campaign"
+
+    def test_campaign_cli_markdown(self, capsys):
+        from repro.resilience.__main__ import main
+
+        assert main(["campaign", "--apps", "Manipulator", "--trials",
+                     "1", "--markdown"]) == 0
+        assert "| application |" in capsys.readouterr().out
+
+    def test_campaign_cli_unknown_app_exits_2(self, capsys):
+        from repro.resilience.__main__ import main
+
+        assert main(["campaign", "--apps", "Starship"]) == 2
+        assert "repro.resilience" in capsys.readouterr().err
+
+    def test_campaign_cli_custom_spec_flags(self, tmp_path):
+        from repro.resilience.__main__ import main
+
+        out = tmp_path / "doc.json"
+        code = main(["campaign", "--apps", "Manipulator", "--trials",
+                     "1", "--rates", "0.01", "--model", "stall",
+                     "--no-dmr", "--retries", "1", "--escalate",
+                     "continue", "--output", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        spec = CampaignSpec.from_dict(doc["campaign"]["spec"])
+        assert spec.fault_model == "stall"
+        assert doc["campaign"]["policy"]["max_retries"] == 1
+        assert doc["campaign"]["rates"] == [0.01]

@@ -1,0 +1,157 @@
+"""Resilient execution: detection, tiered recovery, and escalation."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compiler.executor import Executor
+from repro.compiler.isa import Opcode
+from repro.errors import FaultInjectionError
+from repro.resilience.executor import ResilientExecutor, execute_with_faults
+from repro.resilience.faults import FaultEvent, FaultPlan
+from repro.resilience.spec import (
+    DETECT_ONLY,
+    ESCALATE_CONTINUE,
+    RecoveryPolicy,
+)
+
+
+def checked_site(program):
+    """Uid of an instruction with an ABFT invariant and live output."""
+    from repro.resilience.abft import has_checker
+
+    for instr in program.instructions:
+        if has_checker(instr.op) and instr.op is not Opcode.CONST:
+            return instr.uid
+    raise AssertionError("no checkable instruction")
+
+
+def dmr_site(program):
+    """Uid of an instruction covered only by the DMR fallback."""
+    from repro.resilience.abft import has_checker
+
+    for instr in program.instructions:
+        if instr.op in (Opcode.LOG, Opcode.EXP, Opcode.JR, Opcode.JRINV):
+            assert not has_checker(instr.op)
+            return instr.uid
+    raise AssertionError("no special-function instruction")
+
+
+def same_registers(a, b):
+    assert a.keys() == b.keys()
+    return all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestCleanPath:
+    def test_no_plan_matches_plain_executor_bit_exactly(self, program,
+                                                        golden):
+        registers, stats = execute_with_faults(program, FaultPlan({}))
+        assert same_registers(registers, golden)
+        assert stats.injected == 0
+        assert stats.detected == 0
+        assert stats.recovered == 0
+        assert stats.escalated == 0
+
+
+class TestRetryRecovery:
+    def test_transient_value_fault_recovered_by_retry(self, program,
+                                                      golden):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5)})
+        registers, stats = execute_with_faults(program, plan)
+        assert same_registers(registers, golden)
+        assert stats.injected == 1
+        assert stats.detected == 1
+        assert stats.recovered_retry == 1
+        assert plan.attempts[uid] == 2
+
+    def test_bitflip_in_exponent_recovered(self, program, golden):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "bitflip", bit=62)})
+        registers, stats = execute_with_faults(program, plan)
+        assert same_registers(registers, golden)
+        assert stats.recovered == 1
+
+    def test_dropped_instruction_reissued(self, program, golden):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "drop")})
+        registers, stats = execute_with_faults(program, plan)
+        assert same_registers(registers, golden)
+        assert stats.detected == 1
+        assert stats.recovered_retry == 1
+
+    def test_dmr_fallback_catches_special_function_fault(self, program,
+                                                         golden):
+        uid = dmr_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5)})
+        registers, stats = execute_with_faults(program, plan)
+        assert same_registers(registers, golden)
+        assert stats.dmr_checks > 0
+        assert stats.recovered == 1
+
+
+class TestCheckpointRecovery:
+    def test_persistent_fault_recovered_from_checkpoint(self, program,
+                                                        golden):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5,
+                                          persistent=True)})
+        policy = RecoveryPolicy(checkpoint_every=8)
+        registers, stats = execute_with_faults(program, plan, policy)
+        assert same_registers(registers, golden)
+        assert stats.recovered_checkpoint == 1
+        assert stats.checkpoint_restores == 1
+        assert uid in plan.suppressed
+
+    def test_persistent_fault_without_checkpoint_escalates(self, program):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5,
+                                          persistent=True)})
+        policy = RecoveryPolicy(checkpoint_every=0)
+        with pytest.raises(FaultInjectionError) as err:
+            execute_with_faults(program, plan, policy)
+        assert f"instruction #{uid}" in str(err.value)
+
+    def test_escalate_continue_keeps_corruption_and_counts_it(
+            self, program, golden):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5,
+                                          persistent=True)})
+        policy = RecoveryPolicy(checkpoint_every=0,
+                                escalate=ESCALATE_CONTINUE)
+        registers, stats = execute_with_faults(program, plan, policy)
+        assert stats.escalated == 1
+        assert not same_registers(registers, golden)
+
+
+class TestDetectOnly:
+    def test_detect_only_policy_never_retries(self, program):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5)})
+        registers, stats = execute_with_faults(program, plan, DETECT_ONLY)
+        assert registers  # completed despite the corruption
+        assert stats.detected == 1
+        assert stats.retries == 0
+        assert stats.recovered == 0
+        assert stats.escalated == 1
+
+
+class TestObservability:
+    def test_counters_exported_when_obs_enabled(self, program):
+        uid = checked_site(program)
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5)})
+        with obs.enabled_scope():
+            execute_with_faults(program, plan)
+            snap = obs.collector().drain()
+        assert snap.counters["resilience.faults.injected"] == 1
+        assert snap.counters["resilience.faults.detected"] == 1
+        assert snap.counters["resilience.faults.recovered"] == 1
+        assert snap.counters["resilience.abft.checks"] > 0
+        assert snap.counters["resilience.executions"] == 1
+
+    def test_stats_dict_shape(self, program):
+        _, stats = execute_with_faults(program, FaultPlan({}))
+        d = stats.to_dict()
+        for key in ("injected", "detected", "recovered", "silent",
+                    "retries", "abft_checks", "dmr_checks"):
+            assert key in d

@@ -1,0 +1,137 @@
+"""Fault planning: determinism, filters, and timing application."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.isa import Opcode, UNIT_NONE, UNIT_QR
+from repro.errors import ResilienceError
+from repro.resilience.faults import (
+    DROP_WATCHDOG_CYCLES,
+    FaultEvent,
+    FaultPlan,
+    eligible,
+    plan_faults,
+)
+from repro.resilience.spec import (
+    FAULT_DROP,
+    FAULT_MIXED,
+    FAULT_STALL,
+    CampaignSpec,
+)
+
+
+class TestPlanning:
+    def test_same_seed_same_schedule(self, program):
+        spec = CampaignSpec(rate=0.05, seed=42)
+        a = plan_faults(program, spec)
+        b = plan_faults(program, spec)
+        assert a.events == b.events
+        assert len(a) > 0
+
+    def test_different_seeds_differ(self, program):
+        a = plan_faults(program, CampaignSpec(rate=0.05, seed=1))
+        b = plan_faults(program, CampaignSpec(rate=0.05, seed=2))
+        assert a.events != b.events
+
+    def test_zero_rate_plans_nothing(self, program):
+        assert len(plan_faults(program, CampaignSpec(rate=0.0))) == 0
+
+    def test_full_rate_strikes_every_eligible_site(self, program):
+        spec = CampaignSpec(rate=1.0)
+        plan = plan_faults(program, spec)
+        expected = sum(1 for i in program.instructions if eligible(i, spec))
+        assert len(plan) == expected
+        assert expected > 0
+
+    def test_const_and_unitless_never_eligible(self, program):
+        plan = plan_faults(program, CampaignSpec(rate=1.0))
+        for uid in plan.events:
+            instr = program.instructions[uid]
+            assert instr.op is not Opcode.CONST
+            assert instr.unit != UNIT_NONE
+
+    def test_target_units_filter(self, program):
+        spec = CampaignSpec(rate=1.0, target_units=(UNIT_QR,))
+        plan = plan_faults(program, spec)
+        assert len(plan) > 0
+        for uid in plan.events:
+            assert program.instructions[uid].unit == UNIT_QR
+
+    def test_target_stages_filter(self, program):
+        stages = {i.provenance.stage for i in program.instructions
+                  if i.provenance is not None and i.provenance.stage}
+        prefix = sorted(stages)[0][:4]
+        spec = CampaignSpec(rate=1.0, target_stages=(prefix,))
+        plan = plan_faults(program, spec)
+        assert len(plan) > 0
+        for uid in plan.events:
+            prov = program.instructions[uid].provenance
+            assert prov is not None and prov.stage.startswith(prefix)
+
+    def test_max_faults_cap(self, program):
+        plan = plan_faults(program, CampaignSpec(rate=1.0, max_faults=3))
+        assert len(plan) == 3
+
+    def test_mixed_model_draws_multiple_kinds(self, program):
+        plan = plan_faults(program,
+                           CampaignSpec(rate=1.0, fault_model=FAULT_MIXED))
+        kinds = {e.kind for e in plan.events.values()}
+        assert len(kinds) >= 3
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ResilienceError):
+            CampaignSpec(rate=1.5)
+        with pytest.raises(ResilienceError):
+            CampaignSpec(fault_model="gamma-ray")
+        with pytest.raises(ResilienceError):
+            CampaignSpec(magnitude=0.0)
+        with pytest.raises(ResilienceError):
+            CampaignSpec(persistent_fraction=-0.1)
+
+    def test_spec_round_trips_through_json_dict(self):
+        spec = CampaignSpec(fault_model=FAULT_STALL, rate=0.1, seed=9,
+                            target_units=(UNIT_QR,), magnitude=0.2)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestTimingApplication:
+    def _costs(self, uids):
+        return {u: 10 for u in uids}, {u: 2.0 for u in uids}
+
+    def test_stall_adds_cycles_but_no_energy(self, program):
+        uid = next(i.uid for i in program.instructions
+                   if i.unit != UNIT_NONE)
+        plan = FaultPlan({uid: FaultEvent(uid, FAULT_STALL,
+                                          stall_cycles=16)})
+        latencies, energies = self._costs([uid])
+        counts = plan.apply_timing(program, latencies, energies)
+        assert latencies[uid] == 26
+        assert energies[uid] == 2.0
+        assert counts["stall_cycles"] == 16
+
+    def test_drop_reissues_and_doubles_energy(self, program):
+        uid = next(i.uid for i in program.instructions
+                   if i.unit != UNIT_NONE)
+        plan = FaultPlan({uid: FaultEvent(uid, FAULT_DROP)})
+        latencies, energies = self._costs([uid])
+        counts = plan.apply_timing(program, latencies, energies)
+        assert latencies[uid] == 10 + 10 + DROP_WATCHDOG_CYCLES
+        assert energies[uid] == 4.0
+        assert counts["drop_cycles"] == 10 + DROP_WATCHDOG_CYCLES
+
+    def test_value_retries_charge_latency_and_energy(self, program):
+        uid = next(i.uid for i in program.instructions
+                   if i.unit != UNIT_NONE)
+        plan = FaultPlan({uid: FaultEvent(uid, "value")})
+        plan.attempts[uid] = 3  # what the value domain recorded
+        latencies, energies = self._costs([uid])
+        counts = plan.apply_timing(program, latencies, energies)
+        assert latencies[uid] == 30
+        assert energies[uid] == 6.0
+        assert counts["retry_cycles"] == 20
+
+    def test_suppressed_events_still_resolve_to_none(self):
+        plan = FaultPlan({7: FaultEvent(7, "value")})
+        assert plan.event_for(7) is not None
+        plan.suppressed.add(7)
+        assert plan.event_for(7) is None

@@ -1,0 +1,51 @@
+"""Full-rate fault-injection sweep over every application (slow tier)."""
+
+import json
+
+import pytest
+
+from repro.resilience.campaign import full_config, run_campaign
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_campaign(full_config())
+
+
+class TestFullSweep:
+    def test_covers_every_app_and_rate(self, sweep):
+        table, _ = sweep
+        apps = {r["application"] for r in table.rows}
+        rates = {r["rate"] for r in table.rows}
+        assert len(apps) == 4
+        assert len(rates) == 4
+
+    def test_low_rates_fully_succeed(self, sweep):
+        table, _ = sweep
+        for row in table.rows:
+            if row["rate"] <= 0.01:
+                assert row["success_rate"] >= 0.9, row
+
+    def test_aggregate_recovery_exceeds_ninety_percent(self, sweep):
+        table, _ = sweep
+        injected = sum(r["injected"] for r in table.rows)
+        recovered = sum(r["recovered_rate"] * r["injected"]
+                        for r in table.rows)
+        assert injected > 500
+        assert recovered / injected >= 0.9
+
+    def test_overhead_grows_with_rate(self, sweep):
+        table, _ = sweep
+        for app in {r["application"] for r in table.rows}:
+            rows = sorted((r for r in table.rows
+                           if r["application"] == app),
+                          key=lambda r: r["rate"])
+            assert rows[-1]["cycle_overhead"] >= rows[0]["cycle_overhead"]
+
+    def test_sweep_is_deterministic(self, sweep):
+        _, document = sweep
+        _, again = run_campaign(full_config())
+        assert json.dumps(document, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)

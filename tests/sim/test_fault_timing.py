@@ -1,0 +1,124 @@
+"""Fault-plan timing effects and simulator error paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.compiler import compile_graph
+from repro.compiler.isa import UNIT_QR
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.hw import AcceleratorConfig
+from repro.resilience import CampaignSpec, FaultPlan, plan_faults
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def program():
+    rng = np.random.default_rng(0)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(3):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values).program
+
+
+def result_fields(result):
+    return (result.total_cycles, result.energy.total_mj,
+            result.issued_count)
+
+
+class TestFaultPlanTiming:
+    def test_none_and_empty_plan_are_bit_identical(self, program):
+        clean = Simulator().run(program, "ooo")
+        empty = Simulator().run(program, "ooo",
+                                fault_plan=FaultPlan({}))
+        assert result_fields(clean) == result_fields(empty)
+        assert empty.fault_counts == {}
+
+    def test_stall_faults_add_cycles_not_energy(self, program):
+        clean = Simulator().run(program, "ooo")
+        spec = CampaignSpec(fault_model="stall", rate=0.2, seed=7,
+                            stall_cycles=40)
+        plan = plan_faults(program, spec)
+        assert len(plan) > 0
+        faulty = Simulator().run(program, "ooo", fault_plan=plan)
+        assert faulty.total_cycles > clean.total_cycles
+        assert faulty.energy.dynamic_mj == clean.energy.dynamic_mj
+        assert faulty.fault_counts["stall_cycles"] == \
+            40.0 * len(plan.timing_events())
+
+    def test_drop_faults_add_cycles_and_energy(self, program):
+        clean = Simulator().run(program, "ooo")
+        spec = CampaignSpec(fault_model="drop", rate=0.2, seed=7)
+        plan = plan_faults(program, spec)
+        assert len(plan) > 0
+        faulty = Simulator().run(program, "ooo", fault_plan=plan)
+        assert faulty.total_cycles > clean.total_cycles
+        assert faulty.energy.dynamic_mj > clean.energy.dynamic_mj
+        assert faulty.fault_counts["drop_cycles"] > 0
+
+    def test_recorded_retries_charge_cycles_and_energy(self, program):
+        clean = Simulator().run(program, "ooo")
+        spec = CampaignSpec(fault_model="value", rate=0.1, seed=3)
+        plan = plan_faults(program, spec)
+        assert len(plan) > 0
+        for uid in plan.events:
+            plan.attempts[uid] = 2  # as the value domain would record
+        faulty = Simulator().run(program, "ooo", fault_plan=plan)
+        assert faulty.total_cycles > clean.total_cycles
+        assert faulty.energy.dynamic_mj > clean.energy.dynamic_mj
+        assert faulty.fault_counts["retry_cycles"] > 0
+
+    def test_plan_is_deterministic_across_runs(self, program):
+        spec = CampaignSpec(fault_model="mixed", rate=0.1, seed=11)
+        plan = plan_faults(program, spec)
+        a = Simulator().run(program, "ooo", fault_plan=plan)
+        b = Simulator().run(program, "ooo",
+                            fault_plan=plan_faults(program, spec))
+        assert result_fields(a) == result_fields(b)
+        assert a.fault_counts == b.fault_counts
+
+
+class TestErrorPaths:
+    def test_missing_unit_instances_names_instruction(self, program):
+        config = AcceleratorConfig()
+        counts = {u: c for u, c in config.unit_counts.items()
+                  if u != UNIT_QR}
+        starved = AcceleratorConfig(unit_counts=counts,
+                                    templates=config.templates)
+        with pytest.raises(SimulationError,
+                           match=r"no unit instances of class 'qr'"):
+            Simulator(starved).run(program, "ooo")
+        with pytest.raises(SimulationError, match=r"instruction #\d+"):
+            Simulator(starved).run(program, "ooo")
+
+    def test_missing_latency_template_names_instruction(self, program):
+        config = AcceleratorConfig()
+        counts = {u: c for u, c in config.unit_counts.items()
+                  if u != UNIT_QR}
+        templates = {u: t for u, t in config.templates.items()
+                     if u != UNIT_QR}
+        bare = AcceleratorConfig(unit_counts=counts, templates=templates)
+        with pytest.raises(
+                SimulationError,
+                match=r"no latency template for unit class 'qr'.*"
+                      r"instruction #\d+"):
+            Simulator(bare).run(program, "ooo")
+
+    def test_missing_energy_template_names_instruction(self, program):
+        config = AcceleratorConfig()
+        counts = {u: c for u, c in config.unit_counts.items()
+                  if u != UNIT_QR}
+        templates = {u: t for u, t in config.templates.items()
+                     if u != UNIT_QR}
+        bare = AcceleratorConfig(unit_counts=counts, templates=templates)
+        with pytest.raises(
+                SimulationError,
+                match=r"no energy template for unit class 'qr'.*"
+                      r"instruction #\d+"):
+            Simulator(bare)._energies(program)
