@@ -38,11 +38,47 @@ FULL_POLICIES = ("ooo", "inorder", "sequential")
 def _workload_entry(result) -> Dict[str, Any]:
     entry = result.to_dict()
     # The per-factor table is seed-specific detail; the regression gate
-    # and profile surfaces consume the aggregate views.
+    # and profile surfaces consume the aggregate views.  Same for the
+    # step-by-step gating chain: the bench keeps the wait-by-cause and
+    # contention aggregates, the chain listing lives in metrics/traces.
     attribution = entry.get("attribution")
     if attribution:
         attribution.pop("by_factor", None)
         attribution.pop("by_variable", None)
+    accounting = entry.get("cycle_accounting")
+    if accounting:
+        accounting.pop("critical_chain", None)
+    return entry
+
+
+def _bottleneck_entry(result, config) -> Optional[Dict[str, Any]]:
+    """The non-gated what-if summary for one workload.
+
+    Analytic only — the bench never resimulates candidates (that is
+    ``python -m repro.obs advise``), it just records where the waits
+    are and what the top config delta is predicted to buy.
+    """
+    from repro.sim.bottleneck import enumerate_candidates
+
+    acc = result.cycle_accounting
+    if acc is None:
+        return None
+    cp = result.critical_path
+    candidates = enumerate_candidates(
+        acc.to_dict(), dict(config.unit_counts), result.policy, None,
+        result.total_cycles, spilled_words=result.spilled_words,
+        peak_live_words=result.peak_live_words,
+        unit_busy_cycles=result.unit_busy_cycles,
+        critical_path_cycles=(cp.length_cycles if cp is not None else 0.0))
+    entry: Dict[str, Any] = {
+        "wait_total_cycles": round(acc.wait_total_cycles, 3),
+        "chain_wait_by_cause": {k: round(v, 3) for k, v in
+                                sorted(acc.chain_wait_by_cause.items())},
+        "roofline_bound": acc.roofline.bound,
+        "busiest_unit": acc.roofline.busiest_unit,
+    }
+    if candidates:
+        entry["top_candidate"] = candidates[0].to_dict()
     return entry
 
 
@@ -63,6 +99,7 @@ def run_bench(quick: bool = True, seed: int = 0,
     policies = QUICK_POLICIES if quick else FULL_POLICIES
     sim = Simulator(ORIANNA_CONFIG)
     workloads: Dict[str, Any] = {}
+    bottleneck_section: Dict[str, Any] = {}
     compile_apps: Dict[str, Any] = {}
     total_compile_s = 0.0
     with trace.span("bench", category="bench",
@@ -86,7 +123,11 @@ def run_bench(quick: bool = True, seed: int = 0,
             total_compile_s += sum(times)
             for policy in policies:
                 result = sim.run(program, policy)
-                workloads[f"{app.name}/{policy}"] = _workload_entry(result)
+                key = f"{app.name}/{policy}"
+                workloads[key] = _workload_entry(result)
+                hint = _bottleneck_entry(result, ORIANNA_CONFIG)
+                if hint:
+                    bottleneck_section[key] = hint
 
     compile_section = {
         "cache_enabled": cache_enabled(),
@@ -99,12 +140,14 @@ def run_bench(quick: bool = True, seed: int = 0,
         speed, energy = experiment_fig13_fig14(seed=seed)
         tables = [speed.to_dict(), energy.to_dict()]
     return bench_document(workloads, quick=quick, seed=seed, tables=tables,
-                          compile_section=compile_section)
+                          compile_section=compile_section,
+                          bottleneck_section=bottleneck_section)
 
 
 def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
                    tables: Optional[List[Dict[str, Any]]] = None,
-                   compile_section: Optional[Dict[str, Any]] = None
+                   compile_section: Optional[Dict[str, Any]] = None,
+                   bottleneck_section: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     document: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
@@ -114,6 +157,10 @@ def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
     }
     if compile_section:
         document["compile"] = compile_section
+    if bottleneck_section:
+        # Advisory only: like "compile", this section is ignored by the
+        # repro.obs diff regression gate.
+        document["bottleneck"] = bottleneck_section
     if tables:
         document["tables"] = tables
     return document

@@ -63,6 +63,12 @@ class AcceleratorConfig:
         counts[unit_class] += 1
         return replace(self, unit_counts=counts)
 
+    def with_buffer_kib(self, buffer_kib: int) -> "AcceleratorConfig":
+        """A new config with a different on-chip buffer capacity."""
+        if buffer_kib < 1:
+            raise HardwareError("buffer_kib must be >= 1")
+        return replace(self, buffer_kib=buffer_kib)
+
     def resources(self) -> Resources:
         """Total FPGA resources, including fixed infrastructure and buffer."""
         total = INFRASTRUCTURE

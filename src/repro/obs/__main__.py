@@ -10,6 +10,14 @@
   ``python -m repro.bench``; exits 1 when any workload's cycles or
   energy regressed beyond ``--threshold`` (the CI gate), 2 when a
   document is missing or unreadable.
+- ``bottleneck file.json`` — top-down cycle accounting: the
+  makespan-identity line (chain compute + attributed wait), wait-cause
+  breakdowns, the gating chain, unit contention, and the roofline, over
+  either a metrics or a BENCH document.
+- ``advise`` — run the what-if advisor over the application suite:
+  enumerate config deltas (+1 unit instance, +1 issue width, policy,
+  buffer), predict their payoff from the wait attribution, validate the
+  top-k by resimulation, and report predicted-vs-measured speedup.
 """
 
 from __future__ import annotations
@@ -58,6 +66,39 @@ def main(argv=None) -> int:
                            "compile-cache parity gate); any difference "
                            "in either direction fails")
 
+    bottleneck = sub.add_parser(
+        "bottleneck",
+        help="print the top-down cycle accounting of a metrics or "
+             "BENCH JSON file",
+    )
+    bottleneck.add_argument("document",
+                            help="a --metrics output or BENCH document")
+    bottleneck.add_argument("--top", type=int, default=10,
+                            help="rows per ranking section (default 10)")
+
+    advise_p = sub.add_parser(
+        "advise",
+        help="run the what-if advisor over the application suite "
+             "(predict + validate config deltas)",
+    )
+    advise_p.add_argument("--app", default=None,
+                          help="restrict to one application by name "
+                               "(default: all four)")
+    advise_p.add_argument("--policy", default="ooo",
+                          choices=("ooo", "inorder", "sequential"),
+                          help="issue policy to advise on (default ooo)")
+    advise_p.add_argument("--issue-width", type=int, default=None,
+                          help="dispatch width (default unbounded)")
+    advise_p.add_argument("--minimal", action="store_true",
+                          help="advise on the minimal one-unit-per-class "
+                               "config instead of the representative "
+                               "ORIANNA accelerator")
+    advise_p.add_argument("--top-k", type=int, default=3,
+                          help="candidates to validate by resimulation "
+                               "(default 3)")
+    advise_p.add_argument("--seed", type=int, default=0,
+                          help="workload seed (default 0)")
+
     args = parser.parse_args(argv)
 
     if args.command in ("report", "profile"):
@@ -87,6 +128,45 @@ def main(argv=None) -> int:
             return 2
         print(render_diff(result))
         return 1 if result["regressions"] else 0
+
+    if args.command == "bottleneck":
+        import json
+
+        from repro.obs.bottleneck import render_bottleneck
+
+        try:
+            with open(args.document) as fh:
+                document = json.load(fh)
+            rendered = render_bottleneck(document, top=args.top)
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs bottleneck: {exc}", file=sys.stderr)
+            return 2
+        print(rendered)
+        return 0
+
+    if args.command == "advise":
+        from repro.apps import all_applications
+        from repro.eval.experiments import ORIANNA_CONFIG
+        from repro.hw.accelerator import minimal_config
+        from repro.obs.bottleneck import render_advice
+        from repro.sim.bottleneck import advise
+
+        config = minimal_config() if args.minimal else ORIANNA_CONFIG
+        apps = [a for a in all_applications()
+                if args.app is None or a.name == args.app]
+        if not apps:
+            known = ", ".join(a.name for a in all_applications())
+            print(f"repro.obs advise: unknown app {args.app!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return 2
+        advices = []
+        for app in apps:
+            program = app.compile_frame(args.seed)
+            advices.append(advise(program, config, args.policy,
+                                  issue_width=args.issue_width,
+                                  top_k=args.top_k, label=app.name))
+        print(render_advice(advices))
+        return 0
     return 0
 
 

@@ -17,8 +17,10 @@ from repro.obs.core import Snapshot
 SCHEMA = "repro.obs.metrics/1"
 
 # Heavy per-instruction payloads excluded from the flat metrics file
-# (they live in the Chrome trace instead).
-_SIM_EXCLUDE = ("schedule", "instructions")
+# (they live in the Chrome trace instead).  The aggregate
+# "cycle_accounting" tables stay in — they are what
+# ``python -m repro.obs bottleneck`` renders.
+_SIM_EXCLUDE = ("schedule", "instructions", "waits")
 
 
 def simulation_summary(record: Dict[str, Any]) -> Dict[str, Any]:

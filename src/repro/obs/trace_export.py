@@ -5,7 +5,9 @@ Renders a drained :class:`~repro.obs.core.Snapshot` as a Chrome trace:
 - every simulation record becomes one *process*, with **one thread track
   per accelerator unit instance** (``qr[0]``, ``qr[1]``, ...) carrying
   that instance's scheduled instructions as complete (``"ph": "X"``)
-  events, timed in microseconds of simulated accelerator time;
+  events, timed in microseconds of simulated accelerator time, plus a
+  ``waits`` track of async slices (``"ph": "b"``/``"e"``) spanning each
+  instruction's dispatch-ready-to-issue gap with ``cause.*`` args;
 - host-side spans (optimizer iterations, compiler passes, experiment
   wrappers) become tracks of a ``host`` process, timed in wall-clock
   microseconds since the collector epoch.
@@ -100,7 +102,7 @@ def sim_trace_events(record: Dict[str, Any], pid: int) -> List[dict]:
         for start, finish, uid in by_unit[unit]:
             info = instrs[uid]
             args: Dict[str, Any] = {
-                "uid": uid,
+                "uid": int(uid),
                 "phase": info.get("phase", ""),
                 "algorithm": info.get("algorithm", ""),
                 "cycles": finish - start,
@@ -121,6 +123,50 @@ def sim_trace_events(record: Dict[str, Any], pid: int) -> List[dict]:
                 "args": args,
             })
         tid = base_tid + used
+    events.extend(_wait_events(record, pid, tid, us_per_cycle))
+    return events
+
+
+def _wait_events(record: Dict[str, Any], pid: int, tid: int,
+                 us_per_cycle: float) -> List[dict]:
+    """Dispatch-wait intervals as one async track (``cat: sim.wait``).
+
+    Wait intervals overlap freely (many instructions wait at once), so
+    they are async begin/end pairs (``"ph": "b"``/``"e"``, paired by
+    ``id``) rather than complete events on per-instance threads.  Each
+    slice is named after its dominant wait cause and carries the full
+    per-cause breakdown as ``cause.*`` args plus the gating producer.
+    """
+    waits: Dict[str, Dict[str, Any]] = record.get("waits") or {}
+    events: List[dict] = []
+    for uid, info in waits.items():
+        wait = float(info.get("wait", 0.0))
+        if wait <= 0.0:
+            continue
+        causes: Dict[str, float] = info.get("causes") or {}
+        name = max(causes.items(), key=lambda kv: kv[1])[0] \
+            if causes else "wait"
+        args: Dict[str, Any] = {
+            "uid": int(uid),
+            "wait_cycles": wait,
+        }
+        if info.get("gated_by") is not None:
+            args["gated_by"] = info["gated_by"]
+        for cause, cycles in sorted(causes.items()):
+            args[f"cause.{cause}"] = cycles
+        common = {"name": name, "cat": "sim.wait", "pid": pid,
+                  "tid": tid, "id": int(uid)}
+        begin = dict(common)
+        begin.update({"ph": "b",
+                      "ts": float(info.get("ready", 0.0)) * us_per_cycle,
+                      "args": args})
+        end = dict(common)
+        end.update({"ph": "e",
+                    "ts": float(info.get("issue", 0.0)) * us_per_cycle})
+        events.append(begin)
+        events.append(end)
+    if events:
+        events.insert(0, _meta(pid, tid, "thread_name", "waits"))
     return events
 
 

@@ -6,6 +6,15 @@ from repro.sim.attribution import (
     compute_attribution,
     compute_critical_path,
 )
+from repro.sim.bottleneck import (
+    Advice,
+    Candidate,
+    CycleAccounting,
+    WaitTracker,
+    advise,
+    compute_cycle_accounting,
+    enumerate_candidates,
+)
 from repro.sim.engine import POLICIES, Simulator
 from repro.sim.stats import EnergyBreakdown, SimulationResult
 from repro.sim.pipeline import (
@@ -19,4 +28,6 @@ __all__ = ["Simulator", "POLICIES", "SimulationResult",
            "EnergyBreakdown", "render_timeline", "busy_summary",
            "replicate_frames", "steady_state_throughput", "ThroughputResult",
            "Attribution", "CriticalPathAnalysis",
-           "compute_attribution", "compute_critical_path"]
+           "compute_attribution", "compute_critical_path",
+           "CycleAccounting", "WaitTracker", "compute_cycle_accounting",
+           "Advice", "Candidate", "advise", "enumerate_candidates"]

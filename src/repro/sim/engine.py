@@ -27,12 +27,18 @@ from repro.hw.accelerator import AcceleratorConfig
 from repro.hw.units import BASE_STATIC_POWER_MW, STATIC_POWER_MW
 from repro.obs import core as obs
 from repro.sim.attribution import compute_attribution, compute_critical_path
+from repro.sim.bottleneck import (
+    BYTES_PER_WORD,
+    CAUSE_SEQUENTIAL,
+    CAUSE_WIDTH,
+    DRAM_ENERGY_PER_WORD_NJ,
+    WaitTracker,
+    compute_cycle_accounting,
+    structural_cause,
+)
 from repro.sim.stats import EnergyBreakdown, SimulationResult
 
 POLICIES = ("ooo", "inorder", "sequential")
-
-DRAM_ENERGY_PER_WORD_NJ = 0.64
-BYTES_PER_WORD = 4
 
 
 class Simulator:
@@ -103,12 +109,18 @@ class Simulator:
                 finish[instr.uid] = 0.0
                 start[instr.uid] = 0.0
 
+        # Dispatch-ready vs issue bookkeeping for the top-down cycle
+        # accounting (repro.sim.bottleneck).  Pure observation: it never
+        # feeds back into scheduling decisions.
+        tracker = WaitTracker(policy)
+
         for instr in instructions:
             if instr.op is Opcode.CONST:
                 continue
             preds = {d for d in deps[instr.uid] if d not in finish}
             pending_preds[instr.uid] = preds
             if not preds:
+                tracker.mark_ready(instr.uid, 0.0)
                 heapq.heappush(ready, instr.uid)
 
         dependents: Dict[int, List[int]] = {}
@@ -142,11 +154,15 @@ class Simulator:
                     if self._issue_one(uid, instructions, latencies,
                                        unit_free, now, start, finish,
                                        completion_events, busy_cycles):
+                        tracker.close(uid, now)
                         issued.add(uid)
                         inflight += 1
                         progress = True
                         slots -= 1
                     else:
+                        tracker.close(uid, now)
+                        tracker.block(
+                            uid, structural_cause(instructions[uid].unit))
                         deferred.append(uid)
                 # Counted per round, not per attempt, to keep the issue
                 # loop free of bookkeeping overhead.
@@ -154,9 +170,20 @@ class Simulator:
                     stalls["structural"] += len(deferred)
                 if ready and slots == 0:
                     stalls["width"] += 1
+                    # Instructions never examined this round: the
+                    # dispatch port ran dry before reaching them.
+                    for uid in ready:
+                        tracker.close(uid, now)
+                        tracker.block(uid, CAUSE_WIDTH)
                 for uid in deferred:
                     heapq.heappush(ready, uid)
+                depth: Dict[str, int] = {}
+                for uid in ready:
+                    unit = instructions[uid].unit
+                    depth[unit] = depth.get(unit, 0) + 1
+                tracker.sample_depths(now, depth)
             else:
+                head_blocked_unit = ""
                 while next_inorder < len(order) and slots > 0:
                     uid = order[next_inorder]
                     if pending_preds.get(uid):
@@ -164,12 +191,19 @@ class Simulator:
                         break  # head-of-line RAW stall
                     if policy == "sequential" and inflight > 0:
                         stalls["overlap"] += 1
+                        tracker.close(uid, now)
+                        tracker.block(uid, CAUSE_SEQUENTIAL)
                         break  # a naive controller never overlaps
                     if not self._issue_one(uid, instructions, latencies,
                                            unit_free, now, start, finish,
                                            completion_events, busy_cycles):
                         stalls["structural"] += 1
+                        tracker.close(uid, now)
+                        tracker.block(
+                            uid, structural_cause(instructions[uid].unit))
+                        head_blocked_unit = instructions[uid].unit
                         break  # structural hazard
+                    tracker.close(uid, now)
                     issued.add(uid)
                     inflight += 1
                     next_inorder += 1
@@ -177,6 +211,12 @@ class Simulator:
                     slots -= 1
                 if next_inorder < len(order) and slots == 0:
                     stalls["width"] += 1
+                    head = order[next_inorder]
+                    if not pending_preds.get(head):
+                        tracker.close(head, now)
+                        tracker.block(head, CAUSE_WIDTH)
+                tracker.sample_depths(
+                    now, {head_blocked_unit: 1} if head_blocked_unit else {})
             return progress
 
         try_issue()
@@ -196,9 +236,12 @@ class Simulator:
                     preds = pending_preds.get(dep)
                     if preds is not None:
                         preds.discard(f_uid)
-                        if not preds and policy == "ooo" and \
-                                dep not in issued:
-                            heapq.heappush(ready, dep)
+                        if not preds and dep not in issued:
+                            # f_uid is the last-arriving producer: the
+                            # data dependency that gated dep's dispatch.
+                            tracker.mark_ready(dep, now, f_uid)
+                            if policy == "ooo":
+                                heapq.heappush(ready, dep)
             try_issue()
 
         total_cycles = int(round(max(finish.values(), default=0.0)))
@@ -213,6 +256,8 @@ class Simulator:
                                                  energies)
         result.critical_path = compute_critical_path(program, latencies,
                                                      start, finish)
+        result.cycle_accounting = compute_cycle_accounting(
+            program, tracker, latencies, start, finish, result)
         if record_schedule or obs.is_enabled():
             result.schedule = {uid: (start[uid], finish[uid])
                                for uid in start}
@@ -265,10 +310,12 @@ class Simulator:
             }
             if instr.provenance is not None:
                 entry["provenance"] = instr.provenance.to_dict()
-            instructions[instr.uid] = entry
+            instructions[str(instr.uid)] = entry
         record = result.to_dict(include_schedule=True)
         record["label"] = program.algorithm or "program"
         record["instructions"] = instructions
+        if result.cycle_accounting is not None:
+            record["waits"] = result.cycle_accounting.waits_to_dict()
         return record
 
     def _check_schedule_invariants(self, program: Program,
@@ -281,8 +328,13 @@ class Simulator:
         per-unit busy cycles must equal the scheduled instruction
         latencies, never exceed ``instances * makespan`` (utilization
         <= 1), and the schedule must be packable onto the configured
-        instance count.  Armed by ``repro.obs.enable(debug=True)``.
+        instance count.  Also enforces the top-down cycle-accounting
+        identity (``total_cycles == gating-chain compute + attributed
+        wait``) and that each instruction's cause-labelled wait segments
+        tile its ready-to-issue gap exactly.  Armed by
+        ``repro.obs.enable(debug=True)``.
         """
+        self._check_accounting_invariants(result)
         scheduled_busy: Dict[str, float] = {}
         by_unit: Dict[str, List[Tuple[float, float]]] = {}
         for instr in program.instructions:
@@ -326,6 +378,34 @@ class Simulator:
                         f"schedule"
                     )
                 heapq.heapreplace(free_at, max(f, s))
+
+    @staticmethod
+    def _check_accounting_invariants(result: SimulationResult) -> None:
+        """The cycle-accounting identity, enforced.
+
+        The gating chain's ``latency + wait`` terms telescope to the
+        makespan, so any residue beyond integer rounding means a wait
+        interval was attributed twice or dropped.
+        """
+        acc = result.cycle_accounting
+        if acc is None:
+            return
+        if not acc.identity_holds():
+            raise SimulationError(
+                f"cycle-accounting identity violated: total_cycles="
+                f"{acc.total_cycles} but chain compute "
+                f"{acc.chain_compute_cycles:.3f} + attributed wait "
+                f"{acc.chain_wait_cycles:.3f} leaves a residue of "
+                f"{acc.identity_error:.6f} cycles"
+            )
+        for uid, info in acc.instruction_waits.items():
+            tiled = sum(info["causes"].values())
+            if abs(tiled - info["wait"]) > 1e-2:
+                raise SimulationError(
+                    f"wait segments for instruction #{uid} do not tile "
+                    f"its ready-to-issue gap: segments sum to {tiled} "
+                    f"but issue - ready = {info['wait']}"
+                )
 
     def _latencies(self, program: Program) -> Dict[int, int]:
         latencies: Dict[int, int] = {}

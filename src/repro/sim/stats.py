@@ -7,6 +7,7 @@ from typing import Any, Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.attribution import Attribution, CriticalPathAnalysis
+    from repro.sim.bottleneck import CycleAccounting
 
 
 @dataclass
@@ -53,6 +54,10 @@ class SimulationResult:
     # analysis, always computed by Simulator.run.
     attribution: Optional["Attribution"] = None
     critical_path: Optional["CriticalPathAnalysis"] = None
+    # Top-down wait attribution: the schedule-gating chain, wait-by-cause
+    # tables, unit contention timelines, and roofline summary
+    # (repro.sim.bottleneck), always computed by Simulator.run.
+    cycle_accounting: Optional["CycleAccounting"] = None
 
     @property
     def time_ms(self) -> float:
@@ -120,8 +125,13 @@ class SimulationResult:
             out["attribution"] = self.attribution.to_dict()
         if self.critical_path is not None:
             out["critical_path"] = self.critical_path.to_dict()
+        if self.cycle_accounting is not None:
+            out["cycle_accounting"] = self.cycle_accounting.to_dict()
         if include_schedule and self.schedule:
-            out["schedule"] = dict(self.schedule)
+            # String keys so the exported document round-trips through
+            # json.loads without int -> str key drift.
+            out["schedule"] = {str(uid): span
+                               for uid, span in self.schedule.items()}
         return out
 
     def phase_share(self, phase: str) -> float:
@@ -148,4 +158,14 @@ class SimulationResult:
             stalls = ", ".join(f"{k}={v}"
                                for k, v in sorted(self.stall_counts.items()))
             lines.append(f"  stalls: {stalls}")
+        if self.fault_counts:
+            faults = ", ".join(f"{k}={v:g}"
+                               for k, v in sorted(self.fault_counts.items()))
+            lines.append(f"  faults: {faults}")
+        if self.cycle_accounting is not None and \
+                self.cycle_accounting.wait_by_cause:
+            waits = ", ".join(
+                f"{k}={v:.0f}" for k, v in
+                sorted(self.cycle_accounting.wait_by_cause.items()))
+            lines.append(f"  wait cycles: {waits}")
         return "\n".join(lines)

@@ -66,6 +66,36 @@ class TestRunBench:
         for key in document["workloads"]:
             assert key in text
 
+    def test_workloads_carry_cycle_accounting_without_chain(self,
+                                                            document):
+        # The accounting summary ships in BENCH, but the per-step chain
+        # (like the schedule) is trace-only payload.
+        for entry in document["workloads"].values():
+            acc = entry["cycle_accounting"]
+            assert acc["total_cycles"] == entry["total_cycles"]
+            assert abs(acc["identity_error"]) <= 0.5
+            assert "critical_chain" not in acc
+
+    def test_bottleneck_section_is_advisory_per_workload(self, document):
+        # Present for every workload, analytic-only, and shaped for the
+        # CLI hint — and, like 'compile', invisible to the diff gate.
+        section = document["bottleneck"]
+        assert set(section) == set(document["workloads"])
+        for key, entry in section.items():
+            assert entry["wait_total_cycles"] >= 0.0
+            assert entry["roofline_bound"] in ("compute", "memory")
+            top = entry["top_candidate"]
+            if top is not None:
+                assert top["predicted_speedup"] >= 1.0
+                assert not top.get("validated")   # analytic, no resim
+                assert "measured_cycles" not in top
+
+    def test_bottleneck_section_ignored_by_the_diff_gate(self, document):
+        mutated = copy.deepcopy(document)
+        mutated["bottleneck"] = {}
+        report = diff_documents(document, mutated, exact=True)
+        assert report["regressions"] == []
+
 
 def regress(document, factor=1.2, metric="total_cycles"):
     worse = copy.deepcopy(document)

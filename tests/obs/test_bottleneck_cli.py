@@ -1,0 +1,177 @@
+"""Tests for the bottleneck renderer and the bottleneck/advise CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main as obs_main
+from repro.obs.bottleneck import (
+    BENCH_SCHEMA,
+    _collect_simulations,
+    render_advice,
+    render_bottleneck,
+    render_simulation_bottleneck,
+)
+from repro.obs.metrics import experiment_entry, metrics_document, \
+    write_metrics
+from repro.compiler import compile_graph
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.sim import Simulator
+from repro.sim.bottleneck import advise
+
+
+def pose_chain(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+@pytest.fixture(scope="module")
+def document():
+    compiled = pose_chain()
+    with obs.enabled_scope():
+        Simulator().run(compiled.optimized().program, "ooo")
+        snapshot = obs.collector().drain()
+    return metrics_document([experiment_entry("TEST", 0.1, snapshot)])
+
+
+def bench_like_document(sim_dict):
+    """A minimal BENCH-schema document with one workload and a hint."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "workloads": {"MobileRobot/ooo": sim_dict},
+        "bottleneck": {
+            "MobileRobot/ooo": {
+                "top_candidate": {
+                    "label": "+1 matmul (1 -> 2)",
+                    "predicted_speedup": 1.4,
+                    "predicted_saved_cycles": 1234.0,
+                },
+            },
+        },
+    }
+
+
+class TestCollectSimulations:
+    def test_metrics_schema_labels_experiment_and_policy(self, document):
+        sims = _collect_simulations(document)
+        assert len(sims) == 1
+        label, sim = sims[0]
+        assert label.startswith("TEST:")
+        assert label.endswith("/ooo")
+        assert "cycle_accounting" in sim
+
+    def test_bench_schema_uses_workload_keys(self, document):
+        sim = document["experiments"][0]["simulations"][0]
+        sims = _collect_simulations(bench_like_document(sim))
+        assert [label for label, _ in sims] == ["MobileRobot/ooo"]
+
+    def test_unknown_schema_is_an_error(self):
+        with pytest.raises(ValueError, match="unsupported schema"):
+            _collect_simulations({"schema": "something/else"})
+
+
+class TestRenderBottleneck:
+    def test_renders_identity_and_sections(self, document):
+        text = render_bottleneck(document)
+        assert "top-down cycle accounting" in text
+        assert "makespan" in text
+        assert "chain compute" in text
+        assert "attributed wait" in text
+        assert "gating chain" in text
+        assert "roofline" in text
+        assert "structural." in text
+
+    def test_renders_bench_schema_with_whatif_hint(self, document):
+        sim = document["experiments"][0]["simulations"][0]
+        text = render_bottleneck(bench_like_document(sim))
+        assert "MobileRobot/ooo" in text
+        assert "what-if: +1 matmul (1 -> 2) -> predicted 1.40x" in text
+
+    def test_identity_line_balances_to_the_makespan(self, document):
+        sim = document["experiments"][0]["simulations"][0]
+        acc = sim["cycle_accounting"]
+        text = render_bottleneck(document)
+        assert f"makespan {acc['total_cycles']:,} cycles" in text
+
+    def test_document_without_accounting_degrades_gracefully(self):
+        doc = {"schema": BENCH_SCHEMA,
+               "workloads": {"w": {"total_cycles": 10}}}
+        text = render_bottleneck(doc)
+        assert "no cycle accounting recorded" in text
+
+    def test_chain_listing_respects_top(self, document):
+        sim = document["experiments"][0]["simulations"][0]
+        block = render_simulation_bottleneck("x", sim, top=2)
+        chain_rows = [ln for ln in block if ln.startswith("    #")]
+        assert len(chain_rows) == 2
+
+
+class TestCli:
+    def test_bottleneck_over_metrics_file(self, document, tmp_path,
+                                          capsys):
+        path = tmp_path / "metrics.json"
+        write_metrics(path, document["experiments"])
+        assert obs_main(["bottleneck", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-down cycle accounting" in out
+
+    def test_bottleneck_missing_file_exits_2(self, tmp_path, capsys):
+        assert obs_main(["bottleneck", str(tmp_path / "nope.json")]) == 2
+        assert "repro.obs bottleneck" in capsys.readouterr().err
+
+    def test_bottleneck_bad_schema_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        assert obs_main(["bottleneck", str(path)]) == 2
+        assert "unsupported schema" in capsys.readouterr().err
+
+    def test_advise_single_app_minimal(self, capsys):
+        code = obs_main(["advise", "--app", "MobileRobot", "--minimal",
+                         "--top-k", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "what-if advisor" in out
+        assert "MobileRobot [ooo]" in out
+        assert "predicted" in out and "measured" in out
+        assert "=> best validated" in out
+
+    def test_advise_unknown_app_exits_2(self, capsys):
+        assert obs_main(["advise", "--app", "Starship"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown app" in err
+        assert "MobileRobot" in err   # lists the known names
+
+
+class TestRenderAdvice:
+    @pytest.fixture(scope="class")
+    def advice(self):
+        compiled = pose_chain()
+        return advise(compiled.optimized().program, policy="ooo",
+                      top_k=1, label="pose-chain")
+
+    def test_renders_candidates_and_best(self, advice):
+        text = render_advice([advice])
+        assert "what-if advisor" in text
+        assert "pose-chain [ooo]" in text
+        assert f"baseline {advice.baseline_cycles:,} cycles" in text
+        assert "predicted" in text
+        if advice.top_validated() is not None:
+            assert "=> best validated" in text
+
+    def test_unvalidated_candidates_are_marked(self, advice):
+        text = render_advice([advice])
+        for cand in advice.candidates:
+            if not cand.validated:
+                assert "(not validated)" in text
+                break

@@ -76,10 +76,12 @@ class TestChromeTrace:
         events = sim_trace_events(record, pid=100)
         names = [e["args"]["name"] for e in events
                  if e["ph"] == "M" and e["name"] == "thread_name"]
-        # Track labels are unit[k] with k below the configured count.
+        # Track labels are unit[k] with k below the configured count,
+        # plus the single async "waits" track.
         counts = record["unit_instance_counts"]
-        assert names
-        for label in names:
+        unit_names = [n for n in names if n != "waits"]
+        assert unit_names
+        for label in unit_names:
             unit, idx = label[:-1].split("[")
             assert int(idx) < counts[unit]
         assert len(names) == len(set(names))
@@ -121,6 +123,34 @@ class TestChromeTrace:
         stages = {e["args"]["prov.stage"] for e in tagged}
         assert "eliminate" in stages
         assert any("prov.factors" in e["args"] for e in tagged)
+
+    def test_wait_track_pairs_async_events_with_cause_args(self, snapshot):
+        record = snapshot.sims[0]
+        events = sim_trace_events(record, pid=100)
+        begins = [e for e in events
+                  if e.get("cat") == "sim.wait" and e["ph"] == "b"]
+        ends = [e for e in events
+                if e.get("cat") == "sim.wait" and e["ph"] == "e"]
+        assert begins, "expected wait slices on a contended schedule"
+        assert {e["id"] for e in begins} == {e["id"] for e in ends}
+        waits = record["waits"]
+        for event in begins:
+            assert event["args"]["uid"] == event["id"]
+            info = waits[str(event["id"])]
+            assert event["args"]["wait_cycles"] == pytest.approx(
+                info["wait"])
+            cause_total = sum(v for k, v in event["args"].items()
+                              if k.startswith("cause."))
+            assert cause_total == pytest.approx(info["wait"], abs=1e-2)
+
+    def test_wait_slices_only_for_positive_waits(self, snapshot):
+        record = snapshot.sims[0]
+        events = sim_trace_events(record, pid=100)
+        begins = {e["id"] for e in events
+                  if e.get("cat") == "sim.wait" and e["ph"] == "b"}
+        for uid, info in record["waits"].items():
+            expected = info["wait"] > 0
+            assert (int(uid) in begins) == expected
 
 
 class TestSchedulelessRecords:

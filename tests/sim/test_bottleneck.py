@@ -1,0 +1,389 @@
+"""Top-down cycle accounting and the what-if advisor.
+
+Covers the `WaitTracker` bookkeeping semantics, the enforced
+makespan identity on the application suite under every issue policy
+(an acceptance criterion), the contention/roofline aggregates, the
+debug invariant checker, and the advisor's predicted-vs-measured
+contract (>= 5% measured reduction with the prediction within 25%,
+the other acceptance criterion).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.apps import all_applications
+from repro.compiler import compile_graph
+from repro.compiler.isa import Opcode, Program
+from repro.errors import SimulationError
+from repro.eval.experiments import ORIANNA_CONFIG
+from repro.factorgraph import FactorGraph, Isotropic, Values, X
+from repro.factors import BetweenFactor, PriorFactor
+from repro.geometry import Pose
+from repro.hw.accelerator import AcceleratorConfig, minimal_config
+from repro.sim import POLICIES, Simulator
+from repro.sim.bottleneck import (
+    CAUSE_INORDER,
+    CAUSE_SEQUENTIAL,
+    CAUSE_WIDTH,
+    DRAM_BANDWIDTH_WORDS_PER_CYCLE,
+    WaitTracker,
+    advise,
+    enumerate_candidates,
+    structural_cause,
+)
+
+
+def pose_chain(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph([PriorFactor(X(0), Pose.identity(3),
+                                     Isotropic(6, 1e-2))])
+    values = Values({X(0): Pose.identity(3)})
+    for i in range(n - 1):
+        graph.add(BetweenFactor(X(i + 1), X(i),
+                                Pose.random(3, rng, scale=0.3)))
+        values.insert(X(i + 1), Pose.random(3, rng))
+    return compile_graph(graph, values)
+
+
+@pytest.fixture(scope="module")
+def chain_program():
+    return pose_chain().program
+
+
+@pytest.fixture(scope="module")
+def app_programs():
+    """One compiled steady-state frame per paper application."""
+    return {app.name: app.compile_frame(seed=0)
+            for app in all_applications()}
+
+
+class TestWaitTracker:
+    def test_zero_wait_records_no_segment(self):
+        tracker = WaitTracker("ooo")
+        tracker.mark_ready(0, 5.0, producer=None)
+        tracker.close(0, 5.0)   # issues the instant it becomes ready
+        assert 0 not in tracker.wait_causes
+
+    def test_segments_carry_the_cause_seen_at_their_opening(self):
+        tracker = WaitTracker("ooo")
+        tracker.mark_ready(0, 0.0)
+        tracker.close(0, 0.0)
+        tracker.block(0, structural_cause("qr"))     # examined, deferred
+        tracker.close(0, 4.0)                        # next round
+        tracker.block(0, structural_cause("matmul"))
+        tracker.close(0, 10.0)                       # issued here
+        assert tracker.wait_causes[0] == {
+            structural_cause("qr"): 4.0,
+            structural_cause("matmul"): 6.0,
+        }
+
+    def test_unexamined_gap_falls_back_to_policy_default(self):
+        for policy, default in (("ooo", CAUSE_WIDTH),
+                                ("inorder", CAUSE_INORDER),
+                                ("sequential", CAUSE_SEQUENTIAL)):
+            tracker = WaitTracker(policy)
+            tracker.mark_ready(3, 1.0)
+            tracker.close(3, 7.0)   # never examined in between
+            assert tracker.wait_causes[3] == {default: 6.0}
+
+    def test_same_timestamp_reexamination_keeps_blocked_cause(self):
+        # Two scheduling rounds can fire at the same timestamp (e.g.
+        # zero-latency completions); the earlier round's cause must not
+        # be consumed by the zero-length segment between them.
+        tracker = WaitTracker("ooo")
+        tracker.mark_ready(0, 0.0)
+        tracker.close(0, 2.0)
+        tracker.block(0, structural_cause("qr"))
+        tracker.close(0, 2.0)   # same-timestamp round: no-op
+        tracker.close(0, 6.0)
+        assert tracker.wait_causes[0][structural_cause("qr")] == 4.0
+
+    def test_depth_samples_record_transitions_only(self):
+        tracker = WaitTracker("ooo")
+        tracker.sample_depths(0.0, {"qr": 2})
+        tracker.sample_depths(1.0, {"qr": 2})   # unchanged: no sample
+        tracker.sample_depths(3.0, {"qr": 1})
+        tracker.sample_depths(5.0, {})          # drained
+        assert tracker.depth_samples["qr"] == [(0.0, 2), (3.0, 1),
+                                               (5.0, 0)]
+
+
+class TestIdentityOnApplications:
+    """Acceptance: makespan == chain compute + attributed wait, for all
+    four applications under all three issue policies."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_identity_holds_on_every_app(self, app_programs, policy):
+        for name, program in app_programs.items():
+            result = Simulator(ORIANNA_CONFIG).run(program, policy)
+            acc = result.cycle_accounting
+            assert acc is not None
+            assert acc.identity_holds(), (
+                f"{name}/{policy}: total {acc.total_cycles} != chain "
+                f"compute {acc.chain_compute_cycles} + wait "
+                f"{acc.chain_wait_cycles} (residue {acc.identity_error})"
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_wait_segments_tile_the_gap_exactly(self, app_programs,
+                                                policy):
+        program = app_programs["MobileRobot"]
+        result = Simulator(ORIANNA_CONFIG).run(program, policy)
+        for uid, info in \
+                result.cycle_accounting.instruction_waits.items():
+            tiled = sum(info["causes"].values())
+            assert tiled == pytest.approx(info["wait"], abs=1e-2), (
+                f"instruction #{uid} under {policy}"
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_identity_holds_under_finite_issue_width(self, chain_program,
+                                                     policy):
+        result = Simulator(issue_width=1).run(chain_program, policy)
+        assert result.cycle_accounting.identity_holds()
+
+    def test_debug_mode_enforces_the_identity(self, chain_program):
+        with obs.enabled_scope(debug=True):
+            Simulator().run(chain_program, "ooo")   # must not raise
+
+    def test_checker_rejects_a_corrupted_accounting(self, chain_program):
+        result = Simulator().run(chain_program, "ooo")
+        result.cycle_accounting.identity_error = 7.0
+        with pytest.raises(SimulationError, match="identity"):
+            Simulator._check_accounting_invariants(result)
+
+    def test_checker_rejects_untiled_waits(self, chain_program):
+        result = Simulator().run(chain_program, "ooo")
+        acc = result.cycle_accounting
+        uid, info = next((u, i) for u, i in acc.instruction_waits.items()
+                         if i["wait"] > 0)
+        info["causes"] = {}
+        with pytest.raises(SimulationError, match="tile"):
+            Simulator._check_accounting_invariants(result)
+
+
+class TestAccountingContents:
+    def test_gated_by_names_the_last_arriving_producer(self,
+                                                       chain_program):
+        result = Simulator().run(chain_program, "ooo")
+        deps = chain_program.dependencies()
+        instrs = chain_program.instructions
+        for uid, info in \
+                result.cycle_accounting.instruction_waits.items():
+            producer = info.get("gated_by")
+            if producer is None:
+                continue
+            assert producer in deps[uid]
+            assert instrs[producer].op is not Opcode.CONST
+
+    def test_chain_steps_link_through_gated_by(self, chain_program):
+        result = Simulator().run(chain_program, "ooo")
+        chain = result.cycle_accounting.critical_chain
+        assert chain
+        for earlier, later in zip(chain, chain[1:]):
+            assert later.gated_by == earlier.uid
+        assert chain[0].gated_by is None
+
+    def test_wait_by_cause_is_structural_under_unbounded_ooo(
+            self, chain_program):
+        # With an unbounded dispatch port the only reason a ready
+        # instruction cannot issue is a saturated unit class.
+        result = Simulator().run(chain_program, "ooo")
+        causes = result.cycle_accounting.wait_by_cause
+        assert causes
+        assert all(c.startswith("structural.") for c in causes)
+
+    def test_policy_causes_appear_in_order(self, chain_program):
+        result = Simulator().run(chain_program, "sequential")
+        assert CAUSE_SEQUENTIAL in result.cycle_accounting.wait_by_cause
+        result = Simulator().run(chain_program, "inorder")
+        assert CAUSE_INORDER in result.cycle_accounting.wait_by_cause
+
+    def test_width_cause_appears_under_finite_width(self, chain_program):
+        result = Simulator(issue_width=1).run(chain_program, "ooo")
+        assert CAUSE_WIDTH in result.cycle_accounting.wait_by_cause
+
+    def test_contention_mean_depth_is_time_weighted(self, chain_program):
+        result = Simulator().run(chain_program, "ooo")
+        for unit, cont in result.cycle_accounting.contention.items():
+            assert 0 < cont.peak_depth
+            assert 0.0 <= cont.mean_depth <= cont.peak_depth
+            assert cont.saturated_cycles <= result.total_cycles + 1e-9
+
+    def test_wait_by_stage_totals_match_wait_by_cause(self,
+                                                      chain_program):
+        acc = Simulator().run(chain_program, "ooo").cycle_accounting
+        by_stage = sum(sum(row.values())
+                       for row in acc.wait_by_stage.values())
+        by_cause = sum(acc.wait_by_cause.values())
+        assert by_stage == pytest.approx(by_cause)
+
+    def test_roofline_counts_spill_round_trips_as_traffic(self):
+        prog = Program("micro")
+        a = prog.new_register("a", (64, 64))
+        prog.emit(Opcode.CONST, [], [a])
+        cur = a
+        for _ in range(4):
+            dst = prog.new_register("m", (64, 64))
+            prog.emit(Opcode.MM, [cur, cur], [dst])
+            cur = dst
+        config = AcceleratorConfig().with_buffer_kib(1)
+        result = Simulator(config).run(prog, "ooo")
+        roof = result.cycle_accounting.roofline
+        assert result.spilled_words > 0
+        assert roof.traffic_words == 2 * result.spilled_words
+        assert roof.memory_cycles == pytest.approx(
+            roof.traffic_words / DRAM_BANDWIDTH_WORDS_PER_CYCLE)
+        assert roof.bound == "compute"   # systolic MM dominates DRAM
+        assert roof.busiest_unit == "matmul"
+
+    def test_roofline_flips_to_memory_bound_on_heavy_spill(self):
+        # _roofline classifies from busy cycles and spill traffic alone;
+        # fabricate a result where reload traffic dwarfs compute.
+        from repro.sim import EnergyBreakdown, SimulationResult
+        from repro.sim.bottleneck import _roofline
+        result = SimulationResult(
+            policy="ooo", total_cycles=100, clock_mhz=167.0,
+            energy=EnergyBreakdown(), instruction_count=1,
+            issued_count=1, unit_busy_cycles={"vector": 40.0},
+            unit_instance_counts={"vector": 1}, phase_work_cycles={},
+            spilled_words=4096)
+        roof = _roofline(result)
+        assert roof.bound == "memory"
+        assert roof.memory_cycles == pytest.approx(
+            2 * 4096 / DRAM_BANDWIDTH_WORDS_PER_CYCLE)
+        assert roof.busiest_unit == "vector"
+
+    def test_to_dict_round_trips_and_caps_the_chain(self, chain_program):
+        import json
+        acc = Simulator().run(chain_program, "ooo").cycle_accounting
+        exported = json.loads(json.dumps(acc.to_dict(chain_limit=2)))
+        assert exported["total_cycles"] == acc.total_cycles
+        assert len(exported["critical_chain"]) <= 2
+        assert exported["chain_length"] == len(acc.critical_chain)
+
+
+class TestEnumerateCandidates:
+    ACCOUNTING = {
+        "chain_wait_by_cause": {"structural.qr": 600.0, "width": 100.0,
+                                "policy.inorder": 300.0},
+        "chain_compute_cycles": 200.0,
+    }
+
+    def test_structural_candidate_scales_by_instance_count(self):
+        cands = enumerate_candidates(self.ACCOUNTING, {"qr": 2},
+                                     "inorder", 2, 1000)
+        unit = next(c for c in cands if c.kind == "unit")
+        assert unit.unit == "qr"
+        # 600 chain cycles over 2 -> 3 instances: saves 600/3.
+        assert unit.predicted_saved_cycles == pytest.approx(200.0)
+
+    def test_policy_candidate_removes_policy_wait(self):
+        cands = enumerate_candidates(self.ACCOUNTING, {"qr": 2},
+                                     "inorder", None, 1000)
+        pol = next(c for c in cands if c.kind == "policy")
+        assert pol.new_policy == "ooo"
+        assert pol.predicted_saved_cycles == pytest.approx(300.0)
+
+    def test_no_policy_candidate_under_ooo(self):
+        cands = enumerate_candidates(self.ACCOUNTING, {"qr": 2},
+                                     "ooo", None, 1000)
+        assert not any(c.kind == "policy" for c in cands)
+
+    def test_width_candidate_only_with_finite_width(self):
+        with_width = enumerate_candidates(self.ACCOUNTING, {}, "ooo",
+                                          1, 1000)
+        assert any(c.kind == "issue_width" for c in with_width)
+        without = enumerate_candidates(self.ACCOUNTING, {}, "ooo",
+                                       None, 1000)
+        assert not any(c.kind == "issue_width" for c in without)
+
+    def test_serialization_floor_clamps_the_prediction(self):
+        # qr wait is huge, but matmul's serialized busy cycles bound
+        # any achievable makespan: the prediction must not go below it.
+        accounting = {
+            "chain_wait_by_cause": {"structural.qr": 900.0},
+            "chain_compute_cycles": 10.0,
+        }
+        cands = enumerate_candidates(
+            accounting, {"qr": 1, "matmul": 1}, "ooo", None, 1000,
+            unit_busy_cycles={"matmul": 800.0, "qr": 300.0})
+        unit = next(c for c in cands if c.unit == "qr")
+        assert unit.predicted_cycles == pytest.approx(800.0)
+
+    def test_buffer_candidate_sized_to_stop_spilling(self):
+        cands = enumerate_candidates(
+            {"chain_wait_by_cause": {}, "chain_compute_cycles": 0.0},
+            {}, "ooo", None, 1000, spilled_words=100,
+            peak_live_words=3000)
+        buf = next(c for c in cands if c.kind == "buffer")
+        assert buf.new_buffer_kib == 12   # ceil(3000 * 4 / 1024)
+        assert buf.predicted_saved_energy_mj > 0
+
+    def test_candidates_sorted_by_predicted_saving(self):
+        cands = enumerate_candidates(self.ACCOUNTING, {"qr": 2},
+                                     "inorder", 2, 1000)
+        savings = [c.predicted_saved_cycles for c in cands]
+        assert savings == sorted(savings, reverse=True)
+
+
+class TestAdvisor:
+    @pytest.fixture(scope="class")
+    def advice(self, app_programs):
+        return advise(app_programs["MobileRobot"], minimal_config(),
+                      "ooo", top_k=2, label="MobileRobot")
+
+    def test_top_k_candidates_are_validated(self, advice):
+        validated = [c for c in advice.candidates if c.validated]
+        assert 1 <= len(validated) <= 2
+        for cand in validated:
+            assert cand.measured_cycles is not None
+            assert cand.measured_speedup is not None
+            assert cand.prediction_error is not None
+
+    def test_acceptance_top_recommendation(self, advice):
+        """Acceptance: >= 5% measured cycle reduction, with the
+        predicted speedup within 25% of the resimulated value."""
+        top = advice.top_validated()
+        assert top is not None
+        reduction = 1.0 - top.measured_cycles / advice.baseline_cycles
+        assert reduction >= 0.05
+        assert top.prediction_error <= 0.25
+
+    def test_validation_measures_a_real_resimulation(self, advice,
+                                                     app_programs):
+        top = advice.top_validated()
+        assert top.kind == "unit"
+        measured = Simulator(
+            minimal_config().with_extra_unit(top.unit)
+        ).run(app_programs["MobileRobot"], "ooo")
+        assert measured.total_cycles == top.measured_cycles
+
+    def test_advice_to_dict_is_json_ready(self, advice):
+        import json
+        doc = json.loads(json.dumps(advice.to_dict()))
+        assert doc["baseline_cycles"] == advice.baseline_cycles
+        assert doc["candidates"]
+
+    def test_reusing_a_baseline_skips_the_baseline_run(self,
+                                                       app_programs):
+        program = app_programs["Manipulator"]
+        baseline = Simulator(minimal_config()).run(program, "ooo")
+        adv = advise(program, minimal_config(), "ooo", top_k=0,
+                     baseline=baseline, label="Manipulator")
+        assert adv.baseline_cycles == baseline.total_cycles
+        assert not any(c.validated for c in adv.candidates)
+
+
+class TestBitIdentityWithObsDisabled:
+    """The accounting layer observes; it must never steer."""
+
+    def test_cycles_and_energy_unchanged_by_obs_state(self,
+                                                      chain_program):
+        plain = Simulator().run(chain_program, "ooo")
+        with obs.enabled_scope(debug=True):
+            observed = Simulator().run(chain_program, "ooo")
+        assert plain.total_cycles == observed.total_cycles
+        assert plain.energy_mj == observed.energy_mj
+        assert plain.unit_busy_cycles == observed.unit_busy_cycles

@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from repro.compiler import compile_application, compile_graph
+from repro.compiler.isa import Opcode, Program
 from repro.factorgraph import FactorGraph, Isotropic, Values, X
 from repro.factors import BetweenFactor, PriorFactor, SmoothnessFactor
 from repro.geometry import Pose
 from repro.hw import AcceleratorConfig
 from repro.sim import POLICIES, EnergyBreakdown, SimulationResult, Simulator
+from repro.sim.bottleneck import BYTES_PER_WORD, DRAM_ENERGY_PER_WORD_NJ
 
 
 def make_result(**overrides):
@@ -84,6 +86,14 @@ class TestSummary:
         without = make_result()
         assert "stalls" not in without.summary()
 
+    def test_summary_includes_fault_counts_when_present(self):
+        result = make_result(fault_counts={"injected": 3.0,
+                                           "stall_cycles": 12.0})
+        text = result.summary()
+        assert "faults: injected=3, stall_cycles=12" in text
+        without = make_result()
+        assert "faults" not in without.summary()
+
 
 # ----------------------------------------------------------------------
 # Regression (observability satellite): the unit_free heap bookkeeping
@@ -122,6 +132,78 @@ def two_stream_program():
         "localization": (loc_graph, loc_values),
         "planning": (plan_graph, plan_values),
     })
+
+
+def chained_matmul_program(n=16, chain=3):
+    """A chain of n x n matmuls: each link's output feeds the next.
+
+    Every computed register is n*n words; consecutive links' outputs
+    are simultaneously live (the producer's result lives until its
+    consumer finishes), so the peak live set is a small, predictable
+    multiple of n*n.
+    """
+    prog = Program("micro")
+    a = prog.new_register("a", (n, n))
+    prog.emit(Opcode.CONST, [], [a])
+    b = prog.new_register("b", (n, n))
+    prog.emit(Opcode.CONST, [], [b])
+    cur = a
+    for _ in range(chain):
+        dst = prog.new_register("m", (n, n))
+        prog.emit(Opcode.MM, [cur, b], [dst])
+        cur = dst
+    return prog
+
+
+class TestLiveSetSpillAccounting:
+    """Simulator._live_set: peak-live words vs buffer capacity."""
+
+    def test_no_spill_with_default_buffer(self):
+        prog = chained_matmul_program()
+        result = Simulator().run(prog, "ooo")
+        assert result.peak_live_words > 0
+        assert result.spilled_words == 0
+        assert result.energy.memory_mj == 0.0
+
+    def test_exactly_at_capacity_does_not_spill(self):
+        # Each 16x16 register is 256 words = 1 KiB, so the peak is an
+        # exact number of KiB and the buffer can match it to the word.
+        prog = chained_matmul_program(n=16)
+        peak = Simulator().run(prog, "ooo").peak_live_words
+        assert peak * BYTES_PER_WORD % 1024 == 0
+        exact_kib = peak * BYTES_PER_WORD // 1024
+        config = AcceleratorConfig().with_buffer_kib(exact_kib)
+        result = Simulator(config).run(prog, "ooo")
+        assert result.peak_live_words == peak
+        assert result.spilled_words == 0
+
+    def test_one_word_short_spills_the_difference(self):
+        prog = chained_matmul_program(n=16)
+        peak = Simulator().run(prog, "ooo").peak_live_words
+        short_kib = peak * BYTES_PER_WORD // 1024 - 1
+        config = AcceleratorConfig().with_buffer_kib(short_kib)
+        result = Simulator(config).run(prog, "ooo")
+        capacity_words = short_kib * 1024 // BYTES_PER_WORD
+        assert result.spilled_words == peak - capacity_words
+        assert result.spilled_words == 1024 // BYTES_PER_WORD
+
+    def test_spill_charges_memory_energy_per_word_round_trip(self):
+        prog = chained_matmul_program(n=16)
+        peak = Simulator().run(prog, "ooo").peak_live_words
+        config = AcceleratorConfig().with_buffer_kib(
+            peak * BYTES_PER_WORD // 1024 - 1)
+        result = Simulator(config).run(prog, "ooo")
+        expected = (result.spilled_words * DRAM_ENERGY_PER_WORD_NJ
+                    * 2 * 1e-6)
+        assert result.energy.memory_mj == pytest.approx(expected)
+
+    def test_peak_live_independent_of_buffer_size(self):
+        prog = chained_matmul_program(n=16)
+        big = Simulator().run(prog, "ooo")
+        small = Simulator(
+            AcceleratorConfig().with_buffer_kib(1)).run(prog, "ooo")
+        assert big.peak_live_words == small.peak_live_words
+        assert small.spilled_words > big.spilled_words
 
 
 class TestUtilizationBoundRegression:
