@@ -72,11 +72,16 @@ class RoboticApplication:
                      algorithms: Optional[List[str]] = None
                      ) -> Dict[str, Tuple[FactorGraph, Values]]:
         """Build one solver iteration's graph for each algorithm."""
+        from repro.obs import trace
+
         names = algorithms or self.algorithm_names
         out = {}
-        for name in names:
-            rng = np.random.default_rng(stable_seed(self.name, name, seed))
-            out[name] = self.spec(name).build(rng)
+        with trace.span("frame.build", category="host.phase",
+                        app=self.name):
+            for name in names:
+                rng = np.random.default_rng(
+                    stable_seed(self.name, name, seed))
+                out[name] = self.spec(name).build(rng)
         return out
 
     def compile_algorithm(self, name: str, seed: int):

@@ -15,14 +15,31 @@ from repro.bench.core import (
     run_bench,
     write_bench,
 )
-from repro.bench.diff import diff_documents, render_diff
+from repro.bench.diff import (
+    EXACT_SKIP_SECTIONS,
+    NONDETERMINISTIC_SECTIONS,
+    diff_documents,
+    render_diff,
+)
+from repro.bench.history import (
+    HISTORY_SCHEMA,
+    append_history,
+    history_entry,
+    load_history,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
+    "HISTORY_SCHEMA",
+    "EXACT_SKIP_SECTIONS",
+    "NONDETERMINISTIC_SECTIONS",
     "bench_document",
     "load_bench",
     "run_bench",
     "write_bench",
     "diff_documents",
     "render_diff",
+    "append_history",
+    "history_entry",
+    "load_history",
 ]

@@ -4,6 +4,13 @@ Runs the application workload suite and writes ``BENCH_<mode>.json``
 (override with ``--output``).  Compare two documents with::
 
     python -m repro.obs diff old.json new.json --threshold 0.10
+
+Unless ``--no-wallclock`` is given, the document carries a
+``solve_wall_clock`` section (``--repeat N`` timed interpretations per
+app, median + MAD + per-opcode profile) and one history entry is
+appended to ``benchmarks/history/solve_wallclock.jsonl`` (``--history-dir``
+to relocate, ``--no-history`` to skip) — the series
+``python -m repro.obs trend`` renders and gates on.
 """
 
 from __future__ import annotations
@@ -12,7 +19,17 @@ import argparse
 import sys
 import time
 
-from repro.bench.core import run_bench, summarize, write_bench
+from repro.bench.core import (
+    DEFAULT_WALLCLOCK_REPEATS,
+    run_bench,
+    summarize,
+    write_bench,
+)
+from repro.bench.history import (
+    DEFAULT_HISTORY_DIR,
+    append_history,
+    history_entry,
+)
 from repro.compiler.cache import set_cache_enabled
 
 
@@ -30,22 +47,44 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="frame compiles per app for the compile-time "
                              "measurement (default 3)")
+    parser.add_argument("--repeat", type=int,
+                        default=DEFAULT_WALLCLOCK_REPEATS, metavar="N",
+                        help="timed interpreter executions per app for "
+                             "the solve_wall_clock section (default "
+                             f"{DEFAULT_WALLCLOCK_REPEATS})")
+    parser.add_argument("--no-wallclock", action="store_true",
+                        help="skip the solve_wall_clock measurement "
+                             "(also skips the history append)")
+    parser.add_argument("--history-dir", metavar="DIR",
+                        default=DEFAULT_HISTORY_DIR,
+                        help="where the wall-clock history JSONL lives "
+                             f"(default {DEFAULT_HISTORY_DIR})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the bench history")
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the structural compilation cache "
                              "(cold compile every frame)")
     args = parser.parse_args(argv)
 
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
     if args.no_compile_cache:
         set_cache_enabled(False)
     started = time.perf_counter()
     document = run_bench(quick=args.quick, seed=args.seed,
-                         compile_repeats=args.compile_repeats)
+                         compile_repeats=args.compile_repeats,
+                         wallclock_repeats=args.repeat,
+                         measure_wallclock=not args.no_wallclock)
     elapsed = time.perf_counter() - started
 
     path = args.output or f"BENCH_{document['mode']}.json"
     write_bench(path, document)
     print(summarize(document))
     print(f"wrote {path} in {elapsed:.1f}s")
+    if not args.no_wallclock and not args.no_history:
+        history_path = append_history(history_entry(document),
+                                      directory=args.history_dir)
+        print(f"appended bench history entry to {history_path}")
     return 0
 
 

@@ -20,19 +20,22 @@ Modes:
 from __future__ import annotations
 
 import json
+import statistics
 import time
 from typing import Any, Dict, List, Optional
 
 from repro.apps import all_applications
 from repro.compiler.cache import cache_enabled
 from repro.eval.experiments import ORIANNA_CONFIG, experiment_fig13_fig14
-from repro.obs import trace
+from repro.obs import trace, wallclock
 from repro.sim import Simulator
 
 BENCH_SCHEMA = "repro.bench/1"
 
 QUICK_POLICIES = ("ooo",)
 FULL_POLICIES = ("ooo", "inorder", "sequential")
+
+DEFAULT_WALLCLOCK_REPEATS = 5
 
 
 def _workload_entry(result) -> Dict[str, Any]:
@@ -82,8 +85,44 @@ def _bottleneck_entry(result, config) -> Optional[Dict[str, Any]]:
     return entry
 
 
+def _solve_wallclock_entry(program, repeats: int) -> Dict[str, Any]:
+    """Host wall-clock of interpreting one app's frame, ``repeats`` times.
+
+    Each repeat runs a fresh :class:`~repro.compiler.executor.Executor`
+    over the already-compiled program — pure MO-ISA interpretation, no
+    build/compile time — timed with ``perf_counter_ns``.  The summary is
+    median + MAD (robust to scheduler noise), plus one extra *profiled*
+    repeat whose per-opcode self-time table ships as ``profile`` (kept
+    out of the timing statistics: profiling perturbs them).
+    """
+    from repro.compiler.executor import Executor
+
+    times_s: List[float] = []
+    with trace.span("bench.execute", category="host.phase",
+                    instructions=len(program.instructions)):
+        for _ in range(repeats):
+            started = time.perf_counter_ns()
+            Executor().run(program)
+            times_s.append((time.perf_counter_ns() - started) / 1e9)
+    with wallclock.profiled_scope() as profiler:
+        Executor().run(program)
+    median = statistics.median(times_s)
+    mad = statistics.median([abs(t - median) for t in times_s])
+    return {
+        "median_s": median,
+        "mad_s": mad,
+        "mean_s": sum(times_s) / len(times_s),
+        "min_s": min(times_s),
+        "max_s": max(times_s),
+        "instructions": len(program.instructions),
+        "profile": profiler.drain(),
+    }
+
+
 def run_bench(quick: bool = True, seed: int = 0,
-              compile_repeats: int = 3) -> Dict[str, Any]:
+              compile_repeats: int = 3,
+              wallclock_repeats: int = DEFAULT_WALLCLOCK_REPEATS,
+              measure_wallclock: bool = True) -> Dict[str, Any]:
     """Simulate every application workload; return the BENCH document.
 
     Besides the (deterministic) cycle/energy workload entries, the
@@ -93,14 +132,26 @@ def run_bench(quick: bool = True, seed: int = 0,
     cache on every frame after the first is a rebind.  These wall-clock
     fields are host-timing dependent — the ``repro.obs diff`` gate
     ignores them and compares only the workload metrics.
+
+    With ``measure_wallclock`` (the default) the document also carries a
+    ``solve_wall_clock`` section: per app, ``wallclock_repeats`` timed
+    interpretations of the compiled frame (median + MAD + a per-opcode
+    profile) plus the host fingerprint.  Like ``compile``, the section
+    is excluded from the ``diff --exact`` parity comparison (see
+    :data:`repro.bench.diff.EXACT_SKIP_SECTIONS`).
     """
+    from repro.bench.history import host_fingerprint
+
     if compile_repeats < 1:
         raise ValueError("compile_repeats must be >= 1")
+    if wallclock_repeats < 1:
+        raise ValueError("wallclock_repeats must be >= 1")
     policies = QUICK_POLICIES if quick else FULL_POLICIES
     sim = Simulator(ORIANNA_CONFIG)
     workloads: Dict[str, Any] = {}
     bottleneck_section: Dict[str, Any] = {}
     compile_apps: Dict[str, Any] = {}
+    wallclock_apps: Dict[str, Any] = {}
     total_compile_s = 0.0
     with trace.span("bench", category="bench",
                     mode="quick" if quick else "full"):
@@ -121,6 +172,9 @@ def run_bench(quick: bool = True, seed: int = 0,
                 "speedup": times[0] / warm_mean if warm_mean > 0 else 1.0,
             }
             total_compile_s += sum(times)
+            if measure_wallclock:
+                wallclock_apps[app.name] = _solve_wallclock_entry(
+                    program, wallclock_repeats)
             for policy in policies:
                 result = sim.run(program, policy)
                 key = f"{app.name}/{policy}"
@@ -135,19 +189,28 @@ def run_bench(quick: bool = True, seed: int = 0,
         "total_s": total_compile_s,
         "apps": compile_apps,
     }
+    wallclock_section: Optional[Dict[str, Any]] = None
+    if measure_wallclock:
+        wallclock_section = {
+            "repeats": wallclock_repeats,
+            "host": host_fingerprint(),
+            "apps": wallclock_apps,
+        }
     tables: List[Dict[str, Any]] = []
     if not quick:
         speed, energy = experiment_fig13_fig14(seed=seed)
         tables = [speed.to_dict(), energy.to_dict()]
     return bench_document(workloads, quick=quick, seed=seed, tables=tables,
                           compile_section=compile_section,
-                          bottleneck_section=bottleneck_section)
+                          bottleneck_section=bottleneck_section,
+                          wallclock_section=wallclock_section)
 
 
 def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
                    tables: Optional[List[Dict[str, Any]]] = None,
                    compile_section: Optional[Dict[str, Any]] = None,
-                   bottleneck_section: Optional[Dict[str, Any]] = None
+                   bottleneck_section: Optional[Dict[str, Any]] = None,
+                   wallclock_section: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     document: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
@@ -157,6 +220,10 @@ def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
     }
     if compile_section:
         document["compile"] = compile_section
+    if wallclock_section:
+        # Host-timing dependent, like "compile": skipped by the exact
+        # parity gate via repro.bench.diff.EXACT_SKIP_SECTIONS.
+        document["solve_wall_clock"] = wallclock_section
     if bottleneck_section:
         # Advisory only: like "compile", this section is ignored by the
         # repro.obs diff regression gate.
@@ -210,5 +277,21 @@ def summarize(document: Dict[str, Any]) -> str:
                 f"    {name:<26} cold {entry['cold_s']:.3f}s  "
                 f"warm {entry['warm_mean_s']:.3f}s  "
                 f"({entry['speedup']:.1f}x)"
+            )
+    wallclock_section = document.get("solve_wall_clock")
+    if wallclock_section:
+        lines.append(
+            f"  solve wall-clock "
+            f"({wallclock_section.get('repeats', '?')} repeats/app):"
+        )
+        for name in sorted(wallclock_section.get("apps", {})):
+            entry = wallclock_section["apps"][name]
+            median_ms = float(entry.get("median_s", 0.0)) * 1e3
+            mad_ms = float(entry.get("mad_s", 0.0)) * 1e3
+            instrs = int(entry.get("instructions", 0))
+            per_us = (median_ms * 1e3 / instrs) if instrs else 0.0
+            lines.append(
+                f"    {name:<26} median {median_ms:8.2f} ms  "
+                f"+-{mad_ms:.2f} MAD  ({per_us:.2f} us/instr)"
             )
     return "\n".join(lines)

@@ -18,6 +18,23 @@ GATED_METRICS = (
     ("energy_mj", "energy"),
 )
 
+# The single shared allowlist of BENCH sections the exact parity gate
+# skips.  Everything else in the document must be bit-identical under
+# ``--exact``: "workloads" entries via the metric comparison below, any
+# other section via deep equality.  An emitter adding a new wall-clock
+# (or otherwise host-dependent) section lists it here **once** — no
+# ad-hoc key checks elsewhere — so timing sections can never break the
+# compile-cache parity CI gate.
+NONDETERMINISTIC_SECTIONS = (
+    "compile",            # host compile/rebind wall times
+    "solve_wall_clock",   # host interpreter wall times + fingerprint
+    "host",               # a bare host fingerprint section
+)
+# Advisory/derived sections the gate has always ignored (they restate
+# workload data or carry non-gated predictions).
+ADVISORY_SECTIONS = ("bottleneck", "tables")
+EXACT_SKIP_SECTIONS = NONDETERMINISTIC_SECTIONS + ADVISORY_SECTIONS
+
 
 def diff_documents(old: Dict[str, Any], new: Dict[str, Any],
                    threshold: float = 0.10,
@@ -63,6 +80,21 @@ def diff_documents(old: Dict[str, Any], new: Dict[str, Any],
                 "old": float(key in old_wl), "new": float(key in new_wl),
                 "ratio": float("inf"),
             })
+        # Any section outside the shared skip allowlist must match
+        # deeply — the parity gate covers the whole document, and a new
+        # timing section opts out by joining EXACT_SKIP_SECTIONS, never
+        # by an ad-hoc key check here.
+        sections = (set(old) | set(new)) - {"workloads"} \
+            - set(EXACT_SKIP_SECTIONS)
+        for key in sorted(sections):
+            if old.get(key) != new.get(key):
+                row = {
+                    "workload": f"[section] {key}", "metric": "section",
+                    "old": float(key in old), "new": float(key in new),
+                    "ratio": float("inf"),
+                }
+                comparisons.append(row)
+                regressions.append(row)
 
     return {
         "threshold": 0.0 if exact else threshold,

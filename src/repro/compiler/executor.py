@@ -10,6 +10,7 @@ match the factors' analytic ones.
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 import numpy as np
@@ -18,6 +19,7 @@ from scipy.linalg import solve_triangular
 from repro.errors import ExecutionError
 from repro.compiler.isa import Instruction, Opcode, Program
 from repro.geometry import so2, so3
+from repro.obs import wallclock
 
 
 class Executor:
@@ -27,8 +29,27 @@ class Executor:
         self.registers: Dict[str, np.ndarray] = {}
 
     def run(self, program: Program) -> Dict[str, np.ndarray]:
+        # One module-global read per program, not per instruction: the
+        # interpreter loop itself stays untouched while host wall-clock
+        # profiling (repro.obs.wallclock) is off.
+        profiler = wallclock.active()
+        if profiler is not None:
+            return self._run_profiled(program, profiler)
         for instr in program.instructions:
             self.execute(instr)
+        return self.registers
+
+    def _run_profiled(self, program: Program,
+                      profiler) -> Dict[str, np.ndarray]:
+        """The instrumented twin of :meth:`run`: per-opcode self time."""
+        registers = self.registers
+        record = profiler.record_instruction
+        clock = time.perf_counter_ns
+        for instr in program.instructions:
+            started = clock()
+            self.execute(instr)
+            record(instr, clock() - started, registers)
+        profiler.record_program()
         return self.registers
 
     def read(self, name: str) -> np.ndarray:

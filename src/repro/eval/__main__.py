@@ -115,6 +115,11 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-debug", action="store_true",
                         help="arm the simulator's schedule-invariant "
                              "assertions while observing")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="profile host per-opcode interpreter self "
+                             "time; each metrics entry gains a "
+                             "host_wallclock table (see "
+                             "`python -m repro.obs hotspots`)")
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the structural compilation cache "
                              "(cold compile every graph)")
@@ -140,6 +145,11 @@ def main(argv=None) -> int:
     if observing:
         obs.enable(debug=args.obs_debug)
         obs.collector().drain()  # start each run from a clean stream
+    profiler = None
+    if args.wallclock:
+        from repro.obs import wallclock
+
+        profiler = wallclock.enable()
 
     try:
         stream = open(args.output, "w") if args.output else sys.stdout
@@ -157,8 +167,9 @@ def main(argv=None) -> int:
                     tables = _tables_of(runner(args))
                     elapsed = time.perf_counter() - started
                 snapshot = obs.collector().drain() if observing else None
-                cache[key] = (tables, elapsed, snapshot)
-            tables, elapsed, snapshot = cache[key]
+                host_wallclock = profiler.drain() if profiler else None
+                cache[key] = (tables, elapsed, snapshot, host_wallclock)
+            tables, elapsed, snapshot, host_wallclock = cache[key]
             for table in tables:
                 if table.experiment_id != eid:
                     continue
@@ -171,7 +182,10 @@ def main(argv=None) -> int:
                     print(f"[{eid} in {elapsed:.1f}s]", file=stream)
                     print(file=stream)
             if snapshot is not None:
-                entries.append(experiment_entry(eid, elapsed, snapshot))
+                extra = {"host_wallclock": host_wallclock} \
+                    if host_wallclock else None
+                entries.append(
+                    experiment_entry(eid, elapsed, snapshot, extra=extra))
                 if args.trace_dir:
                     write_chrome_trace(
                         os.path.join(args.trace_dir,
@@ -183,6 +197,10 @@ def main(argv=None) -> int:
             stream.close()
         if observing:
             obs.disable()
+        if profiler is not None:
+            from repro.obs import wallclock
+
+            wallclock.disable()
 
     if args.metrics:
         write_metrics(args.metrics, entries, meta={

@@ -18,6 +18,19 @@
   enumerate config deltas (+1 unit instance, +1 issue width, policy,
   buffer), predict their payoff from the wait attribution, validate the
   top-k by resimulation, and report predicted-vs-measured speedup.
+- ``hotspots file.json`` — host wall-clock hotspot profile: per-opcode
+  interpreter self time (crossed with provenance stage) and the host
+  phase timers, over a metrics document (``--wallclock`` eval runs) or
+  a BENCH document's ``solve_wall_clock`` section.
+- ``fuse-report`` — level-ize each application's def-use DAG and report
+  the independent same-opcode groups per level (sizes, shape
+  histograms, batchable fractions) plus the interpreter-dispatch
+  overhead a fused/vectorized backend would eliminate — the work-list
+  for ROADMAP item 2.
+- ``trend [history]`` — render the bench wall-clock history series
+  (``benchmarks/history/``) per app and flag regressions when the
+  latest median leaves the trailing ``k x MAD`` noise band; exits 1 on
+  a flagged regression (``--warn-only``: only on a >= 2x hard one).
 """
 
 from __future__ import annotations
@@ -99,6 +112,57 @@ def main(argv=None) -> int:
     advise_p.add_argument("--seed", type=int, default=0,
                           help="workload seed (default 0)")
 
+    hotspots_p = sub.add_parser(
+        "hotspots",
+        help="print the host wall-clock hotspot profile of a metrics "
+             "or BENCH JSON file",
+    )
+    hotspots_p.add_argument("document",
+                            help="a --metrics output or BENCH document")
+    hotspots_p.add_argument("--top", type=int, default=10,
+                            help="rows per ranking section (default 10)")
+
+    fuse_p = sub.add_parser(
+        "fuse-report",
+        help="report per-level independent same-opcode groups and the "
+             "fusable interpreter-dispatch overhead per application",
+    )
+    fuse_p.add_argument("--app", default=None,
+                        help="restrict to one application by name "
+                             "(default: all four)")
+    fuse_p.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    fuse_p.add_argument("--top", type=int, default=10,
+                        help="opcode rows per application (default 10)")
+    fuse_p.add_argument("--dispatch-ns", type=float, default=None,
+                        help="per-instruction dispatch cost to assume "
+                             "(default: measured on this host)")
+    fuse_p.add_argument("--json", metavar="FILE",
+                        help="also write the raw reports as JSON")
+
+    trend_p = sub.add_parser(
+        "trend",
+        help="render the bench wall-clock history and flag regressions",
+    )
+    trend_p.add_argument("history", nargs="?",
+                         default=None,
+                         help="history JSONL file or its directory "
+                              "(default benchmarks/history)")
+    trend_p.add_argument("--append", metavar="BENCH_JSON",
+                         help="first append this BENCH document's entry "
+                              "to the history (the CI main-branch step)")
+    trend_p.add_argument("--window", type=int, default=8,
+                         help="trailing entries forming the baseline "
+                              "(default 8)")
+    trend_p.add_argument("--k", type=float, default=3.0,
+                         help="noise-band width in MADs (default 3.0)")
+    trend_p.add_argument("--hard-factor", type=float, default=2.0,
+                         help="median ratio that is a hard regression "
+                              "(default 2.0)")
+    trend_p.add_argument("--warn-only", action="store_true",
+                         help="exit nonzero only on hard (>= "
+                              "--hard-factor) regressions")
+
     args = parser.parse_args(argv)
 
     if args.command in ("report", "profile"):
@@ -166,6 +230,90 @@ def main(argv=None) -> int:
                                   issue_width=args.issue_width,
                                   top_k=args.top_k, label=app.name))
         print(render_advice(advices))
+        return 0
+
+    if args.command == "hotspots":
+        import json
+
+        from repro.obs.hotspots import render_hotspots
+
+        try:
+            with open(args.document) as fh:
+                document = json.load(fh)
+            rendered = render_hotspots(document, top=args.top)
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs hotspots: {exc}", file=sys.stderr)
+            return 2
+        print(rendered)
+        return 0
+
+    if args.command == "fuse-report":
+        import json
+
+        from repro.apps import all_applications
+        from repro.obs.fuse import (
+            analyze_application,
+            measure_dispatch_overhead_ns,
+            render_fuse_report,
+        )
+
+        apps = [a for a in all_applications()
+                if args.app is None or a.name == args.app]
+        if not apps:
+            known = ", ".join(a.name for a in all_applications())
+            print(f"repro.obs fuse-report: unknown app {args.app!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return 2
+        dispatch_ns = args.dispatch_ns
+        if dispatch_ns is None:
+            dispatch_ns = measure_dispatch_overhead_ns()
+        reports = [analyze_application(app, seed=args.seed,
+                                       dispatch_ns=dispatch_ns)
+                   for app in apps]
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(reports, fh, indent=1)
+                fh.write("\n")
+        print(render_fuse_report(reports, top=args.top))
+        return 0
+
+    if args.command == "trend":
+        from repro.bench.history import (
+            DEFAULT_HISTORY_DIR,
+            append_history,
+            history_entry,
+            load_history,
+        )
+        from repro.obs.trend import analyze_trend, render_trend
+
+        history = args.history or DEFAULT_HISTORY_DIR
+        if args.append:
+            import os
+
+            from repro.bench.core import load_bench
+
+            directory = history if not history.endswith(".jsonl") \
+                else os.path.dirname(history) or "."
+            try:
+                document = load_bench(args.append)
+                append_history(history_entry(document),
+                               directory=directory)
+            except (OSError, ValueError) as exc:
+                print(f"repro.obs trend: {exc}", file=sys.stderr)
+                return 2
+        try:
+            entries, skipped = load_history(history)
+            analysis = analyze_trend(entries, window=args.window,
+                                     k=args.k,
+                                     hard_factor=args.hard_factor)
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs trend: {exc}", file=sys.stderr)
+            return 2
+        print(render_trend(analysis, skipped=skipped))
+        if analysis["hard"]:
+            return 1
+        if analysis["flagged"] and not args.warn_only:
+            return 1
         return 0
     return 0
 

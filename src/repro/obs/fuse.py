@@ -1,0 +1,235 @@
+"""Fusion-opportunity analysis over a program's def-use DAG.
+
+The value-domain executor interprets MO-ISA instructions one at a time;
+the planned vectorized backend (ROADMAP item 2) will instead execute
+*fused blocks*: independent same-opcode instructions batched into one
+NumPy call.  This module measures exactly how much of that parallelism
+each compiled program contains, before anyone builds the backend:
+
+- **Level-ize** the program with :meth:`Program.levels` (BFS dependency
+  levels, Fig. 11).  Two non-CONST instructions on the same level cannot
+  depend on each other — a def-use edge between them would push the
+  consumer one level down — so every same-level same-opcode group is an
+  independent batch candidate.
+- Per level, report the same-opcode **groups** (sizes, and the
+  shape-homogeneous subgroups that could share one exact block shape).
+- Estimate the interpreter-dispatch overhead a fused block execution
+  would eliminate: one dispatch per *group* instead of one per
+  *instruction*, times a per-dispatch cost either measured on this host
+  (:func:`measure_dispatch_overhead_ns`) or supplied by the caller.
+
+``python -m repro.obs fuse-report`` runs this over the application
+suite; the per-opcode group inventory is the work-list the fused backend
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.compiler.isa import Opcode, Program
+
+FUSE_SCHEMA = "repro.obs.fuse/1"
+
+# Group sizes the summary fractions are reported at: >= 2 is the minimum
+# batchable group, >= 4 is where NumPy block dispatch clearly beats the
+# per-instruction interpreter loop.
+GROUP_THRESHOLDS = (2, 4)
+
+
+def measure_dispatch_overhead_ns(samples: int = 2000) -> float:
+    """Per-instruction interpreter dispatch cost on this host, in ns.
+
+    Times the cheapest possible instruction (COPY of a 1-element
+    register) through :meth:`Executor.execute`; the handler's own numpy
+    work is a couple of hundred nanoseconds, so the measured figure is
+    dominated by exactly the per-instruction costs fusion eliminates:
+    handler lookup, source reads, and the write-back loop.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.compiler.executor import Executor
+    from repro.compiler.isa import Instruction
+
+    ex = Executor()
+    ex.registers["a"] = np.zeros(1)
+    instr = Instruction(uid=0, op=Opcode.COPY, srcs=["a"], dsts=["b"])
+    execute = ex.execute
+    # Warm up the handler lookup and numpy dispatch paths.
+    for _ in range(100):
+        execute(instr)
+    started = time.perf_counter_ns()
+    for _ in range(samples):
+        execute(instr)
+    return (time.perf_counter_ns() - started) / samples
+
+
+def _shape_of(program: Program, reg: str) -> Any:
+    shape = program.register_shapes.get(reg)
+    return "?" if shape is None else "x".join(str(d) for d in shape)
+
+
+def _group_signature(program: Program, instr) -> str:
+    """The exact block shape a fused kernel would need: operand shapes."""
+    srcs = ",".join(_shape_of(program, s) for s in instr.srcs)
+    dsts = ",".join(_shape_of(program, d) for d in instr.dsts)
+    return f"{srcs}->{dsts}"
+
+
+def analyze_program(program: Program, label: str = "",
+                    dispatch_ns: Optional[float] = None) -> Dict[str, Any]:
+    """The fusion-opportunity report for one program, as plain data."""
+    levels = program.levels()
+    by_level: Dict[int, List] = {}
+    for instr in program.instructions:
+        by_level.setdefault(levels[instr.uid], []).append(instr)
+
+    total = len(program.instructions)
+    group_count = 0
+    level_rows: List[Dict[str, Any]] = []
+    by_opcode: Dict[str, Dict[str, Any]] = {}
+    in_groups_ge = {t: 0 for t in GROUP_THRESHOLDS}
+
+    for level in sorted(by_level):
+        instrs = by_level[level]
+        groups: Dict[str, List] = {}
+        for instr in instrs:
+            groups.setdefault(instr.op.value, []).append(instr)
+        group_rows = []
+        for op, members in sorted(groups.items(),
+                                  key=lambda kv: -len(kv[1])):
+            group_count += 1
+            shapes: Dict[str, int] = {}
+            for instr in members:
+                sig = _group_signature(program, instr)
+                shapes[sig] = shapes.get(sig, 0) + 1
+            size = len(members)
+            slot = by_opcode.setdefault(op, {
+                "instructions": 0, "groups": 0, "max_group": 0,
+                "in_groups_ge": {t: 0 for t in GROUP_THRESHOLDS},
+            })
+            slot["instructions"] += size
+            slot["groups"] += 1
+            slot["max_group"] = max(slot["max_group"], size)
+            for t in GROUP_THRESHOLDS:
+                if size >= t:
+                    in_groups_ge[t] += size
+                    slot["in_groups_ge"][t] += size
+            group_rows.append({
+                "opcode": op,
+                "size": size,
+                # Largest shape-homogeneous subgroup: the batch a fused
+                # kernel with one fixed block shape could execute.
+                "max_uniform": max(shapes.values()),
+                "shapes": dict(sorted(shapes.items(),
+                                      key=lambda kv: -kv[1])),
+            })
+        level_rows.append({
+            "level": level,
+            "instructions": len(instrs),
+            "groups": group_rows,
+        })
+
+    if dispatch_ns is None:
+        dispatch_ns = measure_dispatch_overhead_ns()
+    # Fused block execution dispatches once per group instead of once
+    # per instruction; CONST loads (level 0) are preload data movement
+    # the fused backend hoists into arrays, so they count as eliminable
+    # dispatches too (their whole handler is overhead).
+    eliminable = total - group_count
+    report = {
+        "schema": FUSE_SCHEMA,
+        "label": label,
+        "instructions": total,
+        "levels": len(by_level),
+        "groups": group_count,
+        "by_level": level_rows,
+        "by_opcode": {
+            op: {
+                "instructions": slot["instructions"],
+                "groups": slot["groups"],
+                "max_group": slot["max_group"],
+                "fraction_ge": {
+                    str(t): (slot["in_groups_ge"][t] / slot["instructions"]
+                             if slot["instructions"] else 0.0)
+                    for t in GROUP_THRESHOLDS
+                },
+            }
+            for op, slot in sorted(by_opcode.items())
+        },
+        "batchable_fraction": {
+            str(t): (in_groups_ge[t] / total if total else 0.0)
+            for t in GROUP_THRESHOLDS
+        },
+        "dispatch": {
+            "per_instruction_ns": dispatch_ns,
+            "eliminable_dispatches": eliminable,
+            "estimated_savings_ms":
+                eliminable * dispatch_ns / 1e6,
+            "estimated_savings_fraction":
+                eliminable / total if total else 0.0,
+        },
+    }
+    return report
+
+
+def analyze_application(app, seed: int = 0,
+                        dispatch_ns: Optional[float] = None
+                        ) -> Dict[str, Any]:
+    """Fusion report for one application's steady-state frame."""
+    program = app.compile_frame(seed)
+    return analyze_program(program, label=app.name,
+                           dispatch_ns=dispatch_ns)
+
+
+def render_fuse_report(reports: List[Dict[str, Any]],
+                       top: int = 10) -> str:
+    """Human-readable rendering of one or more program reports."""
+    lines: List[str] = []
+    for report in reports:
+        label = report.get("label") or "program"
+        total = report["instructions"]
+        lines.append(f"{label}: {total:,} instructions over "
+                     f"{report['levels']} dependency levels, "
+                     f"{report['groups']:,} same-opcode groups")
+        for t in GROUP_THRESHOLDS:
+            frac = report["batchable_fraction"][str(t)]
+            lines.append(f"  in groups >= {t}: {frac:6.1%} "
+                         f"of instructions")
+        disp = report["dispatch"]
+        lines.append(
+            f"  dispatch overhead: {disp['per_instruction_ns']:.0f} ns/"
+            f"instr x {disp['eliminable_dispatches']:,} eliminable "
+            f"dispatches ~= {disp['estimated_savings_ms']:.2f} ms "
+            f"({disp['estimated_savings_fraction']:.1%} of dispatches)"
+        )
+        lines.append(f"  by opcode (top {top} by batchable instructions)")
+        ranked = sorted(
+            report["by_opcode"].items(),
+            key=lambda kv: -kv[1]["instructions"]
+            * kv[1]["fraction_ge"][str(GROUP_THRESHOLDS[0])],
+        )[:top]
+        for op, slot in ranked:
+            fr2 = slot["fraction_ge"][str(GROUP_THRESHOLDS[0])]
+            fr4 = slot["fraction_ge"][str(GROUP_THRESHOLDS[-1])]
+            lines.append(
+                f"    {op:<7} {slot['instructions']:>7,} instrs in "
+                f"{slot['groups']:>5,} groups  max {slot['max_group']:>5,}"
+                f"  >=2: {fr2:6.1%}  >=4: {fr4:6.1%}"
+            )
+        # The widest levels are where the fused backend wins first.
+        widest = sorted(report["by_level"],
+                        key=lambda row: -row["instructions"])[:3]
+        lines.append("  widest levels")
+        for row in widest:
+            head = ", ".join(
+                f"{g['opcode']} x{g['size']}"
+                f" (uniform {g['max_uniform']})"
+                for g in row["groups"][:4]
+            )
+            lines.append(f"    L{row['level']:<4} "
+                         f"{row['instructions']:>6,} instrs: {head}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,159 @@
+"""Host wall-clock hotspot rendering: ``python -m repro.obs hotspots``.
+
+Accepts either document flavor that can carry host wall-clock data:
+
+- a **metrics** document (``repro.obs.metrics/1``) whose experiments
+  were run with ``python -m repro.eval --wallclock``: each entry then
+  carries a ``host_wallclock`` profiler snapshot plus the ``host.phase``
+  span timers in ``span_timings_s``;
+- a **BENCH** document (``repro.bench/1``) from ``python -m
+  repro.bench``: the ``solve_wall_clock`` section carries per-app
+  execute timings (median/MAD) and a per-opcode profile snapshot.
+
+Renders the per-opcode self-time ranking (calls, total ms, ns/call,
+elements), the opcode x provenance-stage cross table, and the host
+phase timers (build / compile / rebind / execute / simulate).  A
+document without any host wall-clock data renders a pointer to the
+producing commands instead of failing — older documents stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import SCHEMA as METRICS_SCHEMA
+from repro.obs.wallclock import merge_snapshots
+
+# Inlined (must match repro.bench.core.BENCH_SCHEMA): importing the
+# bench package would drag the application suite into a pure renderer.
+BENCH_SCHEMA = "repro.bench/1"
+
+# Span names that make up the host phase-timer table, in pipeline order.
+PHASE_SPANS = (
+    ("frame.build", "build"),
+    ("compile_application", "compile"),
+    ("codegen", "codegen"),
+    ("solve.compile", "solve compile/rebind"),
+    ("compiler.cache.rebind", "rebind"),
+    ("solve.execute", "execute"),
+    ("bench.execute", "execute (bench)"),
+    ("simulate", "simulate"),
+)
+
+
+def _collect(document: Dict[str, Any]
+             ) -> Tuple[Dict[str, Any], Dict[str, float],
+                        Optional[Dict[str, Any]]]:
+    """(merged profile, phase seconds, bench solve section or None)."""
+    schema = document.get("schema")
+    snapshots: List[Dict[str, Any]] = []
+    phases: Dict[str, float] = {}
+    solve_section: Optional[Dict[str, Any]] = None
+    if schema == METRICS_SCHEMA:
+        for entry in document.get("experiments", []):
+            snap = entry.get("host_wallclock")
+            if snap:
+                snapshots.append(snap)
+            for name, seconds in (entry.get("span_timings_s") or {}).items():
+                phases[name] = phases.get(name, 0.0) + float(seconds)
+    elif schema == BENCH_SCHEMA:
+        solve_section = document.get("solve_wall_clock")
+        if solve_section:
+            for app in (solve_section.get("apps") or {}).values():
+                snap = app.get("profile")
+                if snap:
+                    snapshots.append(snap)
+    else:
+        raise ValueError(
+            f"unsupported schema {schema!r}: expected "
+            f"{METRICS_SCHEMA!r} or {BENCH_SCHEMA!r}"
+        )
+    return merge_snapshots(snapshots), phases, solve_section
+
+
+def render_hotspots(document: Dict[str, Any], top: int = 10) -> str:
+    """Render the host wall-clock hotspot view of one document."""
+    profile, phases, solve_section = _collect(document)
+    lines: List[str] = []
+
+    if solve_section:
+        host = solve_section.get("host") or {}
+        repeats = solve_section.get("repeats", "?")
+        lines.append(
+            f"solve wall-clock ({repeats} repeats/app, host: "
+            f"python {host.get('python', '?')}, "
+            f"numpy {host.get('numpy', '?')}, "
+            f"{host.get('cpu_count', '?')} cpus)"
+        )
+        lines.append("-" * 40)
+        for name in sorted(solve_section.get("apps") or {}):
+            app = solve_section["apps"][name]
+            median_ms = float(app.get("median_s", 0.0)) * 1e3
+            mad_ms = float(app.get("mad_s", 0.0)) * 1e3
+            instrs = int(app.get("instructions", 0))
+            per_us = (median_ms * 1e3 / instrs) if instrs else 0.0
+            lines.append(
+                f"  {name:<26} median {median_ms:9.2f} ms "
+                f"(+-{mad_ms:.2f} MAD)  {instrs:>7,} instrs  "
+                f"{per_us:6.2f} us/instr"
+            )
+        lines.append("")
+
+    total_ns = int(profile.get("total_self_ns", 0))
+    by_opcode = profile.get("by_opcode") or {}
+    lines.append(f"opcode self time (top {top})")
+    lines.append("----------------------------")
+    if by_opcode:
+        ranked = sorted(by_opcode.items(),
+                        key=lambda kv: -kv[1]["self_ns"])[:top]
+        for op, cell in ranked:
+            ns = int(cell["self_ns"])
+            calls = int(cell["calls"])
+            share = ns / total_ns if total_ns else 0.0
+            per_call = ns / calls if calls else 0.0
+            lines.append(
+                f"  {op:<7} {ns / 1e6:10.2f} ms ({share:6.1%})  "
+                f"{calls:>9,} calls  {per_call:>9,.0f} ns/call  "
+                f"{int(cell['elements']):>10,} elements"
+            )
+        lines.append(f"  total   {total_ns / 1e6:10.2f} ms over "
+                     f"{int(profile.get('instructions', 0)):,} "
+                     f"instructions "
+                     f"({int(profile.get('programs', 0))} programs)")
+    else:
+        lines.append(
+            "  (no per-opcode profile recorded; produce one with "
+            "`python -m repro.bench --quick` or "
+            "`python -m repro.eval --wallclock --metrics m.json`)"
+        )
+
+    stage_rows: List[Tuple[str, str, Dict[str, Any]]] = []
+    for op, stages in (profile.get("by_opcode_stage") or {}).items():
+        for stage, cell in stages.items():
+            stage_rows.append((op, stage, cell))
+    if stage_rows:
+        lines.append("")
+        lines.append(f"opcode x stage self time (top {top})")
+        lines.append("------------------------------------")
+        stage_rows.sort(key=lambda row: -row[2]["self_ns"])
+        for op, stage, cell in stage_rows[:top]:
+            ns = int(cell["self_ns"])
+            share = ns / total_ns if total_ns else 0.0
+            lines.append(
+                f"  {op:<7} {stage:<20} {ns / 1e6:10.2f} ms "
+                f"({share:6.1%})  {int(cell['calls']):>9,} calls"
+            )
+
+    lines.append("")
+    lines.append("host phase timers")
+    lines.append("-----------------")
+    any_phase = False
+    for span, label in PHASE_SPANS:
+        seconds = phases.get(span)
+        if seconds is None:
+            continue
+        any_phase = True
+        lines.append(f"  {label:<22} {seconds * 1e3:10.2f} ms")
+    if not any_phase:
+        lines.append("  (no host.phase spans in this document)")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Wall-clock trend analysis over the bench history series.
+
+``python -m repro.obs trend [history]`` loads the JSONL series written
+by ``python -m repro.bench`` (see :mod:`repro.bench.history`), renders
+each app's solve wall-clock medians over time (sparkline + latest vs
+trailing baseline), and flags regressions.
+
+Wall-clock is noisy, so the gate is statistical, not exact: the
+trailing window's **median of medians** is the baseline and its MAD the
+noise scale; the latest run is *flagged* when it leaves the
+``baseline + k * MAD`` band (default k=3), and is a **hard** regression
+when it exceeds ``hard_factor * baseline`` (default 2x).  Exit codes:
+0 clean (or too little history to judge), 1 on any flagged regression —
+under ``--warn-only`` (the CI mode) only *hard* regressions exit 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+# Below this many prior entries the noise band is meaningless; the
+# series renders but nothing is flagged.
+MIN_BASELINE_ENTRIES = 3
+
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _median(values: List[float]) -> float:
+    ranked = sorted(values)
+    mid = len(ranked) // 2
+    if len(ranked) % 2:
+        return ranked[mid]
+    return 0.5 * (ranked[mid - 1] + ranked[mid])
+
+
+def _mad(values: List[float], center: Optional[float] = None) -> float:
+    if not values:
+        return 0.0
+    if center is None:
+        center = _median(values)
+    return _median([abs(v - center) for v in values])
+
+
+def sparkline(values: List[float]) -> str:
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_BLOCKS[0] * len(values)
+    scale = (len(SPARK_BLOCKS) - 1) / (hi - lo)
+    return "".join(SPARK_BLOCKS[int((v - lo) * scale)] for v in values)
+
+
+def analyze_trend(entries: List[Dict[str, Any]], window: int = 8,
+                  k: float = 3.0, hard_factor: float = 2.0
+                  ) -> Dict[str, Any]:
+    """Per-app series + regression verdicts over a history series.
+
+    The last entry is "latest"; its baseline is the median of the
+    previous ``window`` entries' medians (per app).  Apps missing from
+    the latest entry are reported as dormant, not flagged.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    series: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in entries:
+        for name, app in (entry.get("apps") or {}).items():
+            median_s = app.get("median_s")
+            if median_s is None:
+                continue
+            series.setdefault(name, []).append({
+                "sha": str(entry.get("sha", "?"))[:12],
+                "iso_time": entry.get("iso_time", "?"),
+                "median_s": float(median_s),
+                "mad_s": float(app.get("mad_s") or 0.0),
+            })
+
+    apps: Dict[str, Any] = {}
+    flagged: List[str] = []
+    hard: List[str] = []
+    for name, points in sorted(series.items()):
+        latest = points[-1]
+        trailing = [p["median_s"] for p in points[:-1]][-window:]
+        row: Dict[str, Any] = {
+            "points": points,
+            "latest_s": latest["median_s"],
+            "trailing": len(trailing),
+        }
+        if len(trailing) >= MIN_BASELINE_ENTRIES:
+            baseline = _median(trailing)
+            noise = _mad(trailing, baseline)
+            # Never tighter than the latest run's own repeat noise: a
+            # perfectly quiet trailing window must not flag ordinary
+            # run-to-run jitter.
+            band = baseline + k * max(noise, latest["mad_s"])
+            row.update({
+                "baseline_s": baseline,
+                "mad_s": noise,
+                "band_s": band,
+                "ratio": (latest["median_s"] / baseline
+                          if baseline > 0 else 1.0),
+                "regressed": latest["median_s"] > band,
+                "hard": latest["median_s"] > hard_factor * baseline
+                        if baseline > 0 else False,
+            })
+            if row["regressed"]:
+                flagged.append(name)
+            if row["hard"]:
+                hard.append(name)
+        apps[name] = row
+
+    return {
+        "entries": len(entries),
+        "window": window,
+        "k": k,
+        "hard_factor": hard_factor,
+        "apps": apps,
+        "flagged": flagged,
+        "hard": hard,
+    }
+
+
+def render_trend(analysis: Dict[str, Any], skipped: int = 0) -> str:
+    lines: List[str] = []
+    n = analysis["entries"]
+    lines.append(
+        f"bench history: {n} entr{'y' if n == 1 else 'ies'}"
+        + (f" ({skipped} unreadable line(s) skipped)" if skipped else "")
+    )
+    if not analysis["apps"]:
+        lines.append("  no wall-clock series yet -- run "
+                     "`python -m repro.bench --quick` to record one")
+        return "\n".join(lines)
+    for name, row in analysis["apps"].items():
+        medians = [p["median_s"] for p in row["points"]]
+        spark = sparkline(medians[-24:])
+        latest_ms = row["latest_s"] * 1e3
+        if "baseline_s" in row:
+            delta = (row["ratio"] - 1.0) * 100.0
+            verdict = "HARD REGRESSION" if row["hard"] else (
+                "regressed" if row["regressed"] else "ok")
+            lines.append(
+                f"  {name:<26} {spark}  latest {latest_ms:9.2f} ms  "
+                f"baseline {row['baseline_s'] * 1e3:9.2f} ms "
+                f"({delta:+.1f}%, band +{analysis['k']:g}xMAD: "
+                f"{row['band_s'] * 1e3:.2f} ms)  {verdict}"
+            )
+        else:
+            lines.append(
+                f"  {name:<26} {spark}  latest {latest_ms:9.2f} ms  "
+                f"({row['trailing']} prior entr"
+                f"{'y' if row['trailing'] == 1 else 'ies'}; need "
+                f">= {MIN_BASELINE_ENTRIES} for a noise band)"
+            )
+    if analysis["hard"]:
+        lines.append(
+            f"HARD FAIL: {', '.join(analysis['hard'])} above "
+            f"{analysis['hard_factor']:g}x the trailing median"
+        )
+    elif analysis["flagged"]:
+        lines.append(
+            f"FLAGGED: {', '.join(analysis['flagged'])} outside the "
+            f"+{analysis['k']:g}xMAD noise band"
+        )
+    else:
+        lines.append("OK: latest medians within the trailing noise band")
+    return "\n".join(lines)

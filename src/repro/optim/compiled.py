@@ -53,10 +53,17 @@ class CompiledSolver:
               ) -> Dict[Key, np.ndarray]:
         """One linear solve: compile (or rebind) and execute."""
         from repro.compiler.executor import Executor
+        from repro.obs import trace
 
-        compiled = self.cache.compile(graph, values, ordering)
+        with trace.span("solve.compile", category="host.phase") as sp:
+            hits_before = self.cache.hits
+            compiled = self.cache.compile(graph, values, ordering)
+            sp.set(kind="rebind" if self.cache.hits > hits_before
+                   else "compile")
         factory = self.executor_factory or Executor
-        registers = factory().run(compiled.program)
+        with trace.span("solve.execute", category="host.phase",
+                        instructions=len(compiled.program)):
+            registers = factory().run(compiled.program)
         return compiled.extract_solution(registers)
 
 

@@ -80,6 +80,13 @@ class Simulator:
                 f"unknown policy {policy!r}; pick one of {POLICIES}"
             )
 
+        with obs.trace.span("simulate", category="host.phase",
+                            policy=policy,
+                            instructions=len(program.instructions)):
+            return self._run(program, policy, record_schedule, fault_plan)
+
+    def _run(self, program: Program, policy: str,
+             record_schedule: bool, fault_plan) -> SimulationResult:
         instructions = program.instructions
         deps = program.dependencies()
         latencies = self._latencies(program)

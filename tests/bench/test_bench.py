@@ -97,6 +97,60 @@ class TestRunBench:
         assert report["regressions"] == []
 
 
+class TestSolveWallclock:
+    def test_section_covers_every_application(self, document):
+        from repro.apps import all_applications
+
+        section = document["solve_wall_clock"]
+        assert set(section["apps"]) == \
+            {app.name for app in all_applications()}
+        assert section["repeats"] >= 1
+        assert {"python", "numpy", "cpu_count"} <= set(section["host"])
+
+    def test_entries_carry_robust_statistics_and_a_profile(self,
+                                                           document):
+        for entry in document["solve_wall_clock"]["apps"].values():
+            assert entry["median_s"] > 0.0
+            assert entry["mad_s"] >= 0.0
+            assert entry["min_s"] <= entry["median_s"] <= entry["max_s"]
+            assert entry["instructions"] > 0
+            profile = entry["profile"]
+            # The profiled repeat interprets the same program once.
+            assert profile["programs"] == 1
+            assert profile["instructions"] == entry["instructions"]
+            assert profile["by_opcode"]
+
+    def test_measure_wallclock_off_omits_the_section(self):
+        from repro.bench.core import bench_document
+
+        document = bench_document({}, quick=True, seed=0,
+                                  wallclock_section=None)
+        assert "solve_wall_clock" not in document
+
+    def test_summarize_includes_wallclock_lines(self, document):
+        text = summarize(document)
+        assert "solve wall-clock" in text
+        assert "us/instr" in text
+
+    def test_section_ignored_by_the_exact_diff_gate(self, document):
+        mutated = copy.deepcopy(document)
+        mutated["solve_wall_clock"]["apps"] = {}
+        report = diff_documents(document, mutated, exact=True)
+        assert report["regressions"] == []
+
+    def test_unknown_sections_do_fail_the_exact_gate(self, document):
+        # The skip list is an allowlist: a section NOT on it must match
+        # deeply, so silent divergence can't hide outside "workloads".
+        mutated = copy.deepcopy(document)
+        mutated["mystery"] = {"anything": 1}
+        report = diff_documents(document, mutated, exact=True)
+        assert any(r["workload"] == "[section] mystery"
+                   for r in report["regressions"])
+        # Threshold (non-exact) mode stays workload-only.
+        loose = diff_documents(document, mutated, threshold=0.10)
+        assert not loose["regressions"]
+
+
 def regress(document, factor=1.2, metric="total_cycles"):
     worse = copy.deepcopy(document)
     key = sorted(worse["workloads"])[0]
@@ -186,6 +240,78 @@ class TestDiffCli:
         write_bench(new, document)
         assert obs_main(["diff", str(old), str(new)]) == 2
         assert "repro.obs diff: " in capsys.readouterr().err
+
+
+class TestBenchCli:
+    """Flag wiring for ``python -m repro.bench`` (run_bench is stubbed
+    with a canned document so these stay fast)."""
+
+    def canned_document(self, wallclock=True):
+        from repro.bench.core import bench_document
+
+        section = None
+        if wallclock:
+            section = {
+                "repeats": 2,
+                "host": {"python": "3.11"},
+                "apps": {"App": {"median_s": 0.01, "mad_s": 0.0,
+                                 "instructions": 5}},
+            }
+        return bench_document(
+            {"App/ooo": {"total_cycles": 1, "energy_mj": 1.0}},
+            quick=True, seed=0, wallclock_section=section)
+
+    def run_cli(self, monkeypatch, tmp_path, argv, wallclock=True):
+        import repro.bench.__main__ as cli
+
+        captured = {}
+
+        def fake_run_bench(**kwargs):
+            captured.update(kwargs)
+            return self.canned_document(wallclock=wallclock)
+
+        monkeypatch.setattr(cli, "run_bench", fake_run_bench)
+        out = tmp_path / "BENCH.json"
+        history = tmp_path / "history"
+        rc = cli.main(argv + ["--output", str(out),
+                              "--history-dir", str(history)])
+        return rc, captured, history / "solve_wallclock.jsonl"
+
+    def test_repeat_flag_reaches_run_bench(self, monkeypatch, tmp_path):
+        rc, captured, _ = self.run_cli(
+            monkeypatch, tmp_path, ["--quick", "--repeat", "9"])
+        assert rc == 0
+        assert captured["wallclock_repeats"] == 9
+        assert captured["measure_wallclock"] is True
+
+    def test_no_wallclock_flag(self, monkeypatch, tmp_path):
+        rc, captured, history = self.run_cli(
+            monkeypatch, tmp_path, ["--quick", "--no-wallclock"],
+            wallclock=False)
+        assert rc == 0
+        assert captured["measure_wallclock"] is False
+        assert not history.exists()   # no section, no history append
+
+    def test_history_appended_by_default(self, monkeypatch, tmp_path):
+        rc, _, history = self.run_cli(
+            monkeypatch, tmp_path, ["--quick"])
+        assert rc == 0
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["apps"]["App"]["median_s"] == 0.01
+
+    def test_no_history_flag_skips_the_append(self, monkeypatch,
+                                              tmp_path):
+        rc, _, history = self.run_cli(
+            monkeypatch, tmp_path, ["--quick", "--no-history"])
+        assert rc == 0
+        assert not history.exists()
+
+    def test_invalid_repeat_rejected(self, monkeypatch, tmp_path):
+        import repro.bench.__main__ as cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["--quick", "--repeat", "0"])
 
 
 class TestCommittedBaseline:

@@ -1,0 +1,131 @@
+"""Tests for the bench wall-clock history store (:mod:`repro.bench.history`)."""
+
+import json
+
+import pytest
+
+from repro.bench.core import bench_document
+from repro.bench.history import (
+    HISTORY_FILENAME,
+    HISTORY_SCHEMA,
+    append_history,
+    git_sha,
+    history_entry,
+    history_path,
+    host_fingerprint,
+    load_history,
+)
+
+
+def wallclock_document():
+    return bench_document(
+        {"App/ooo": {"total_cycles": 10, "energy_mj": 1.0}},
+        quick=True, seed=7,
+        wallclock_section={
+            "repeats": 3,
+            "host": {"python": "3.11", "numpy": "2.0"},
+            "apps": {
+                "App": {"median_s": 0.025, "mad_s": 0.001,
+                        "mean_s": 0.026, "min_s": 0.024, "max_s": 0.03,
+                        "instructions": 1200, "profile": {}},
+            },
+        })
+
+
+class TestHistoryEntry:
+    def test_distills_the_wallclock_section(self):
+        entry = history_entry(wallclock_document(), sha="deadbeef",
+                              timestamp=1700000000.0)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["sha"] == "deadbeef"
+        assert entry["mode"] == "quick"
+        assert entry["seed"] == 7
+        assert entry["repeats"] == 3
+        assert entry["iso_time"].endswith("Z")
+        assert entry["apps"]["App"] == {
+            "median_s": 0.025, "mad_s": 0.001, "instructions": 1200,
+        }
+        # The per-opcode profile stays in the BENCH document; history
+        # lines carry only the summary statistics.
+        assert "profile" not in json.dumps(entry)
+
+    def test_rejects_document_without_wallclock(self):
+        document = bench_document(
+            {"App/ooo": {"total_cycles": 10, "energy_mj": 1.0}},
+            quick=True, seed=0)
+        with pytest.raises(ValueError, match="solve_wall_clock"):
+            history_entry(document)
+
+    def test_entry_is_json_serializable(self):
+        json.dumps(history_entry(wallclock_document(), sha="x",
+                                 timestamp=0.0))
+
+
+class TestAppendAndLoad:
+    def test_round_trip(self, tmp_path):
+        directory = str(tmp_path / "history")
+        entry = history_entry(wallclock_document(), sha="aaa",
+                              timestamp=1.0)
+        path = append_history(entry, directory=directory)
+        assert path == history_path(directory)
+        assert path.endswith(HISTORY_FILENAME)
+        entries, skipped = load_history(directory)
+        assert skipped == 0
+        assert entries == [entry]
+
+    def test_appends_preserve_order(self, tmp_path):
+        directory = str(tmp_path / "history")
+        for i, sha in enumerate(["a", "b", "c"]):
+            append_history(
+                history_entry(wallclock_document(), sha=sha,
+                              timestamp=float(i)),
+                directory=directory)
+        entries, _ = load_history(directory)
+        assert [e["sha"] for e in entries] == ["a", "b", "c"]
+
+    def test_load_accepts_file_or_directory(self, tmp_path):
+        directory = str(tmp_path / "history")
+        path = append_history(
+            history_entry(wallclock_document(), sha="a", timestamp=0.0),
+            directory=directory)
+        from_dir, _ = load_history(directory)
+        from_file, _ = load_history(path)
+        assert from_dir == from_file
+
+    def test_missing_file_is_an_empty_series(self, tmp_path):
+        entries, skipped = load_history(str(tmp_path / "nowhere"))
+        assert entries == []
+        assert skipped == 0
+
+    def test_corrupt_and_foreign_lines_are_skipped(self, tmp_path):
+        directory = tmp_path / "history"
+        directory.mkdir()
+        good = history_entry(wallclock_document(), sha="ok",
+                             timestamp=0.0)
+        lines = [
+            json.dumps(good),
+            "{truncated by a crash",
+            json.dumps({"schema": "someone-else/9"}),
+            "",
+            json.dumps(good),
+        ]
+        (directory / HISTORY_FILENAME).write_text("\n".join(lines) + "\n")
+        entries, skipped = load_history(str(directory))
+        assert len(entries) == 2
+        assert skipped == 2
+
+
+class TestHostIdentity:
+    def test_fingerprint_fields(self):
+        host = host_fingerprint()
+        assert set(host) >= {"python", "numpy", "platform", "machine",
+                             "cpu_count"}
+        assert host["cpu_count"] >= 1
+
+    def test_git_sha_in_checkout_and_outside(self, tmp_path):
+        import pathlib
+
+        repo = str(pathlib.Path(__file__).resolve().parents[2])
+        sha = git_sha(cwd=repo)
+        assert len(sha) == 40
+        assert git_sha(cwd=str(tmp_path)) == "unknown"

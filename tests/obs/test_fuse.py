@@ -1,0 +1,126 @@
+"""Tests for the fusion-opportunity analyzer (:mod:`repro.obs.fuse`)."""
+
+import json
+
+import pytest
+
+from repro.compiler.isa import Opcode, Program
+from repro.obs.fuse import (
+    FUSE_SCHEMA,
+    analyze_application,
+    analyze_program,
+    measure_dispatch_overhead_ns,
+    render_fuse_report,
+)
+
+
+def diamond_program():
+    """Four independent COPYs off one CONST, then a consumer ADD.
+
+    CONST deps are free (preloaded data) so the COPYs share level 0
+    with the CONST: L0 = {const, copy x4}, L1 = {add}.  The COPY group
+    has size 4 and the ADD group size 1.
+    """
+    p = Program()
+    a = p.new_register("a", (2,))
+    import numpy as np
+
+    p.emit(Opcode.CONST, [], [a], meta={"value": np.ones(2)})
+    copies = []
+    for _ in range(4):
+        c = p.new_register("c", (2,))
+        p.emit(Opcode.COPY, [a], [c])
+        copies.append(c)
+    s = p.new_register("s", (2,))
+    p.emit(Opcode.ADD, [copies[0], copies[1]], [s])
+    return p
+
+
+class TestAnalyzeProgram:
+    def test_report_shape(self):
+        report = analyze_program(diamond_program(), label="diamond",
+                                 dispatch_ns=1000.0)
+        assert report["schema"] == FUSE_SCHEMA
+        assert report["label"] == "diamond"
+        assert report["instructions"] == 6
+        assert report["levels"] == 2
+
+    def test_same_level_same_opcode_grouping(self):
+        report = analyze_program(diamond_program(), dispatch_ns=1000.0)
+        copy = report["by_opcode"]["copy"]
+        assert copy == {
+            "instructions": 4, "groups": 1, "max_group": 4,
+            "fraction_ge": {"2": 1.0, "4": 1.0},
+        }
+        add = report["by_opcode"]["add"]
+        assert add["max_group"] == 1
+        assert add["fraction_ge"] == {"2": 0.0, "4": 0.0}
+
+    def test_groups_are_independent(self):
+        """No member of a same-level group may depend on another member."""
+        program = diamond_program()
+        deps = program.dependencies()
+        levels = program.levels()
+        by_level = {}
+        for instr in program.instructions:
+            by_level.setdefault(
+                (levels[instr.uid], instr.op), []).append(instr.uid)
+        for members in by_level.values():
+            for uid in members:
+                assert not set(deps[uid]) & set(members)
+
+    def test_batchable_fraction(self):
+        report = analyze_program(diamond_program(), dispatch_ns=1000.0)
+        # 4 of 6 instructions are in the size-4 COPY group.
+        assert report["batchable_fraction"]["4"] == pytest.approx(4 / 6)
+
+    def test_dispatch_savings_estimate(self):
+        report = analyze_program(diamond_program(), dispatch_ns=1000.0)
+        disp = report["dispatch"]
+        # 6 instructions collapse to 3 groups: 3 dispatches eliminable.
+        assert disp["eliminable_dispatches"] == 3
+        assert disp["estimated_savings_ms"] == pytest.approx(3e-3)
+
+    def test_shape_signatures_mark_uniform_subgroups(self):
+        report = analyze_program(diamond_program(), dispatch_ns=1000.0)
+        (row,) = [r for r in report["by_level"] if r["level"] == 0]
+        group = next(g for g in row["groups"] if g["opcode"] == "copy")
+        # All four COPYs share src/dst shape, so one uniform block.
+        assert group["max_uniform"] == 4
+        assert list(group["shapes"].values()) == [4]
+
+    def test_report_is_json_serializable(self):
+        json.dumps(analyze_program(diamond_program(), dispatch_ns=1.0))
+
+
+class TestApplications:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        from repro.apps import all_applications
+
+        return [analyze_application(app, seed=0, dispatch_ns=1000.0)
+                for app in all_applications()]
+
+    def test_every_app_analyzes(self, reports):
+        assert len(reports) == 4
+        for report in reports:
+            assert report["instructions"] > 0
+            assert report["levels"] > 1
+
+    def test_acceptance_some_app_has_size4_groups(self, reports):
+        """ISSUE acceptance: at least one app shows a meaningful
+        fraction of instructions in same-opcode groups of size >= 4."""
+        assert any(r["batchable_fraction"]["4"] > 0.5 for r in reports)
+
+    def test_render_mentions_every_app(self, reports):
+        text = render_fuse_report(reports)
+        for report in reports:
+            assert report["label"] in text
+        assert "in groups >= 4" in text
+        assert "dispatch overhead" in text
+
+
+class TestDispatchMeasurement:
+    def test_measured_overhead_is_positive_and_sane(self):
+        ns = measure_dispatch_overhead_ns(samples=200)
+        assert 10.0 < ns < 1e6

@@ -1,0 +1,177 @@
+"""Tests for the bench wall-clock trend gate (:mod:`repro.obs.trend`)."""
+
+import json
+
+import pytest
+
+from repro.bench.history import HISTORY_SCHEMA, append_history
+from repro.obs.__main__ import main as obs_main
+from repro.obs.trend import analyze_trend, render_trend, sparkline
+
+
+def entry(medians, sha="abc123", mad=0.0005):
+    return {
+        "schema": HISTORY_SCHEMA,
+        "sha": sha,
+        "timestamp": 0.0,
+        "iso_time": "2026-01-01T00:00:00Z",
+        "mode": "quick",
+        "seed": 0,
+        "repeats": 5,
+        "host": {"python": "3.11"},
+        "apps": {
+            name: {"median_s": m, "mad_s": mad, "instructions": 1000}
+            for name, m in medians.items()
+        },
+    }
+
+
+def series(app_medians, **kwargs):
+    return [entry({"App": m}, **kwargs) for m in app_medians]
+
+
+class TestAnalyzeTrend:
+    def test_stable_series_is_clean(self):
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.030]))
+        row = analysis["apps"]["App"]
+        assert not row["regressed"]
+        assert analysis["flagged"] == []
+        assert analysis["hard"] == []
+
+    def test_step_regression_is_flagged(self):
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.045]))
+        row = analysis["apps"]["App"]
+        assert row["regressed"]
+        assert not row["hard"]
+        assert analysis["flagged"] == ["App"]
+
+    def test_hard_regression_at_twice_baseline(self):
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.070]))
+        assert analysis["hard"] == ["App"]
+
+    def test_too_little_history_never_flags(self):
+        analysis = analyze_trend(series([0.030, 0.090]))
+        row = analysis["apps"]["App"]
+        assert "regressed" not in row
+        assert analysis["flagged"] == []
+
+    def test_band_respects_latest_run_noise(self):
+        # A perfectly quiet trailing window (MAD 0) must not flag a
+        # latest median inside its own repeat noise.
+        quiet = series([0.030, 0.030, 0.030, 0.032], mad=0.001)
+        analysis = analyze_trend(quiet)
+        assert not analysis["apps"]["App"]["regressed"]
+
+    def test_window_bounds_the_baseline(self):
+        # Ancient slow entries outside the window must not mask a
+        # regression against the recent fast baseline.
+        medians = [0.900] * 5 + [0.030, 0.031, 0.029, 0.030, 0.060]
+        analysis = analyze_trend(series(medians), window=4)
+        assert analysis["apps"]["App"]["regressed"]
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            analyze_trend([], window=0)
+
+    def test_apps_missing_from_latest_are_dormant(self):
+        entries = series([0.030, 0.031, 0.029, 0.030])
+        entries.append(entry({"Other": 0.010}))
+        analysis = analyze_trend(entries)
+        # "App"'s latest point predates the newest entry; it still
+        # renders but its verdict reflects its own series only.
+        assert "App" in analysis["apps"]
+        assert "Other" in analysis["apps"]
+        assert analysis["flagged"] == []
+
+
+class TestRender:
+    def test_sparkline_range(self):
+        spark = sparkline([1.0, 2.0, 3.0])
+        assert len(spark) == 3
+        assert spark[0] != spark[-1]
+        assert sparkline([2.0, 2.0]) == "▁▁"
+        assert sparkline([]) == ""
+
+    def test_render_flags_and_sparklines(self):
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.045]))
+        text = render_trend(analysis)
+        assert "FLAGGED" in text
+        assert "App" in text
+
+    def test_render_empty_history(self):
+        text = render_trend(analyze_trend([]))
+        assert "no wall-clock series yet" in text
+
+    def test_render_reports_skipped_lines(self):
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.030]))
+        assert "2 unreadable" in render_trend(analysis, skipped=2)
+
+
+class TestTrendCli:
+    def write_history(self, tmp_path, medians):
+        directory = str(tmp_path / "history")
+        for m in medians:
+            append_history(entry({"App": m}), directory=directory)
+        return directory
+
+    def test_clean_series_exits_zero(self, tmp_path, capsys):
+        directory = self.write_history(
+            tmp_path, [0.030, 0.031, 0.029, 0.030])
+        assert obs_main(["trend", directory]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_flagged_series_exits_one(self, tmp_path, capsys):
+        directory = self.write_history(
+            tmp_path, [0.030, 0.031, 0.029, 0.060])
+        assert obs_main(["trend", directory]) == 1
+        assert "FLAGGED" in capsys.readouterr().out
+
+    def test_warn_only_downgrades_soft_flags(self, tmp_path):
+        directory = self.write_history(
+            tmp_path, [0.030, 0.031, 0.029, 0.045])
+        assert obs_main(["trend", directory, "--warn-only"]) == 0
+
+    def test_warn_only_still_fails_hard_regressions(self, tmp_path,
+                                                    capsys):
+        directory = self.write_history(
+            tmp_path, [0.030, 0.031, 0.029, 0.090])
+        assert obs_main(["trend", directory, "--warn-only"]) == 1
+        assert "HARD" in capsys.readouterr().out
+
+    def test_missing_history_exits_zero(self, tmp_path, capsys):
+        assert obs_main(["trend", str(tmp_path / "nowhere")]) == 0
+        assert "no wall-clock series yet" in capsys.readouterr().out
+
+    def test_append_from_bench_document(self, tmp_path, capsys):
+        from repro.bench.core import bench_document, write_bench
+
+        document = bench_document(
+            {"App/ooo": {"total_cycles": 1, "energy_mj": 1.0}},
+            quick=True, seed=0,
+            wallclock_section={
+                "repeats": 2,
+                "host": {"python": "3.11"},
+                "apps": {"App": {"median_s": 0.03, "mad_s": 0.001,
+                                 "instructions": 10}},
+            })
+        path = tmp_path / "BENCH_quick.json"
+        write_bench(path, document)
+        directory = str(tmp_path / "history")
+        assert obs_main(["trend", directory, "--append", str(path)]) == 0
+        lines = (tmp_path / "history" /
+                 "solve_wallclock.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["apps"]["App"]["median_s"] == 0.03
+
+    def test_append_rejects_no_wallclock_document(self, tmp_path,
+                                                  capsys):
+        from repro.bench.core import bench_document, write_bench
+
+        document = bench_document(
+            {"App/ooo": {"total_cycles": 1, "energy_mj": 1.0}},
+            quick=True, seed=0)
+        path = tmp_path / "BENCH_quick.json"
+        write_bench(path, document)
+        assert obs_main(["trend", str(tmp_path / "h"),
+                         "--append", str(path)]) == 2
+        assert "solve_wall_clock" in capsys.readouterr().err
