@@ -19,7 +19,8 @@ from scipy.linalg import solve_triangular
 from repro.errors import ExecutionError
 from repro.compiler.isa import Instruction, Opcode, Program
 from repro.geometry import so2, so3
-from repro.obs import wallclock
+from repro.obs import vtrace, wallclock
+from repro.obs.core import is_enabled as _obs_enabled
 
 
 class Executor:
@@ -29,10 +30,14 @@ class Executor:
         self.registers: Dict[str, np.ndarray] = {}
 
     def run(self, program: Program) -> Dict[str, np.ndarray]:
-        # One module-global read per program, not per instruction: the
+        # Two module-global reads per program, not per instruction: the
         # interpreter loop itself stays untouched while host wall-clock
-        # profiling (repro.obs.wallclock) is off.
+        # profiling (repro.obs.wallclock) and value tracing
+        # (repro.obs.vtrace) are off.
         profiler = wallclock.active()
+        tracer = vtrace.active()
+        if tracer is not None:
+            return self._run_traced(program, tracer, profiler)
         if profiler is not None:
             return self._run_profiled(program, profiler)
         for instr in program.instructions:
@@ -50,6 +55,36 @@ class Executor:
             self.execute(instr)
             record(instr, clock() - started, registers)
         profiler.record_program()
+        return self.registers
+
+    def _run_traced(self, program: Program, tracer,
+                    profiler) -> Dict[str, np.ndarray]:
+        """The value-traced twin of :meth:`run`: per-instruction digests.
+
+        Composes with the wallclock profiler when both are active.  The
+        ``end`` record (and with it the full-value ring buffer) is
+        flushed even when an instruction raises, so a crashing run
+        still leaves a usable forensics trail.
+        """
+        registers = self.registers
+        trace_instr = tracer.record_instruction
+        tracer.begin_program(program)
+        try:
+            if profiler is None:
+                for instr in program.instructions:
+                    self.execute(instr)
+                    trace_instr(instr, registers)
+            else:
+                record = profiler.record_instruction
+                clock = time.perf_counter_ns
+                for instr in program.instructions:
+                    started = clock()
+                    self.execute(instr)
+                    record(instr, clock() - started, registers)
+                    trace_instr(instr, registers)
+                profiler.record_program()
+        finally:
+            tracer.end_program()
         return self.registers
 
     def read(self, name: str) -> np.ndarray:
@@ -238,6 +273,10 @@ class Executor:
 
         _, r = np.linalg.qr(stacked, mode="reduced")
         conditional = r[:frontal_dim, :]
+        if _obs_enabled():
+            from repro.optim.probes import record_qr_condition
+
+            record_qr_condition(np.diagonal(conditional[:, :frontal_dim]))
         outputs = [conditional]
         if len(instr.dsts) == 2:
             marginal = r[frontal_dim:, frontal_dim:]

@@ -23,6 +23,7 @@ from repro.errors import GraphError, LinearizationError
 from repro.factorgraph.keys import Key
 from repro.factorgraph.linear import GaussianFactor, GaussianFactorGraph
 from repro.factorgraph.ordering import validate_ordering
+from repro.obs.core import is_enabled as _obs_enabled
 
 
 @dataclass
@@ -196,6 +197,10 @@ def eliminate_variable(
     r_rows = r.shape[0]
 
     cond_r = r[:frontal_dim, :frontal_dim]
+    if _obs_enabled():
+        from repro.optim.probes import record_qr_condition
+
+        record_qr_condition(np.diagonal(cond_r))
     cond_d = r[:frontal_dim, cols]
     parents = [
         (k, r[:frontal_dim, col_of[k] : col_of[k] + sep_dims[k]])

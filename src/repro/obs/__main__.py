@@ -31,6 +31,23 @@
   (``benchmarks/history/``) per app and flag regressions when the
   latest median leaves the trailing ``k x MAD`` noise band; exits 1 on
   a flagged regression (``--warn-only``: only on a >= 2x hard one).
+  Histories shorter than ``--window`` report insufficient data and
+  exit 0 instead of judging from a degenerate sample.
+- ``vtrace`` — record a per-instruction value trace
+  (:mod:`repro.obs.vtrace`) of one application frame: a blake2 digest
+  per destination register plus provenance, streamed as chunked JSONL,
+  with a full-value ring buffer; ``--fault-rate`` injects a
+  deterministic ``repro.resilience`` value-fault schedule first.
+- ``divergence A.trace B.trace`` — align two value traces and report
+  the first diverging instruction with its provenance, abs/rel/ulp
+  error stats for ring-captured values, and the def-use backward slice
+  of suspect producers; ``--capture-window N`` re-executes both
+  producers with full-value capture around the divergence point.
+  Exits 0 on agreement, 1 on divergence, 2 on an unreadable trace.
+
+``profile``, ``bottleneck``, ``hotspots``, ``trend``, ``fuse-report``,
+and ``divergence`` all accept ``--json FILE`` to additionally write
+their raw analysis as a machine-readable artifact.
 """
 
 from __future__ import annotations
@@ -65,6 +82,9 @@ def main(argv=None) -> int:
     profile.add_argument("metrics", help="path to a --metrics output file")
     profile.add_argument("--top", type=int, default=10,
                          help="rows per ranking section (default 10)")
+    profile.add_argument("--json", metavar="FILE",
+                         help="also write the raw attribution and "
+                              "numeric-health aggregates as JSON")
 
     diff = sub.add_parser(
         "diff",
@@ -88,6 +108,9 @@ def main(argv=None) -> int:
                             help="a --metrics output or BENCH document")
     bottleneck.add_argument("--top", type=int, default=10,
                             help="rows per ranking section (default 10)")
+    bottleneck.add_argument("--json", metavar="FILE",
+                            help="also write the raw cycle accounting "
+                                 "as JSON")
 
     advise_p = sub.add_parser(
         "advise",
@@ -121,6 +144,9 @@ def main(argv=None) -> int:
                             help="a --metrics output or BENCH document")
     hotspots_p.add_argument("--top", type=int, default=10,
                             help="rows per ranking section (default 10)")
+    hotspots_p.add_argument("--json", metavar="FILE",
+                            help="also write the merged wall-clock "
+                                 "profile as JSON")
 
     fuse_p = sub.add_parser(
         "fuse-report",
@@ -162,6 +188,65 @@ def main(argv=None) -> int:
     trend_p.add_argument("--warn-only", action="store_true",
                          help="exit nonzero only on hard (>= "
                               "--hard-factor) regressions")
+    trend_p.add_argument("--json", metavar="FILE",
+                         help="also write the trend analysis as JSON")
+
+    vtrace_p = sub.add_parser(
+        "vtrace",
+        help="record a per-instruction value trace of one application "
+             "frame",
+    )
+    vtrace_p.add_argument("--app", required=True,
+                          help="application name (e.g. MobileRobot)")
+    vtrace_p.add_argument("--seed", type=int, default=0,
+                          help="workload seed (default 0)")
+    vtrace_p.add_argument("--output", "-o", required=True,
+                          help="trace file to write (JSONL)")
+    vtrace_p.add_argument("--ring", type=int, default=32,
+                          help="full-value ring buffer size in "
+                               "instructions (default 32; 0 disables)")
+    vtrace_p.add_argument("--capture", nargs=2, type=int,
+                          metavar=("LO", "HI"), default=None,
+                          help="record full values inline for seq in "
+                               "[LO, HI)")
+    vtrace_p.add_argument("--fault-rate", type=float, default=0.0,
+                          help="per-instruction value-fault probability "
+                               "(default 0: clean run)")
+    vtrace_p.add_argument("--fault-seed", type=int, default=0,
+                          help="fault-schedule seed (default 0)")
+    vtrace_p.add_argument("--fault-model", default="value",
+                          choices=("value", "bitflip"),
+                          help="value-domain fault model (default value)")
+    vtrace_p.add_argument("--fault-magnitude", type=float, default=0.05,
+                          help="relative value-fault size (default 0.05)")
+    vtrace_p.add_argument("--max-faults", type=int, default=None,
+                          help="cap on scheduled faults")
+
+    divergence_p = sub.add_parser(
+        "divergence",
+        help="align two value traces and report the first diverging "
+             "instruction; exit 1 on divergence",
+    )
+    divergence_p.add_argument("a", help="first trace file")
+    divergence_p.add_argument("b", help="second trace file")
+    divergence_p.add_argument("--align", default="seq",
+                              choices=("seq", "uid"),
+                              help="record alignment: positional (seq) "
+                                   "or by instruction uid (default seq)")
+    divergence_p.add_argument("--slice", type=int, default=8,
+                              help="backward-slice size in producers "
+                                   "(default 8)")
+    divergence_p.add_argument("--capture-window", type=int, default=None,
+                              metavar="N",
+                              help="re-execute both producers with full "
+                                   "capture N instructions around the "
+                                   "divergence point")
+    divergence_p.add_argument("--capture-dir", default=".",
+                              help="directory for --capture-window "
+                                   "re-execution traces (default .)")
+    divergence_p.add_argument("--json", metavar="FILE",
+                              help="also write the divergence report "
+                                   "as JSON")
 
     args = parser.parse_args(argv)
 
@@ -172,6 +257,18 @@ def main(argv=None) -> int:
             parser.error(str(exc))
         renderer = render_report if args.command == "report" \
             else render_profile
+        if args.command == "profile" and args.json:
+            from repro.obs.emit import write_json
+            from repro.obs.profile import (
+                aggregate_attribution,
+                aggregate_health,
+            )
+
+            write_json(args.json, {
+                "schema": "repro.obs.profile/1",
+                "attribution": aggregate_attribution(document),
+                "health": aggregate_health(document),
+            })
         print(renderer(document, top=args.top))
         return 0
 
@@ -196,12 +293,17 @@ def main(argv=None) -> int:
     if args.command == "bottleneck":
         import json
 
-        from repro.obs.bottleneck import render_bottleneck
+        from repro.obs.bottleneck import bottleneck_payload, \
+            render_bottleneck
 
         try:
             with open(args.document) as fh:
                 document = json.load(fh)
             rendered = render_bottleneck(document, top=args.top)
+            if args.json:
+                from repro.obs.emit import write_json
+
+                write_json(args.json, bottleneck_payload(document))
         except (OSError, ValueError) as exc:
             print(f"repro.obs bottleneck: {exc}", file=sys.stderr)
             return 2
@@ -235,12 +337,16 @@ def main(argv=None) -> int:
     if args.command == "hotspots":
         import json
 
-        from repro.obs.hotspots import render_hotspots
+        from repro.obs.hotspots import hotspots_payload, render_hotspots
 
         try:
             with open(args.document) as fh:
                 document = json.load(fh)
             rendered = render_hotspots(document, top=args.top)
+            if args.json:
+                from repro.obs.emit import write_json
+
+                write_json(args.json, hotspots_payload(document))
         except (OSError, ValueError) as exc:
             print(f"repro.obs hotspots: {exc}", file=sys.stderr)
             return 2
@@ -248,8 +354,6 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "fuse-report":
-        import json
-
         from repro.apps import all_applications
         from repro.obs.fuse import (
             analyze_application,
@@ -271,9 +375,9 @@ def main(argv=None) -> int:
                                        dispatch_ns=dispatch_ns)
                    for app in apps]
         if args.json:
-            with open(args.json, "w") as fh:
-                json.dump(reports, fh, indent=1)
-                fh.write("\n")
+            from repro.obs.emit import write_json
+
+            write_json(args.json, reports)
         print(render_fuse_report(reports, top=args.top))
         return 0
 
@@ -309,12 +413,101 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             print(f"repro.obs trend: {exc}", file=sys.stderr)
             return 2
+        if args.json:
+            from repro.obs.emit import write_json
+
+            write_json(args.json, {
+                "schema": "repro.obs.trend/1",
+                "skipped": skipped,
+                **analysis,
+            })
         print(render_trend(analysis, skipped=skipped))
         if analysis["hard"]:
             return 1
         if analysis["flagged"] and not args.warn_only:
             return 1
         return 0
+
+    if args.command == "vtrace":
+        from repro.obs.divergence import record_app_trace
+
+        fault = None
+        if args.fault_rate > 0.0:
+            fault = {
+                "fault_model": args.fault_model,
+                "rate": args.fault_rate,
+                "seed": args.fault_seed,
+                "magnitude": args.fault_magnitude,
+                "max_faults": args.max_faults,
+            }
+        try:
+            summary = record_app_trace(
+                args.app, args.seed, args.output,
+                ring_size=args.ring,
+                capture_range=tuple(args.capture) if args.capture else None,
+                fault=fault,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs vtrace: {exc}", file=sys.stderr)
+            return 2
+        line = (f"traced {summary['app']} seed {summary['seed']}: "
+                f"{summary['instructions']} instructions -> "
+                f"{summary['path']} "
+                f"(fingerprint {summary['fingerprint']})")
+        if summary["fault_uids"]:
+            uids = ", ".join(str(u) for u in summary["fault_uids"])
+            line += f"; injected fault uids: {uids}"
+        print(line)
+        return 0
+
+    if args.command == "divergence":
+        import os
+
+        from repro.obs.divergence import (
+            find_divergence,
+            load_trace,
+            render_capture_window,
+            render_divergence,
+            rerecord_window,
+        )
+
+        try:
+            trace_a = load_trace(args.a)
+            trace_b = load_trace(args.b)
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs divergence: {exc}", file=sys.stderr)
+            return 2
+        report = find_divergence(trace_a, trace_b, align=args.align,
+                                 slice_limit=args.slice)
+        if args.json:
+            from repro.obs.emit import write_json
+
+            write_json(args.json, {
+                "schema": "repro.obs.divergence/1",
+                "a": trace_a["path"],
+                "b": trace_b["path"],
+                "align": args.align,
+                "divergence": report,
+            })
+        if report is None:
+            records = sum(len(p["records"]) for p in trace_a["programs"])
+            print(f"no divergences: {len(trace_a['programs'])} program(s), "
+                  f"{records} records aligned, all digests match")
+            return 0
+        print(render_divergence(report))
+        if args.capture_window and report["kind"] == "value":
+            window_a = rerecord_window(
+                trace_a, report["seq"], args.capture_window,
+                os.path.join(args.capture_dir, "capture_a.trace"))
+            window_b = rerecord_window(
+                trace_b, report["seq"], args.capture_window,
+                os.path.join(args.capture_dir, "capture_b.trace"))
+            if window_a is None or window_b is None:
+                print("(capture window unavailable: a trace lacks an "
+                      "app producer recipe)")
+            else:
+                print(render_capture_window(report, window_a, window_b))
+        return 1
     return 0
 
 

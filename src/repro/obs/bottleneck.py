@@ -48,6 +48,18 @@ def _collect_simulations(document: Dict[str, Any]
     return out
 
 
+def bottleneck_payload(document: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-ready cycle accounting per simulation (the ``--json`` sink)."""
+    return {
+        "schema": "repro.obs.bottleneck/1",
+        "simulations": [
+            {"label": label,
+             "cycle_accounting": sim.get("cycle_accounting")}
+            for label, sim in _collect_simulations(document)
+        ],
+    }
+
+
 def _cause_table(table: Dict[str, float], total: float,
                  indent: str = "    ") -> List[str]:
     lines = []

@@ -71,6 +71,17 @@ def _collect(document: Dict[str, Any]
     return merge_snapshots(snapshots), phases, solve_section
 
 
+def hotspots_payload(document: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-ready host wall-clock profile (the ``--json`` sink)."""
+    profile, phases, solve_section = _collect(document)
+    return {
+        "schema": "repro.obs.hotspots/1",
+        "profile": profile,
+        "phase_timings_s": phases,
+        "solve_wall_clock": solve_section,
+    }
+
+
 def render_hotspots(document: Dict[str, Any], top: int = 10) -> str:
     """Render the host wall-clock hotspot view of one document."""
     profile, phases, solve_section = _collect(document)

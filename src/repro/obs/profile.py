@@ -12,7 +12,11 @@ the makespan.  It renders, over every simulation in the document:
   backsub);
 - the longest dependency chain of the dominant simulation, step by step;
 - the aggregate slack histogram (how much of the instruction stream is
-  schedule-critical vs free to slip).
+  schedule-critical vs free to slip);
+- the numeric-health probe summary (:mod:`repro.optim.probes`): mean
+  residual / step norm per solver, mean LM damping, and the QR
+  R-diagonal condition estimate with ill-conditioned/degenerate front
+  counts.
 """
 
 from __future__ import annotations
@@ -86,6 +90,62 @@ def aggregate_attribution(document: Dict[str, Any]) -> Dict[str, Any]:
 def _ranked(buckets: Dict[str, Dict[str, float]],
             top: int) -> List[Tuple[str, Dict[str, float]]]:
     return sorted(buckets.items(), key=lambda kv: -kv[1]["cycles"])[:top]
+
+
+def aggregate_health(document: Dict[str, Any]) -> Dict[str, float]:
+    """Sum every experiment's ``optim.health.*`` counters.
+
+    The numeric-health probes (:mod:`repro.optim.probes`) record sums
+    plus sample counts; the renderer divides them into means.
+    """
+    totals: Dict[str, float] = {}
+    for entry in document.get("experiments", []):
+        for name, value in (entry.get("counters") or {}).items():
+            if name.startswith("optim.health."):
+                totals[name] = totals.get(name, 0.0) + float(value)
+    return totals
+
+
+def render_health(health: Dict[str, float]) -> List[str]:
+    """Render the numeric-health probe section of the profile."""
+    lines = ["numeric health probes", "---------------------"]
+    any_row = False
+    for solver, label in (("gn", "gauss-newton"), ("lm", "levenberg")):
+        iters = health.get(f"optim.health.{solver}.iterations", 0.0)
+        if not iters:
+            continue
+        any_row = True
+        residual = health.get(
+            f"optim.health.{solver}.residual_sum", 0.0) / iters
+        step = health.get(
+            f"optim.health.{solver}.step_norm_sum", 0.0) / iters
+        row = (f"  {label:<14} {iters:6.0f} iterations  "
+               f"mean residual {residual:.3e}  mean step {step:.3e}")
+        damping_n = health.get(
+            f"optim.health.{solver}.damping_samples", 0.0)
+        if damping_n:
+            exponent = health.get(
+                f"optim.health.{solver}.damping_log10_sum", 0.0) / damping_n
+            row += f"  mean damping 1e{exponent:+.1f}"
+        lines.append(row)
+    fronts = health.get("optim.health.qr.fronts", 0.0)
+    if fronts:
+        any_row = True
+        degenerate = health.get("optim.health.qr.degenerate", 0.0)
+        ill = health.get("optim.health.qr.ill_conditioned", 0.0)
+        sampled = fronts - degenerate
+        mean_cond = (health.get("optim.health.qr.log10_cond_sum", 0.0)
+                     / sampled) if sampled else 0.0
+        lines.append(
+            f"  {'qr fronts':<14} {fronts:6.0f} fronts      "
+            f"mean log10(cond) {mean_cond:.2f}  "
+            f"ill-conditioned {ill:.0f}  degenerate {degenerate:.0f}"
+        )
+    if not any_row:
+        lines.append("  (no numeric-health counters recorded; solve with "
+                     "obs enabled, e.g. `python -m repro.eval "
+                     "--metrics m.json`)")
+    return lines
 
 
 def render_profile(document: Dict[str, Any], top: int = 10) -> str:
@@ -181,5 +241,8 @@ def render_profile(document: Dict[str, Any], top: int = 10) -> str:
             lines.append(f"  {label:>8}: {count:>7,}  {bar}")
     else:
         lines.append("  (no slack recorded)")
+
+    lines.append("")
+    lines.extend(render_health(aggregate_health(document)))
 
     return "\n".join(lines)

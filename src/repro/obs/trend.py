@@ -9,9 +9,15 @@ Wall-clock is noisy, so the gate is statistical, not exact: the
 trailing window's **median of medians** is the baseline and its MAD the
 noise scale; the latest run is *flagged* when it leaves the
 ``baseline + k * MAD`` band (default k=3), and is a **hard** regression
-when it exceeds ``hard_factor * baseline`` (default 2x).  Exit codes:
-0 clean (or too little history to judge), 1 on any flagged regression —
-under ``--warn-only`` (the CI mode) only *hard* regressions exit 1.
+when it exceeds ``hard_factor * baseline`` (default 2x).
+
+A history shorter than the configured ``--window`` (or with fewer than
+:data:`MIN_BASELINE_ENTRIES` prior entries) is **insufficient data**:
+the series still renders, but no band is computed from the degenerate
+sample and nothing is flagged — the gate reports itself inactive and
+exits 0.  Exit codes: 0 clean or insufficient data, 1 on any flagged
+regression — under ``--warn-only`` (the CI mode) only *hard*
+regressions exit 1.
 """
 
 from __future__ import annotations
@@ -78,6 +84,10 @@ def analyze_trend(entries: List[Dict[str, Any]], window: int = 8,
     apps: Dict[str, Any] = {}
     flagged: List[str] = []
     hard: List[str] = []
+    # A band computed from fewer prior entries than the window asks for
+    # is a degenerate sample (a 1-2 entry "median of medians" flags
+    # ordinary jitter); require the full window before judging.
+    required = max(int(window), MIN_BASELINE_ENTRIES)
     for name, points in sorted(series.items()):
         latest = points[-1]
         trailing = [p["median_s"] for p in points[:-1]][-window:]
@@ -85,8 +95,9 @@ def analyze_trend(entries: List[Dict[str, Any]], window: int = 8,
             "points": points,
             "latest_s": latest["median_s"],
             "trailing": len(trailing),
+            "required": required,
         }
-        if len(trailing) >= MIN_BASELINE_ENTRIES:
+        if len(trailing) >= required:
             baseline = _median(trailing)
             noise = _mad(trailing, baseline)
             # Never tighter than the latest run's own repeat noise: a
@@ -146,12 +157,14 @@ def render_trend(analysis: Dict[str, Any], skipped: int = 0) -> str:
                 f"{row['band_s'] * 1e3:.2f} ms)  {verdict}"
             )
         else:
+            required = row.get("required", MIN_BASELINE_ENTRIES)
             lines.append(
                 f"  {name:<26} {spark}  latest {latest_ms:9.2f} ms  "
-                f"({row['trailing']} prior entr"
-                f"{'y' if row['trailing'] == 1 else 'ies'}; need "
-                f">= {MIN_BASELINE_ENTRIES} for a noise band)"
+                f"(insufficient data: {row['trailing']} prior entr"
+                f"{'y' if row['trailing'] == 1 else 'ies'}, need "
+                f">= {required} for a noise band)"
             )
+    judged = any("baseline_s" in row for row in analysis["apps"].values())
     if analysis["hard"]:
         lines.append(
             f"HARD FAIL: {', '.join(analysis['hard'])} above "
@@ -161,6 +174,11 @@ def render_trend(analysis: Dict[str, Any], skipped: int = 0) -> str:
         lines.append(
             f"FLAGGED: {', '.join(analysis['flagged'])} outside the "
             f"+{analysis['k']:g}xMAD noise band"
+        )
+    elif not judged:
+        lines.append(
+            "insufficient data: no app has a full trailing window yet "
+            "(gate inactive)"
         )
     else:
         lines.append("OK: latest medians within the trailing noise band")

@@ -29,6 +29,7 @@ from repro.factorgraph.keys import Key
 from repro.factorgraph.ordering import min_degree_ordering
 from repro.factorgraph.values import Values
 from repro.obs import counters, trace
+from repro.optim.probes import record_iteration
 from repro.optim.result import IterationRecord, OptimizationResult
 from repro.optim.safeguards import (
     SolveBudget,
@@ -180,6 +181,7 @@ def gauss_newton(
             values = trial
             sp.set(error_before=error_before, error_after=error_after,
                    step_norm=norm)
+            record_iteration("gn", error_after, norm)
         counters.incr("optim.gn.iterations")
         records.append(
             IterationRecord(iteration, error_before, error_after, norm, stats)

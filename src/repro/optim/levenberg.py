@@ -29,6 +29,7 @@ from repro.factorgraph.ordering import min_degree_ordering
 from repro.factorgraph.values import Values
 from repro.obs import counters, trace
 from repro.optim.gauss_newton import step_norm
+from repro.optim.probes import record_iteration
 from repro.optim.result import IterationRecord, OptimizationResult
 from repro.optim.safeguards import (
     SolveBudget,
@@ -173,6 +174,7 @@ def levenberg_marquardt(
                     sp.set(error_before=error_before,
                            error_after=error_after, step_norm=norm,
                            damping=lam, trials=trials)
+                    record_iteration("lm", error_after, norm, damping=lam)
                     lam = max(lam / params.lambda_factor, params.min_lambda)
                     counters.incr("optim.lm.iterations")
                     records.append(

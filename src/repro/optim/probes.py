@@ -1,0 +1,87 @@
+"""Numeric-health probes for the solver loops and QR elimination.
+
+Convergence bugs and near-singular systems hide behind "the solve
+finished": the iterate counts look normal while the residual plateaus
+or the R diagonal collapses.  These probes surface that as plain obs
+counters (:mod:`repro.obs.core`), recorded only while collection is
+enabled and rendered by ``python -m repro.obs profile`` next to the
+cycle attribution.
+
+The counter API only accumulates sums, so each probe records a sum plus
+a sample count and the renderer reports means:
+
+- ``optim.health.<solver>.iterations`` / ``.residual_sum`` /
+  ``.step_norm_sum`` — per accepted iteration of Gauss-Newton (``gn``)
+  and Levenberg-Marquardt (``lm``);
+- ``optim.health.lm.damping_log10_sum`` / ``.damping_samples`` —
+  accepted-trial damping, in decades (damping spans many orders of
+  magnitude, so the mean exponent is the meaningful statistic);
+- ``optim.health.qr.fronts`` / ``.log10_cond_sum`` /
+  ``.ill_conditioned`` / ``.degenerate`` — per partial-QR front, a
+  cheap condition estimate from the R diagonal (``max|d| / min|d|``
+  bounds the true condition number from below).  Recorded by both the
+  reference elimination path and the compiled executor's QR handler,
+  so reference and compiled solves are comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import counters
+from repro.obs.core import is_enabled
+
+HEALTH_PREFIX = "optim.health"
+
+# A diagonal ratio above 10^8 leaves fewer than 8 of float64's ~16
+# digits for the solve — flag it.
+ILL_CONDITIONED_LOG10 = 8.0
+
+__all__ = [
+    "HEALTH_PREFIX", "ILL_CONDITIONED_LOG10",
+    "record_iteration", "record_qr_condition",
+]
+
+
+def record_iteration(solver: str, residual: float, step_norm: float,
+                     damping: Optional[float] = None) -> None:
+    """Account one accepted solver iteration's health numbers."""
+    if not is_enabled():
+        return
+    prefix = f"{HEALTH_PREFIX}.{solver}"
+    counters.incr(f"{prefix}.iterations")
+    counters.incr(f"{prefix}.residual_sum", float(residual))
+    counters.incr(f"{prefix}.step_norm_sum", float(step_norm))
+    if damping is not None and damping > 0.0:
+        counters.incr(f"{prefix}.damping_log10_sum", math.log10(damping))
+        counters.incr(f"{prefix}.damping_samples")
+
+
+def record_qr_condition(diagonal) -> None:
+    """Account one QR front's R-diagonal condition estimate.
+
+    ``diagonal`` is the frontal block's diagonal of R.  A zero,
+    non-finite, or empty diagonal counts as degenerate (the back
+    substitution would reject it); otherwise the log10 of
+    ``max|d| / min|d|`` accumulates toward the mean estimate.
+    """
+    if not is_enabled():
+        return
+    prefix = f"{HEALTH_PREFIX}.qr"
+    counters.incr(f"{prefix}.fronts")
+    d = np.abs(np.asarray(diagonal, dtype=float).ravel())
+    if d.size == 0:
+        counters.incr(f"{prefix}.degenerate")
+        return
+    d_max = float(d.max())
+    d_min = float(d.min())
+    if d_min <= 0.0 or not np.isfinite(d_max):
+        counters.incr(f"{prefix}.degenerate")
+        return
+    log10_cond = math.log10(d_max / d_min)
+    counters.incr(f"{prefix}.log10_cond_sum", log10_cond)
+    if log10_cond > ILL_CONDITIONED_LOG10:
+        counters.incr(f"{prefix}.ill_conditioned")

@@ -223,6 +223,10 @@ def corrupt_arrays(event: FaultEvent,
         bits = flat[idx : idx + 1].view(np.uint64)
         bits ^= np.uint64(1) << np.uint64(event.bit)
     else:
+        # Shift by `magnitude` relative to the element (with an
+        # absolute floor of 1): the change is always at least
+        # `magnitude` in absolute terms, so no element value -- zero,
+        # -1, anything -- can absorb the fault into a fixed point.
         delta = event.sign * event.magnitude
-        flat[idx] = flat[idx] * (1.0 + delta) + delta
+        flat[idx] = flat[idx] + delta * max(1.0, abs(flat[idx]))
     return dst, out

@@ -18,8 +18,9 @@ from repro.factorgraph.g2o import load_g2o
 
 from tests.diff.util import (
     dense_reference,
+    divergence_forensics,
     random_problem,
-    schedule_replay,
+    replay_program,
 )
 
 G2O_2D = """\
@@ -39,7 +40,8 @@ def check_oracles(graph, values, atol=1e-8):
     registers = Executor().run(compiled.program)
     executed = compiled.extract_solution(registers)
 
-    replayed = schedule_replay(compiled)
+    replay = replay_program(compiled)
+    replayed = compiled.extract_solution(Executor().run(replay))
 
     linear = graph.linearize(values)
     reference, _ = solve(linear, compiled.ordering)
@@ -48,7 +50,13 @@ def check_oracles(graph, values, atol=1e-8):
     assert set(executed) == set(replayed) == set(reference) == set(dense)
     for key in reference:
         assert np.allclose(executed[key], reference[key], atol=atol)
-        assert np.allclose(replayed[key], executed[key], atol=1e-12)
+        if not np.allclose(replayed[key], executed[key], atol=1e-12):
+            # Localize before failing: trace both streams and report
+            # the first diverging instruction with its provenance.
+            report = divergence_forensics(compiled.program, replay)
+            raise AssertionError(
+                f"executor vs schedule replay disagree on {key}\n{report}"
+            )
         assert np.allclose(executed[key], dense[key], atol=1e-6)
 
 

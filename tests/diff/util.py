@@ -120,14 +120,13 @@ def assert_streams_equal(got: Program, expected: Program):
     assert got.register_shapes == expected.register_shapes
 
 
-def schedule_replay(compiled, policy="ooo"):
-    """Execute a compiled program in the simulator's schedule order.
+def replay_program(compiled, policy="ooo"):
+    """The compiled program reordered by the simulator's schedule.
 
-    Runs the cycle-accurate simulator with schedule recording, reorders
-    the instruction list by ``(start_cycle, uid)``, and executes the
-    reordered stream on the functional interpreter.  Any schedule that
-    violates true data dependencies surfaces as an unwritten-register
-    error or a wrong solution.
+    Runs the cycle-accurate simulator with schedule recording and
+    returns a :class:`Program` whose instruction list is sorted by
+    ``(start_cycle, uid)`` — the stream :func:`schedule_replay`
+    executes, exposed separately so divergence forensics can trace it.
     """
     from repro.eval import ORIANNA_CONFIG
     from repro.sim import Simulator
@@ -139,8 +138,51 @@ def schedule_replay(compiled, policy="ooo"):
     replay = Program(algorithm=compiled.program.algorithm)
     replay.instructions = order
     replay.register_shapes = dict(compiled.program.register_shapes)
-    registers = Executor().run(replay)
+    return replay
+
+
+def schedule_replay(compiled, policy="ooo"):
+    """Execute a compiled program in the simulator's schedule order.
+
+    Any schedule that violates true data dependencies surfaces as an
+    unwritten-register error or a wrong solution.
+    """
+    registers = Executor().run(replay_program(compiled, policy))
     return compiled.extract_solution(registers)
+
+
+def divergence_forensics(program_a, program_b, align="uid"):
+    """First-divergence report between two program executions, as text.
+
+    Traces both executions with :mod:`repro.obs.vtrace` (ring disabled:
+    the harness only needs localization, the values are re-derivable)
+    and renders where the digest streams first disagree.  Returns ""
+    when the executions agree — the caller attaches the report to its
+    assertion message, turning "the oracles disagree" into "instruction
+    #N with this provenance disagrees".
+    """
+    import os
+    import tempfile
+
+    from repro.obs import vtrace
+    from repro.obs.divergence import (
+        find_divergence,
+        load_trace,
+        render_divergence,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path_a = os.path.join(tmp, "a.trace")
+        path_b = os.path.join(tmp, "b.trace")
+        with vtrace.recording_scope(path_a, ring_size=0):
+            Executor().run(program_a)
+        with vtrace.recording_scope(path_b, ring_size=0):
+            Executor().run(program_b)
+        report = find_divergence(load_trace(path_a), load_trace(path_b),
+                                 align=align)
+    if report is None:
+        return ""
+    return render_divergence(report)
 
 
 def dense_reference(graph: FactorGraph, values: Values):

@@ -126,6 +126,17 @@ class TestCli:
         out = capsys.readouterr().out
         assert "top-down cycle accounting" in out
 
+    def test_bottleneck_json_artifact(self, document, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(path, document["experiments"])
+        artifact = tmp_path / "bottleneck.json"
+        assert obs_main(["bottleneck", str(path),
+                         "--json", str(artifact)]) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro.obs.bottleneck/1"
+        assert payload["simulations"]
+        assert "cycle_accounting" in payload["simulations"][0]
+
     def test_bottleneck_missing_file_exits_2(self, tmp_path, capsys):
         assert obs_main(["bottleneck", str(tmp_path / "nope.json")]) == 2
         assert "repro.obs bottleneck" in capsys.readouterr().err

@@ -92,6 +92,16 @@ class TestRenderHotspots:
         assert obs_main(["hotspots", str(bogus)]) == 2
         assert "repro.obs hotspots: " in capsys.readouterr().err
 
+    def test_cli_json_artifact(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(bench_with_profile()))
+        artifact = tmp_path / "hotspots.json"
+        assert obs_main(["hotspots", str(path),
+                         "--json", str(artifact)]) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro.obs.hotspots/1"
+        assert payload["solve_wall_clock"]["apps"]["App"]
+
 
 def old_bench(tmp_path):
     """A pre-observability BENCH document: workloads only."""

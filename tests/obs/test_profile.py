@@ -7,7 +7,8 @@ from repro import obs
 from repro.obs.__main__ import main as obs_main
 from repro.obs.metrics import experiment_entry, metrics_document, \
     write_metrics
-from repro.obs.profile import aggregate_attribution, render_profile
+from repro.obs.profile import aggregate_attribution, aggregate_health, \
+    render_profile
 from repro.compiler import compile_graph
 from repro.factorgraph import FactorGraph, Isotropic, Values, X
 from repro.factors import BetweenFactor, PriorFactor
@@ -76,3 +77,47 @@ class TestRenderProfile:
         path = tmp_path / "metrics.json"
         write_metrics(path, document["experiments"])
         assert obs_main(["profile", str(path), "--top", "3"]) == 0
+
+    def test_cli_json_artifact(self, document, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        write_metrics(path, document["experiments"])
+        artifact = tmp_path / "profile.json"
+        assert obs_main(["profile", str(path),
+                         "--json", str(artifact)]) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro.obs.profile/1"
+        assert payload["attribution"]["coverage"] >= 0.95
+        assert "health" in payload
+
+
+class TestHealthSection:
+    @pytest.fixture(scope="class")
+    def health_document(self):
+        from repro.factorgraph import prior_on_vector
+        from repro.optim import gauss_newton
+
+        graph = FactorGraph([prior_on_vector(X(0), np.array([1.0, 2.0]))])
+        values = Values({X(0): np.zeros(2)})
+        with obs.enabled_scope():
+            gauss_newton(graph, values)
+            snapshot = obs.collector().drain()
+        return metrics_document([experiment_entry("SOLVE", 0.1, snapshot)])
+
+    def test_aggregate_health_sums_counters(self, health_document):
+        health = aggregate_health(health_document)
+        assert health["optim.health.gn.iterations"] >= 1
+        assert health["optim.health.qr.fronts"] >= 1
+        assert all(k.startswith("optim.health.") for k in health)
+
+    def test_render_includes_solver_rows(self, health_document):
+        text = render_profile(health_document)
+        assert "numeric health probes" in text
+        assert "gauss-newton" in text
+        assert "qr fronts" in text
+        assert "mean residual" in text
+
+    def test_render_without_health_counters(self, document):
+        text = render_profile(document)
+        assert "no numeric-health counters recorded" in text

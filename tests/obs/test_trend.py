@@ -32,21 +32,24 @@ def series(app_medians, **kwargs):
 
 class TestAnalyzeTrend:
     def test_stable_series_is_clean(self):
-        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.030]))
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.030]),
+                                 window=3)
         row = analysis["apps"]["App"]
         assert not row["regressed"]
         assert analysis["flagged"] == []
         assert analysis["hard"] == []
 
     def test_step_regression_is_flagged(self):
-        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.045]))
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.045]),
+                                 window=3)
         row = analysis["apps"]["App"]
         assert row["regressed"]
         assert not row["hard"]
         assert analysis["flagged"] == ["App"]
 
     def test_hard_regression_at_twice_baseline(self):
-        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.070]))
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.070]),
+                                 window=3)
         assert analysis["hard"] == ["App"]
 
     def test_too_little_history_never_flags(self):
@@ -55,11 +58,22 @@ class TestAnalyzeTrend:
         assert "regressed" not in row
         assert analysis["flagged"] == []
 
+    def test_history_shorter_than_window_never_flags(self):
+        # 4 prior entries satisfy MIN_BASELINE_ENTRIES but not the
+        # configured window: the band must stay inactive rather than
+        # judge from a degenerate sample.
+        analysis = analyze_trend(series([0.030] * 4 + [0.090]), window=8)
+        row = analysis["apps"]["App"]
+        assert "regressed" not in row
+        assert row["required"] == 8
+        assert analysis["flagged"] == []
+        assert analysis["hard"] == []
+
     def test_band_respects_latest_run_noise(self):
         # A perfectly quiet trailing window (MAD 0) must not flag a
         # latest median inside its own repeat noise.
         quiet = series([0.030, 0.030, 0.030, 0.032], mad=0.001)
-        analysis = analyze_trend(quiet)
+        analysis = analyze_trend(quiet, window=3)
         assert not analysis["apps"]["App"]["regressed"]
 
     def test_window_bounds_the_baseline(self):
@@ -76,7 +90,7 @@ class TestAnalyzeTrend:
     def test_apps_missing_from_latest_are_dormant(self):
         entries = series([0.030, 0.031, 0.029, 0.030])
         entries.append(entry({"Other": 0.010}))
-        analysis = analyze_trend(entries)
+        analysis = analyze_trend(entries, window=3)
         # "App"'s latest point predates the newest entry; it still
         # renders but its verdict reflects its own series only.
         assert "App" in analysis["apps"]
@@ -93,7 +107,8 @@ class TestRender:
         assert sparkline([]) == ""
 
     def test_render_flags_and_sparklines(self):
-        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.045]))
+        analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.045]),
+                                 window=3)
         text = render_trend(analysis)
         assert "FLAGGED" in text
         assert "App" in text
@@ -106,6 +121,14 @@ class TestRender:
         analysis = analyze_trend(series([0.030, 0.031, 0.029, 0.030]))
         assert "2 unreadable" in render_trend(analysis, skipped=2)
 
+    def test_render_insufficient_data_series(self):
+        # Shorter than the window: series still renders, gate inactive.
+        analysis = analyze_trend(series([0.030, 0.031, 0.090]), window=8)
+        text = render_trend(analysis)
+        assert "insufficient data: 2 prior entries, need >= 8" in text
+        assert "gate inactive" in text
+        assert "FLAGGED" not in text
+
 
 class TestTrendCli:
     def write_history(self, tmp_path, medians):
@@ -117,26 +140,49 @@ class TestTrendCli:
     def test_clean_series_exits_zero(self, tmp_path, capsys):
         directory = self.write_history(
             tmp_path, [0.030, 0.031, 0.029, 0.030])
-        assert obs_main(["trend", directory]) == 0
+        assert obs_main(["trend", directory, "--window", "3"]) == 0
         assert "OK" in capsys.readouterr().out
 
     def test_flagged_series_exits_one(self, tmp_path, capsys):
         directory = self.write_history(
             tmp_path, [0.030, 0.031, 0.029, 0.060])
-        assert obs_main(["trend", directory]) == 1
+        assert obs_main(["trend", directory, "--window", "3"]) == 1
         assert "FLAGGED" in capsys.readouterr().out
 
     def test_warn_only_downgrades_soft_flags(self, tmp_path):
         directory = self.write_history(
             tmp_path, [0.030, 0.031, 0.029, 0.045])
-        assert obs_main(["trend", directory, "--warn-only"]) == 0
+        assert obs_main(["trend", directory, "--window", "3",
+                         "--warn-only"]) == 0
 
     def test_warn_only_still_fails_hard_regressions(self, tmp_path,
                                                     capsys):
         directory = self.write_history(
             tmp_path, [0.030, 0.031, 0.029, 0.090])
-        assert obs_main(["trend", directory, "--warn-only"]) == 1
+        assert obs_main(["trend", directory, "--window", "3",
+                         "--warn-only"]) == 1
         assert "HARD" in capsys.readouterr().out
+
+    def test_short_history_exits_zero(self, tmp_path, capsys):
+        # A regression-sized jump on a history shorter than the window
+        # must not fail the gate: insufficient data, exit 0.
+        directory = self.write_history(
+            tmp_path, [0.030, 0.031, 0.029, 0.090])
+        assert obs_main(["trend", directory]) == 0
+        out = capsys.readouterr().out
+        assert "insufficient data" in out
+        assert "gate inactive" in out
+
+    def test_json_artifact(self, tmp_path):
+        directory = self.write_history(
+            tmp_path, [0.030, 0.031, 0.029, 0.060])
+        artifact = tmp_path / "trend.json"
+        assert obs_main(["trend", directory, "--window", "3",
+                         "--json", str(artifact)]) == 1
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro.obs.trend/1"
+        assert payload["flagged"] == ["App"]
+        assert payload["apps"]["App"]["regressed"]
 
     def test_missing_history_exits_zero(self, tmp_path, capsys):
         assert obs_main(["trend", str(tmp_path / "nowhere")]) == 0

@@ -1,0 +1,186 @@
+"""Tests for the per-instruction value-trace recorder."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler.executor import Executor
+from repro.compiler.isa import Opcode, Program
+from repro.obs import vtrace
+
+
+def small_program(n=10, value=1.5):
+    """A CONST followed by a COPY chain: every instruction has a dst."""
+    program = Program()
+    reg = program.new_register("r", (2,))
+    program.emit(Opcode.CONST, [], [reg],
+                 meta={"value": np.full(2, value)})
+    for _ in range(n - 1):
+        nxt = program.new_register("r", (2,))
+        program.emit(Opcode.COPY, [reg], [nxt])
+        reg = nxt
+    return program
+
+
+def trace_lines(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh]
+
+
+def run_traced(program, path, **kwargs):
+    with vtrace.recording_scope(path, **kwargs):
+        return Executor().run(program)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_byte_identical(self, tmp_path):
+        """The determinism gate: same program, same bytes."""
+        program = small_program()
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        run_traced(program, a)
+        run_traced(program, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_value_change_changes_digests(self, tmp_path):
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        run_traced(small_program(value=1.5), a)
+        run_traced(small_program(value=1.5 + 1e-12), b)
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_no_environment_leaks(self, tmp_path):
+        # Traces must stay byte-identical across hosts and reruns: no
+        # timestamps, hostnames, or absolute paths in any record.
+        path = tmp_path / "a.trace"
+        run_traced(small_program(), path)
+        text = path.read_text()
+        assert str(tmp_path) not in text
+        assert "time" not in text
+
+
+class TestDigest:
+    def test_digest_separates_shape_and_dtype(self):
+        data = np.zeros(6)
+        assert vtrace.digest_value(data.reshape(2, 3)) != \
+            vtrace.digest_value(data.reshape(3, 2))
+        assert vtrace.digest_value(data) != \
+            vtrace.digest_value(data.astype(np.float32))
+
+    def test_digest_is_layout_independent(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        assert vtrace.digest_value(arr) == \
+            vtrace.digest_value(np.asfortranarray(arr))
+
+    def test_fingerprint_separates_structure_not_values(self):
+        assert vtrace.program_fingerprint(small_program(value=1.0)) == \
+            vtrace.program_fingerprint(small_program(value=2.0))
+        assert vtrace.program_fingerprint(small_program(n=10)) != \
+            vtrace.program_fingerprint(small_program(n=11))
+
+    def test_encode_decode_round_trip(self):
+        arr = np.arange(6.0).reshape(3, 2)
+        decoded = vtrace.decode_value(vtrace.encode_value(arr))
+        assert decoded.dtype == arr.dtype
+        assert np.array_equal(decoded, arr)
+
+
+class TestTraceFile:
+    def test_stream_layout(self, tmp_path):
+        program = small_program(n=5)
+        path = tmp_path / "a.trace"
+        run_traced(program, path)
+        lines = trace_lines(path)
+        assert lines[0]["kind"] == "trace"
+        assert lines[0]["schema"] == vtrace.VTRACE_SCHEMA
+        assert lines[1]["kind"] == "program"
+        assert lines[1]["fingerprint"] == \
+            vtrace.program_fingerprint(program)
+        assert lines[1]["instructions"] == 5
+        instrs = [l for l in lines if l["kind"] == "instr"]
+        assert [r["seq"] for r in instrs] == list(range(5))
+        assert all(r["digests"] for r in instrs)
+        assert lines[-1] == {"kind": "end", "index": 0, "records": 5,
+                             "ring": lines[-1]["ring"]}
+
+    def test_chunked_flush_keeps_every_record(self, tmp_path):
+        path = tmp_path / "a.trace"
+        run_traced(small_program(n=40), path, chunk_size=7)
+        instrs = [l for l in trace_lines(path) if l["kind"] == "instr"]
+        assert len(instrs) == 40
+
+    def test_multiple_programs_share_one_trace(self, tmp_path):
+        path = tmp_path / "a.trace"
+        with vtrace.recording_scope(path, ring_size=0):
+            Executor().run(small_program(n=3))
+            Executor().run(small_program(n=4))
+        lines = trace_lines(path)
+        assert [l["index"] for l in lines if l["kind"] == "program"] == \
+            [0, 1]
+        assert [l["records"] for l in lines if l["kind"] == "end"] == \
+            [3, 4]
+        # seq is monotonic across program boundaries.
+        seqs = [l["seq"] for l in lines if l["kind"] == "instr"]
+        assert seqs == list(range(7))
+
+
+class TestRingBuffer:
+    def test_ring_keeps_last_k_full_values(self, tmp_path):
+        path = tmp_path / "a.trace"
+        registers = run_traced(small_program(n=10), path, ring_size=3)
+        footer = trace_lines(path)[-1]
+        assert [e["seq"] for e in footer["ring"]] == [7, 8, 9]
+        for entry in footer["ring"]:
+            for name, encoded in entry["values"].items():
+                assert np.array_equal(vtrace.decode_value(encoded),
+                                      registers[name])
+
+    def test_ring_disabled(self, tmp_path):
+        path = tmp_path / "a.trace"
+        run_traced(small_program(), path, ring_size=0)
+        assert "ring" not in trace_lines(path)[-1]
+
+    def test_capture_range_inlines_values(self, tmp_path):
+        path = tmp_path / "a.trace"
+        registers = run_traced(small_program(n=10), path,
+                               capture_range=(2, 5))
+        instrs = [l for l in trace_lines(path) if l["kind"] == "instr"]
+        captured = [r["seq"] for r in instrs if "values" in r]
+        assert captured == [2, 3, 4]
+        record = instrs[2]
+        name = record["dsts"][0]
+        assert np.array_equal(
+            vtrace.decode_value(record["values"][name]), registers[name])
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert vtrace.active() is None
+
+    def test_scope_installs_and_restores(self, tmp_path):
+        with vtrace.recording_scope(tmp_path / "a.trace") as recorder:
+            assert vtrace.active() is recorder
+            with vtrace.recording_scope(tmp_path / "b.trace") as inner:
+                assert vtrace.active() is inner
+            assert vtrace.active() is recorder
+        assert vtrace.active() is None
+
+    def test_traced_run_matches_untraced(self, tmp_path):
+        program = small_program(n=8)
+        plain = Executor().run(program)
+        traced = run_traced(program, tmp_path / "a.trace")
+        assert set(plain) == set(traced)
+        for name in plain:
+            assert np.array_equal(plain[name], traced[name])
+
+    def test_crashing_run_still_writes_footer(self, tmp_path):
+        program = small_program(n=3)
+        # An unwritten source register makes execution fail mid-program.
+        program.instructions[1].srcs[0] = "never_written"
+        path = tmp_path / "a.trace"
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_traced(program, path)
+        lines = trace_lines(path)
+        assert lines[-1]["kind"] == "end"
+        assert lines[-1]["records"] == 1

@@ -1,0 +1,117 @@
+"""Tests for the numeric-health probes (:mod:`repro.optim.probes`)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.factorgraph import FactorGraph, Values, X, prior_on_vector
+from repro.optim import gauss_newton, levenberg_marquardt
+from repro.optim.probes import record_iteration, record_qr_condition
+
+
+def drain_counters():
+    return dict(obs.collector().drain().counters)
+
+
+def two_var_graph():
+    graph = FactorGraph([
+        prior_on_vector(X(0), np.array([3.0, -1.0])),
+        prior_on_vector(X(1), np.array([0.5, 2.0])),
+    ])
+    values = Values({X(0): np.zeros(2), X(1): np.zeros(2)})
+    return graph, values
+
+
+class TestProbePrimitives:
+    def test_noop_while_disabled(self):
+        assert not obs.is_enabled()
+        record_iteration("gn", 1.0, 1.0)
+        record_qr_condition(np.array([1.0, 2.0]))
+        with obs.enabled_scope():
+            assert drain_counters() == {}
+
+    def test_iteration_counters(self):
+        with obs.enabled_scope():
+            record_iteration("gn", 2.0, 0.5)
+            record_iteration("gn", 1.0, 0.25)
+            counters = drain_counters()
+        assert counters["optim.health.gn.iterations"] == 2
+        assert counters["optim.health.gn.residual_sum"] == pytest.approx(3.0)
+        assert counters["optim.health.gn.step_norm_sum"] == \
+            pytest.approx(0.75)
+        assert "optim.health.gn.damping_samples" not in counters
+
+    def test_damping_recorded_in_decades(self):
+        with obs.enabled_scope():
+            record_iteration("lm", 1.0, 1.0, damping=1e-4)
+            record_iteration("lm", 1.0, 1.0, damping=1e-2)
+            counters = drain_counters()
+        assert counters["optim.health.lm.damping_samples"] == 2
+        assert counters["optim.health.lm.damping_log10_sum"] == \
+            pytest.approx(-6.0)
+
+    def test_qr_condition_estimate(self):
+        with obs.enabled_scope():
+            record_qr_condition(np.array([10.0, -1.0]))
+            counters = drain_counters()
+        assert counters["optim.health.qr.fronts"] == 1
+        assert counters["optim.health.qr.log10_cond_sum"] == \
+            pytest.approx(1.0)
+        assert "optim.health.qr.ill_conditioned" not in counters
+
+    def test_ill_conditioned_front_is_flagged(self):
+        with obs.enabled_scope():
+            record_qr_condition(np.array([1.0, 1e-9]))
+            counters = drain_counters()
+        assert counters["optim.health.qr.ill_conditioned"] == 1
+
+    @pytest.mark.parametrize("diagonal", [
+        np.array([]), np.array([0.0, 1.0]), np.array([np.inf, 1.0]),
+        np.array([np.nan]),
+    ])
+    def test_degenerate_diagonals(self, diagonal):
+        with obs.enabled_scope():
+            record_qr_condition(diagonal)
+            counters = drain_counters()
+        assert counters["optim.health.qr.degenerate"] == 1
+        assert "optim.health.qr.log10_cond_sum" not in counters
+
+
+class TestSolverIntegration:
+    def test_gauss_newton_records_health(self):
+        graph, values = two_var_graph()
+        with obs.enabled_scope():
+            result = gauss_newton(graph, values)
+            counters = drain_counters()
+        assert counters["optim.health.gn.iterations"] == \
+            result.num_iterations
+        assert counters["optim.health.qr.fronts"] > 0
+        assert "optim.health.qr.degenerate" not in counters
+
+    def test_levenberg_records_damping(self):
+        graph, values = two_var_graph()
+        with obs.enabled_scope():
+            result = levenberg_marquardt(graph, values)
+            counters = drain_counters()
+        assert counters["optim.health.lm.iterations"] == \
+            result.num_iterations
+        assert counters["optim.health.lm.damping_samples"] == \
+            counters["optim.health.lm.iterations"]
+
+    def test_solvers_record_nothing_while_disabled(self):
+        graph, values = two_var_graph()
+        assert not obs.is_enabled()
+        gauss_newton(graph, values)
+        with obs.enabled_scope():
+            counters = drain_counters()
+        assert not any(k.startswith("optim.health.") for k in counters)
+
+    def test_compiled_executor_records_qr_fronts(self):
+        from repro.compiler import Executor, compile_graph
+
+        graph, values = two_var_graph()
+        compiled = compile_graph(graph, values)
+        with obs.enabled_scope():
+            Executor().run(compiled.program)
+            counters = drain_counters()
+        assert counters["optim.health.qr.fronts"] > 0
