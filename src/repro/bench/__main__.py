@@ -31,6 +31,7 @@ from repro.bench.history import (
     history_entry,
 )
 from repro.compiler.cache import set_cache_enabled
+from repro.compiler.fused import EXECUTOR_NAMES, set_default_executor
 
 
 def main(argv=None) -> int:
@@ -64,12 +65,19 @@ def main(argv=None) -> int:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the structural compilation cache "
                              "(cold compile every frame)")
+    parser.add_argument("--executor", choices=EXECUTOR_NAMES,
+                        help="value-domain backend for compiled solves "
+                             "(default: $REPRO_EXECUTOR or interpreter); "
+                             "the solve_wall_clock section always "
+                             "measures both")
     args = parser.parse_args(argv)
 
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
     if args.no_compile_cache:
         set_cache_enabled(False)
+    if args.executor:
+        set_default_executor(args.executor)
     started = time.perf_counter()
     document = run_bench(quick=args.quick, seed=args.seed,
                          compile_repeats=args.compile_repeats,

@@ -85,27 +85,16 @@ def _bottleneck_entry(result, config) -> Optional[Dict[str, Any]]:
     return entry
 
 
-def _solve_wallclock_entry(program, repeats: int) -> Dict[str, Any]:
-    """Host wall-clock of interpreting one app's frame, ``repeats`` times.
-
-    Each repeat runs a fresh :class:`~repro.compiler.executor.Executor`
-    over the already-compiled program — pure MO-ISA interpretation, no
-    build/compile time — timed with ``perf_counter_ns``.  The summary is
-    median + MAD (robust to scheduler noise), plus one extra *profiled*
-    repeat whose per-opcode self-time table ships as ``profile`` (kept
-    out of the timing statistics: profiling perturbs them).
-    """
-    from repro.compiler.executor import Executor
-
+def _timed_runs(executor_class, program, repeats: int) -> List[float]:
     times_s: List[float] = []
-    with trace.span("bench.execute", category="host.phase",
-                    instructions=len(program.instructions)):
-        for _ in range(repeats):
-            started = time.perf_counter_ns()
-            Executor().run(program)
-            times_s.append((time.perf_counter_ns() - started) / 1e9)
-    with wallclock.profiled_scope() as profiler:
-        Executor().run(program)
+    for _ in range(repeats):
+        started = time.perf_counter_ns()
+        executor_class().run(program)
+        times_s.append((time.perf_counter_ns() - started) / 1e9)
+    return times_s
+
+
+def _timing_stats(times_s: List[float]) -> Dict[str, Any]:
     median = statistics.median(times_s)
     mad = statistics.median([abs(t - median) for t in times_s])
     return {
@@ -114,9 +103,47 @@ def _solve_wallclock_entry(program, repeats: int) -> Dict[str, Any]:
         "mean_s": sum(times_s) / len(times_s),
         "min_s": min(times_s),
         "max_s": max(times_s),
+    }
+
+
+def _solve_wallclock_entry(program, repeats: int) -> Dict[str, Any]:
+    """Host wall-clock of executing one app's frame, ``repeats`` times.
+
+    Each repeat runs a fresh executor over the already-compiled program
+    — pure MO-ISA execution, no build/compile time — timed with
+    ``perf_counter_ns``.  The summary is median + MAD (robust to
+    scheduler noise), plus one extra *profiled* repeat whose per-opcode
+    self-time table ships as ``profile`` (kept out of the timing
+    statistics: profiling perturbs them).
+
+    Both value-domain backends are measured: the instruction-level
+    interpreter (top-level fields, the historical series) and the fused
+    vectorized plan (the ``fused`` sub-entry, with its plan summary and
+    the fused-vs-interpreter ``speedup``) — so ``repro.obs trend`` holds
+    the fused win over time as its own ``<app>[fused]`` series.
+    """
+    from repro.compiler.executor import Executor
+    from repro.compiler.fused import FusedExecutor, plan_for
+
+    with trace.span("bench.execute", category="host.phase",
+                    instructions=len(program.instructions)):
+        times_s = _timed_runs(Executor, program, repeats)
+        plan = plan_for(program)  # build outside the timed repeats
+        fused_times_s = _timed_runs(FusedExecutor, program, repeats)
+    with wallclock.profiled_scope() as profiler:
+        Executor().run(program)
+    entry = _timing_stats(times_s)
+    fused_entry = _timing_stats(fused_times_s)
+    fused_entry["speedup"] = (
+        entry["median_s"] / fused_entry["median_s"]
+        if fused_entry["median_s"] > 0 else 1.0)
+    fused_entry["plan"] = plan.summary()
+    entry.update({
         "instructions": len(program.instructions),
         "profile": profiler.drain(),
-    }
+        "fused": fused_entry,
+    })
+    return entry
 
 
 def run_bench(quick: bool = True, seed: int = 0,
@@ -294,4 +321,12 @@ def summarize(document: Dict[str, Any]) -> str:
                 f"    {name:<26} median {median_ms:8.2f} ms  "
                 f"+-{mad_ms:.2f} MAD  ({per_us:.2f} us/instr)"
             )
+            fused = entry.get("fused")
+            if fused:
+                fused_ms = float(fused.get("median_s", 0.0)) * 1e3
+                lines.append(
+                    f"    {name + '[fused]':<26} median "
+                    f"{fused_ms:8.2f} ms  "
+                    f"({fused.get('speedup', 0.0):.2f}x vs interpreter)"
+                )
     return "\n".join(lines)

@@ -73,14 +73,23 @@ def history_entry(document: Dict[str, Any],
             "BENCH document has no solve_wall_clock section "
             "(was it produced with --no-wallclock?)"
         )
-    apps = {
-        name: {
+    apps: Dict[str, Any] = {}
+    for name, entry in (section.get("apps") or {}).items():
+        apps[name] = {
             "median_s": entry.get("median_s"),
             "mad_s": entry.get("mad_s"),
             "instructions": entry.get("instructions"),
         }
-        for name, entry in (section.get("apps") or {}).items()
-    }
+        fused = entry.get("fused")
+        if fused:
+            # The fused backend's wall-clock rides along as its own
+            # series, so `repro.obs trend` holds the speedup win over
+            # time next to the interpreter baseline.
+            apps[f"{name}[fused]"] = {
+                "median_s": fused.get("median_s"),
+                "mad_s": fused.get("mad_s"),
+                "instructions": entry.get("instructions"),
+            }
     when = time.time() if timestamp is None else float(timestamp)
     return {
         "schema": HISTORY_SCHEMA,

@@ -25,6 +25,18 @@ from repro.compiler.cache import (
     structural_fingerprint,
 )
 from repro.compiler.executor import Executor
+from repro.compiler.fused import (
+    EXECUTOR_FUSED,
+    EXECUTOR_INTERPRETER,
+    EXECUTOR_NAMES,
+    FusedExecutor,
+    FusedPlan,
+    build_plan,
+    default_executor_name,
+    executor_factory,
+    plan_for,
+    set_default_executor,
+)
 from repro.compiler.expression_factor import ExpressionFactor
 from repro.compiler.exprs import (
     ExpMap,
@@ -91,6 +103,9 @@ __all__ = [
     "Lowering", "pose_error", "vector_error",
     "MoDFG", "ModfgEmitter",
     "Executor",
+    "FusedExecutor", "FusedPlan", "build_plan", "plan_for",
+    "EXECUTOR_FUSED", "EXECUTOR_INTERPRETER", "EXECUTOR_NAMES",
+    "default_executor_name", "executor_factory", "set_default_executor",
     "ExpressionFactor", "factor_expression",
     "compile_factor", "compile_graph", "compile_application",
     "common_subexpression_elimination", "dead_code_elimination",

@@ -329,6 +329,16 @@ def rebind(template, graph: FactorGraph, values: Values,
         }
 
     share = rmap is None and not retag
+    if rmap is None:
+        # The register wiring (names, positions, shapes) is identical to
+        # the template's, so the rebound program can execute the same
+        # fused plan: share the template's plan slot
+        # (see repro.compiler.fused) instead of letting the fused
+        # backend re-derive one per rebind.  Renamed variants get their
+        # own slot via the memoized variant program in CacheEntry.
+        from repro.compiler.fused import plan_slot
+
+        program._fused_plan_slot = plan_slot(template.program)
     out = program.instructions
     for instr in template.program.instructions:
         spec = instr.meta.get("binding")

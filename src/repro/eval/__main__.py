@@ -123,12 +123,24 @@ def main(argv=None) -> int:
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the structural compilation cache "
                              "(cold compile every graph)")
+    parser.add_argument("--executor", metavar="NAME",
+                        help="value-domain backend for compiled solves: "
+                             "interpreter or fused (default: "
+                             "$REPRO_EXECUTOR or interpreter)")
     args = parser.parse_args(argv)
 
     if args.no_compile_cache:
         from repro.compiler.cache import set_cache_enabled
 
         set_cache_enabled(False)
+
+    if args.executor:
+        from repro.compiler.fused import set_default_executor
+
+        try:
+            set_default_executor(args.executor)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.only:
         unknown = [x for x in args.only if x not in EXPERIMENTS]

@@ -26,7 +26,9 @@
   the independent same-opcode groups per level (sizes, shape
   histograms, batchable fractions) plus the interpreter-dispatch
   overhead a fused/vectorized backend would eliminate — the work-list
-  for ROADMAP item 2.
+  for ROADMAP item 2.  ``--validate`` cross-checks the prediction
+  against the fused backend's actual plan group sizes and exits
+  nonzero on disagreement.
 - ``trend [history]`` — render the bench wall-clock history series
   (``benchmarks/history/``) per app and flag regressions when the
   latest median leaves the trailing ``k x MAD`` noise band; exits 1 on
@@ -37,7 +39,9 @@
   (:mod:`repro.obs.vtrace`) of one application frame: a blake2 digest
   per destination register plus provenance, streamed as chunked JSONL,
   with a full-value ring buffer; ``--fault-rate`` injects a
-  deterministic ``repro.resilience`` value-fault schedule first.
+  deterministic ``repro.resilience`` value-fault schedule first, and
+  ``--executor fused`` records through the fused vectorized backend
+  (the CI parity smoke diffs a fused trace against an interpreter one).
 - ``divergence A.trace B.trace`` — align two value traces and report
   the first diverging instruction with its provenance, abs/rel/ulp
   error stats for ring-captured values, and the def-use backward slice
@@ -165,6 +169,11 @@ def main(argv=None) -> int:
                              "(default: measured on this host)")
     fuse_p.add_argument("--json", metavar="FILE",
                         help="also write the raw reports as JSON")
+    fuse_p.add_argument("--validate", action="store_true",
+                        help="cross-check the predicted eliminable-"
+                             "dispatch count against the fused backend's "
+                             "actual plan group sizes; exit 1 on "
+                             "disagreement")
 
     trend_p = sub.add_parser(
         "trend",
@@ -221,6 +230,11 @@ def main(argv=None) -> int:
                           help="relative value-fault size (default 0.05)")
     vtrace_p.add_argument("--max-faults", type=int, default=None,
                           help="cap on scheduled faults")
+    vtrace_p.add_argument("--executor", metavar="NAME", default=None,
+                          help="value-domain backend: interpreter or "
+                               "fused (default: $REPRO_EXECUTOR or "
+                               "interpreter); ignored for fault runs, "
+                               "which are per-instruction")
 
     divergence_p = sub.add_parser(
         "divergence",
@@ -371,6 +385,32 @@ def main(argv=None) -> int:
         dispatch_ns = args.dispatch_ns
         if dispatch_ns is None:
             dispatch_ns = measure_dispatch_overhead_ns()
+        if args.validate:
+            from repro.compiler.fused import plan_for
+            from repro.obs.fuse import (
+                analyze_program,
+                render_validation,
+                validate_against_plan,
+            )
+
+            reports = []
+            validations = []
+            for app in apps:
+                program = app.compile_frame(args.seed)
+                report = analyze_program(program, label=app.name,
+                                         dispatch_ns=dispatch_ns)
+                reports.append(report)
+                validations.append(
+                    validate_against_plan(report, plan_for(program)))
+            if args.json:
+                from repro.obs.emit import write_json
+
+                write_json(args.json, {"reports": reports,
+                                       "validations": validations})
+            print(render_fuse_report(reports, top=args.top))
+            print()
+            print(render_validation(validations))
+            return 0 if all(v["agrees"] for v in validations) else 1
         reports = [analyze_application(app, seed=args.seed,
                                        dispatch_ns=dispatch_ns)
                    for app in apps]
@@ -446,6 +486,7 @@ def main(argv=None) -> int:
                 ring_size=args.ring,
                 capture_range=tuple(args.capture) if args.capture else None,
                 fault=fault,
+                executor_name=args.executor,
             )
         except (OSError, ValueError) as exc:
             print(f"repro.obs vtrace: {exc}", file=sys.stderr)

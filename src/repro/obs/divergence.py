@@ -437,7 +437,8 @@ class InjectingExecutor(Executor):
 def record_app_trace(name: str, seed: int, path,
                      ring_size: int = 32,
                      capture_range: Optional[Tuple[int, int]] = None,
-                     fault: Optional[Any] = None) -> Dict[str, Any]:
+                     fault: Optional[Any] = None,
+                     executor_name: Optional[str] = None) -> Dict[str, Any]:
     """Compile one application frame and execute it under the tracer.
 
     ``fault`` is a :class:`~repro.resilience.spec.CampaignSpec` (or its
@@ -445,8 +446,15 @@ def record_app_trace(name: str, seed: int, path,
     :class:`InjectingExecutor`.  The producer recipe (app, seed, fault
     spec) is stored in the trace header, which is what makes
     ``--capture-window`` re-execution possible later.
+
+    ``executor_name`` selects the value-domain backend
+    (``"interpreter"``/``"fused"``; default: the process default) —
+    recording the same app under both and diffing the traces is the
+    fused-backend parity smoke CI runs.  Fault injection is
+    per-instruction, so a fault spec forces the instruction-level path.
     """
     from repro.apps import all_applications
+    from repro.compiler.fused import executor_factory
 
     apps = {a.name: a for a in all_applications()}
     if name not in apps:
@@ -470,7 +478,7 @@ def record_app_trace(name: str, seed: int, path,
         plan = plan_faults(program, spec)
         executor = InjectingExecutor(plan)
     else:
-        executor = Executor()
+        executor = executor_factory(executor_name)()
     with recording_scope(path, ring_size=ring_size,
                          capture_range=capture_range, producer=producer):
         executor.run(program)

@@ -184,6 +184,81 @@ def analyze_application(app, seed: int = 0,
                            dispatch_ns=dispatch_ns)
 
 
+def validate_against_plan(report: Dict[str, Any], plan) -> Dict[str, Any]:
+    """Cross-check the analyzer's prediction against a built fused plan.
+
+    The analyzer predicts one dispatch per same-opcode level group; the
+    real plan (:func:`repro.compiler.fused.build_plan`) may split a
+    group further (exact batch signatures) or fall back to
+    per-instruction handlers, so the predicted eliminable-dispatch
+    count is an *upper bound* on what the plan eliminates.  What must
+    agree exactly is the instruction inventory: every (level, opcode)
+    group the analyzer found must be covered by plan steps with the
+    same member total, and the plan must not cover instructions the
+    analyzer never saw.  A disagreement means one of the two
+    level-izations is wrong — the gate ``fuse-report --validate``
+    exits nonzero on.
+    """
+    mismatches: List[str] = []
+    plan_totals = {key: sum(sizes)
+                   for key, sizes in plan.group_sizes().items()}
+    report_totals: Dict[Any, int] = {}
+    for row in report["by_level"]:
+        for group in row["groups"]:
+            report_totals[(row["level"], group["opcode"])] = group["size"]
+    for (level, op), size in sorted(report_totals.items()):
+        actual = plan_totals.pop((level, op), None)
+        if actual is None:
+            mismatches.append(
+                f"analyzer group L{level} {op} x{size} has no plan "
+                f"coverage")
+        elif actual != size:
+            mismatches.append(
+                f"L{level} {op}: analyzer sees {size} instructions, "
+                f"plan covers {actual}")
+    for (level, op), actual in sorted(plan_totals.items()):
+        mismatches.append(
+            f"plan group L{level} {op} x{actual} unknown to the analyzer")
+    summary = plan.summary()
+    if report["instructions"] != summary["instructions"]:
+        mismatches.append(
+            f"instruction totals differ: analyzer "
+            f"{report['instructions']}, plan {summary['instructions']}")
+    predicted = report["dispatch"]["eliminable_dispatches"]
+    achieved = summary["eliminated_dispatches"]
+    if achieved > predicted:
+        mismatches.append(
+            f"plan claims {achieved} eliminated dispatches, above the "
+            f"signature-blind upper bound {predicted}")
+    return {
+        "schema": "repro.obs.fuse.validate/1",
+        "label": report.get("label", ""),
+        "agrees": not mismatches,
+        "predicted_eliminable": predicted,
+        "achieved_eliminated": achieved,
+        "achieved_fraction": achieved / predicted if predicted else 1.0,
+        "plan": summary,
+        "mismatches": mismatches,
+    }
+
+
+def render_validation(validations: List[Dict[str, Any]]) -> str:
+    """Human-readable rendering of ``--validate`` cross-check results."""
+    lines: List[str] = []
+    for v in validations:
+        verdict = "OK" if v["agrees"] else "DISAGREES"
+        lines.append(
+            f"{v.get('label') or 'program'}: {verdict} — plan eliminates "
+            f"{v['achieved_eliminated']:,} of {v['predicted_eliminable']:,} "
+            f"predicted dispatches ({v['achieved_fraction']:.1%}; "
+            f"{v['plan']['steps']} steps, "
+            f"{v['plan']['const_sites']} const sites)"
+        )
+        for mismatch in v["mismatches"]:
+            lines.append(f"  ! {mismatch}")
+    return "\n".join(lines)
+
+
 def render_fuse_report(reports: List[Dict[str, Any]],
                        top: int = 10) -> str:
     """Human-readable rendering of one or more program reports."""

@@ -78,6 +78,26 @@ class WallclockProfiler:
             cell[1] += elapsed_ns
             cell[2] += elements
 
+    def record_group(self, opcode: str, stage: str, elapsed_ns: int,
+                     calls: int, elements: int = 0) -> None:
+        """Account one fused block op covering ``calls`` instructions.
+
+        The fused backend (:mod:`repro.compiler.fused`) dispatches whole
+        same-opcode groups at once; the group's wall time lands in the
+        same ``(opcode, stage)`` table as interpreted instructions, with
+        ``calls`` equal to the group size, so ``hotspots`` views stay
+        comparable across executors (per-call time then reads as
+        amortized time per fused instruction).
+        """
+        key = (opcode, stage)
+        cell = self._table.get(key)
+        if cell is None:
+            self._table[key] = [calls, elapsed_ns, elements]
+        else:
+            cell[0] += calls
+            cell[1] += elapsed_ns
+            cell[2] += elements
+
     def record_program(self) -> None:
         """Count one profiled program execution (for per-run averages)."""
         self._programs += 1

@@ -20,6 +20,7 @@ lambda trials, so every damped solve after the first is a cache hit.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,27 +33,57 @@ from repro.factorgraph.values import Values
 class CompiledSolver:
     """Compile-once/bind-many linear solver for optimizer iterations.
 
+    ``executor`` selects the value-domain backend by name
+    (``"interpreter"`` or ``"fused"``); when ``None`` the process
+    default applies (``REPRO_EXECUTOR`` / :func:`repro.compiler.fused.
+    set_default_executor`), so CLI ``--executor`` switches reach every
+    compiled solve without plumbing.
+
     ``executor_factory`` swaps the functional executor for a hardened
     (or fault-injecting) one — e.g. ``lambda: ResilientExecutor(plan,
     policy)`` from :mod:`repro.resilience.executor`.  An executor that
     escalates an unrecoverable fault raises
     :class:`~repro.errors.FaultInjectionError`, which the safeguarded
-    optimizer loops catch and degrade on.
+    optimizer loops catch and degrade on.  An explicit factory takes
+    precedence: fault injection and tiered recovery are defined per
+    instruction, so when one is installed while the fused backend is
+    requested, the solver falls back to the instruction-level path and
+    warns once.
     """
 
     def __init__(self, cache=None, max_entries: int = 8,
-                 executor_factory=None):
+                 executor_factory=None, executor: Optional[str] = None):
         from repro.compiler.cache import CompilationCache
+        from repro.compiler.fused import _validate_name
 
         self.cache = cache if cache is not None \
             else CompilationCache(max_entries=max_entries)
         self.executor_factory = executor_factory
+        self.executor = None if executor is None else _validate_name(executor)
+        self._warned_factory_override = False
+
+    def _resolve_factory(self):
+        from repro.compiler import fused
+
+        if self.executor_factory is not None:
+            wants_fused = (self.executor or
+                           fused.default_executor_name()) == \
+                fused.EXECUTOR_FUSED
+            if wants_fused and not self._warned_factory_override:
+                self._warned_factory_override = True
+                warnings.warn(
+                    "fused executor requested, but an explicit "
+                    "executor_factory is installed (fault injection / "
+                    "hardened execution is per-instruction); falling "
+                    "back to the instruction-level path",
+                    RuntimeWarning, stacklevel=3)
+            return self.executor_factory
+        return fused.executor_factory(self.executor)
 
     def solve(self, graph: FactorGraph, values: Values,
               ordering: Optional[Sequence[Key]] = None
               ) -> Dict[Key, np.ndarray]:
         """One linear solve: compile (or rebind) and execute."""
-        from repro.compiler.executor import Executor
         from repro.obs import trace
 
         with trace.span("solve.compile", category="host.phase") as sp:
@@ -60,7 +91,7 @@ class CompiledSolver:
             compiled = self.cache.compile(graph, values, ordering)
             sp.set(kind="rebind" if self.cache.hits > hits_before
                    else "compile")
-        factory = self.executor_factory or Executor
+        factory = self._resolve_factory()
         with trace.span("solve.execute", category="host.phase",
                         instructions=len(compiled.program)):
             registers = factory().run(compiled.program)

@@ -116,21 +116,25 @@ def gauss_newton(
     rebinds the cached template with fresh numerics (compile once, bind
     many).  The compiled backend reports empty per-iteration elimination
     stats (QR shapes live in the compiled program, not the solver).
+    ``backend="fused"`` is the compiled backend executed through the
+    fused vectorized plan (:mod:`repro.compiler.fused`) — bit-identical
+    results, batched NumPy dispatch.
     """
     if params is None:
         params = GaussNewtonParams()
-    if backend not in ("reference", "compiled"):
+    if backend not in ("reference", "compiled", "fused"):
         raise ValueError(f"unknown gauss_newton backend {backend!r}")
     if params.on_nonfinite not in (NONFINITE_FALLBACK, NONFINITE_RAISE):
         raise ValueError(
             f"unknown on_nonfinite mode {params.on_nonfinite!r}"
         )
     solver = None
-    if backend == "compiled":
+    if backend in ("compiled", "fused"):
         from repro.factorgraph.elimination import EliminationStats
         from repro.optim.compiled import CompiledSolver
 
-        solver = CompiledSolver()
+        solver = CompiledSolver(
+            executor="fused" if backend == "fused" else None)
     values = initial.copy()
     records = []
     converged = False

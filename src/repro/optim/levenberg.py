@@ -86,19 +86,21 @@ def levenberg_marquardt(
     :func:`damped_graph`), so the damped graph's structure is the same
     for every iteration and every lambda trial — one compile, then
     rebinds.  The compiled backend reports empty per-trial elimination
-    stats.
+    stats.  ``backend="fused"`` is the compiled backend executed through
+    the fused vectorized plan (:mod:`repro.compiler.fused`).
     """
     if params is None:
         params = LevenbergParams()
-    if backend not in ("reference", "compiled"):
+    if backend not in ("reference", "compiled", "fused"):
         raise ValueError(f"unknown levenberg_marquardt backend {backend!r}")
     solver = None
-    if backend == "compiled":
+    if backend in ("compiled", "fused"):
         from repro.factorgraph.elimination import EliminationStats
         from repro.optim.compiled import CompiledSolver, \
             damped_nonlinear_graph
 
-        solver = CompiledSolver()
+        solver = CompiledSolver(
+            executor="fused" if backend == "fused" else None)
     values = initial.copy()
     lam = params.initial_lambda
     records = []

@@ -1,0 +1,265 @@
+"""Composition tests: the fused backend with the rest of the toolkit.
+
+The fused executor is a drop-in :class:`Executor`; these tests pin the
+contracts that make it one when composed with the compilation cache
+(rebind never re-plans), the observability stack (vtrace byte-identical,
+wallclock per-group events), the resilience harness (explicit factories
+win, with a warning), and the process-wide backend selection switches.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.compiler import Executor, FusedExecutor, cached_compile_graph
+from repro.compiler.cache import CompilationCache
+from repro.compiler.fused import (
+    EXECUTOR_ENV,
+    EXECUTOR_FUSED,
+    EXECUTOR_INTERPRETER,
+    default_executor_name,
+    executor_factory,
+    plan_for,
+    set_default_executor,
+)
+from repro.obs import vtrace, wallclock
+from repro.optim.compiled import CompiledSolver
+
+from tests.diff.util import random_problem
+
+
+@pytest.fixture
+def problem():
+    return random_problem(3, 31)
+
+
+@pytest.fixture(autouse=True)
+def _env_default_executor():
+    """Each test starts from env-controlled (interpreter) selection."""
+    previous = set_default_executor(None)
+    yield
+    set_default_executor(previous)
+
+
+# ----------------------------------------------------------------------
+# Compilation cache: a rebind rewrites slabs, never re-plans
+# ----------------------------------------------------------------------
+
+class TestPlanReuseAcrossRebinds:
+    def test_rebound_programs_share_one_plan(self):
+        cache = CompilationCache()
+        compiled = [
+            cached_compile_graph(*random_problem(3, seed), cache=cache)
+            for seed in (100, 101, 102)
+        ]
+        assert cache.stats()["hits"] == 2
+        plans = [plan_for(c.program) for c in compiled]
+        assert plans[0] is plans[1] is plans[2]
+
+    def test_plan_built_once_across_rebind_executions(self):
+        cache = CompilationCache()
+        obs.enable()
+        try:
+            obs.collector().drain()
+            for seed in (200, 201, 202, 203):
+                compiled = cached_compile_graph(
+                    *random_problem(3, seed), cache=cache)
+                FusedExecutor().run(compiled.program)
+            snapshot = obs.collector().drain()
+        finally:
+            obs.disable()
+        assert snapshot.counters["fused.plan.build"] == 1
+        assert snapshot.counters["fused.plan.hit"] == 3
+
+    def test_rebind_refreshes_constants(self, problem):
+        """Same structure, different values: the plan is shared but the
+        rebound CONST slabs (and their memoized stacks) are not."""
+        cache = CompilationCache()
+        a = cached_compile_graph(*random_problem(3, 300), cache=cache)
+        b = cached_compile_graph(*random_problem(3, 301), cache=cache)
+        sol_a = a.extract_solution(FusedExecutor().run(a.program))
+        sol_b = b.extract_solution(FusedExecutor().run(b.program))
+        ref_a = a.extract_solution(Executor().run(a.program))
+        ref_b = b.extract_solution(Executor().run(b.program))
+        for key in ref_a:
+            assert np.array_equal(sol_a[key], ref_a[key])
+            assert np.array_equal(sol_b[key], ref_b[key])
+        assert any(not np.array_equal(sol_a[k], sol_b[k]) for k in sol_a)
+
+
+# ----------------------------------------------------------------------
+# Observability: vtrace and wallclock compose
+# ----------------------------------------------------------------------
+
+class TestTracingComposition:
+    def test_vtrace_byte_identical_across_executors(self, problem, tmp_path):
+        compiled = cached_compile_graph(*problem, cache=None)
+        path_interp = tmp_path / "interp.trace"
+        path_fused = tmp_path / "fused.trace"
+        with vtrace.recording_scope(str(path_interp), ring_size=0):
+            Executor().run(compiled.program)
+        with vtrace.recording_scope(str(path_fused), ring_size=0):
+            FusedExecutor().run(compiled.program)
+        assert path_interp.read_bytes() == path_fused.read_bytes()
+
+    def test_wallclock_records_per_group_events(self, problem):
+        compiled = cached_compile_graph(*problem, cache=None)
+        plan = plan_for(compiled.program)
+        with wallclock.profiled_scope() as profiler:
+            FusedExecutor().run(compiled.program)
+        snap = profiler.snapshot()
+        assert snap["programs"] == 1
+        # One call per instruction is still attributed (calls=member
+        # count per group event), so totals match the interpreter view.
+        assert snap["instructions"] == len(compiled.program.instructions)
+        assert snap["total_self_ns"] > 0
+        assert set(snap["by_opcode"]) == {
+            instr.op.value for instr in compiled.program.instructions
+        }
+        # But the number of timed events is the plan's dispatch count,
+        # not the instruction count — that is the fusion win.
+        assert plan.dispatch_count() < len(compiled.program.instructions)
+
+    def test_vtrace_and_wallclock_together(self, problem, tmp_path):
+        compiled = cached_compile_graph(*problem, cache=None)
+        path = tmp_path / "both.trace"
+        with wallclock.profiled_scope() as profiler:
+            with vtrace.recording_scope(str(path), ring_size=0):
+                FusedExecutor().run(compiled.program)
+        assert profiler.snapshot()["programs"] == 1
+        assert path.stat().st_size > 0
+
+
+# ----------------------------------------------------------------------
+# Resilience: explicit executor factories win, with a warning
+# ----------------------------------------------------------------------
+
+class TestResilienceComposition:
+    def test_explicit_factory_falls_back_with_warning(self, problem):
+        from repro.resilience.executor import ResilientExecutor
+
+        graph, values = problem
+        solver = CompiledSolver(executor="fused",
+                                executor_factory=ResilientExecutor)
+        with pytest.warns(RuntimeWarning,
+                          match="instruction-level"):
+            hardened = solver.solve(graph, values)
+        reference = CompiledSolver().solve(graph, values)
+        for key in reference:
+            assert np.array_equal(hardened[key], reference[key])
+
+    def test_warning_emitted_once(self, problem):
+        from repro.resilience.executor import ResilientExecutor
+
+        graph, values = problem
+        solver = CompiledSolver(executor="fused",
+                                executor_factory=ResilientExecutor)
+        with pytest.warns(RuntimeWarning):
+            solver.solve(graph, values)
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            solver.solve(graph, values)  # must not warn again
+
+    def test_fault_campaign_recovers_on_fallback_path(self, problem):
+        """A fused-requesting solver with an injecting hardened
+        executor still completes the campaign via recovery."""
+        from repro.resilience.abft import has_checker
+        from repro.resilience.executor import ResilientExecutor
+        from repro.resilience.faults import FaultEvent, FaultPlan
+        from repro.resilience.spec import RecoveryPolicy
+
+        graph, values = problem
+        compiled = cached_compile_graph(graph, values, cache=None)
+        uid = next(i.uid for i in compiled.program.instructions
+                   if has_checker(i.op) and i.op.value != "const")
+        plan = FaultPlan({uid: FaultEvent(uid, "value", magnitude=0.5)})
+        solver = CompiledSolver(
+            executor="fused",
+            executor_factory=lambda: ResilientExecutor(
+                plan, RecoveryPolicy()))
+        with pytest.warns(RuntimeWarning):
+            hardened = solver.solve(graph, values)
+        reference = CompiledSolver().solve(graph, values)
+        for key in reference:
+            assert np.allclose(hardened[key], reference[key], atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Backend selection: env var / override / per-solver choice
+# ----------------------------------------------------------------------
+
+class TestBackendSelection:
+    def test_default_is_interpreter(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert default_executor_name() == EXECUTOR_INTERPRETER
+        assert executor_factory() is Executor
+
+    def test_env_selects_fused(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "fused")
+        assert default_executor_name() == EXECUTOR_FUSED
+        assert executor_factory() is FusedExecutor
+
+    def test_env_typo_raises(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "fsued")
+        with pytest.raises(ValueError, match="fsued"):
+            default_executor_name()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "interpreter")
+        set_default_executor("fused")
+        assert executor_factory() is FusedExecutor
+        set_default_executor(None)
+        assert executor_factory() is Executor
+
+    def test_set_default_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_default_executor("gpu")
+
+    def test_solver_executor_name_validated(self):
+        with pytest.raises(ValueError):
+            CompiledSolver(executor="nope")
+
+    def test_backend_kwarg_reaches_optimizers(self, problem):
+        from repro.optim import GaussNewtonParams, gauss_newton
+
+        graph, values = problem
+        params = GaussNewtonParams(max_iterations=5)
+        fused_result = gauss_newton(graph, values, params,
+                                    backend="fused")
+        compiled_result = gauss_newton(graph, values, params,
+                                       backend="compiled")
+        assert len(fused_result.iterations) == \
+            len(compiled_result.iterations)
+        for a, b in zip(fused_result.iterations,
+                        compiled_result.iterations):
+            assert a.error_after == b.error_after
+            assert a.step_norm == b.step_norm
+
+    def test_unknown_backend_rejected(self, problem):
+        from repro.optim import gauss_newton
+
+        graph, values = problem
+        with pytest.raises(ValueError, match="backend"):
+            gauss_newton(graph, values, backend="vectorized")
+
+    def test_env_var_reaches_subprocess_solves(self, problem):
+        """REPRO_EXECUTOR=fused in the environment switches a fresh
+        process's compiled solves onto the fused path."""
+        code = (
+            "from repro.compiler.fused import default_executor_name, "
+            "executor_factory, FusedExecutor\n"
+            "assert default_executor_name() == 'fused'\n"
+            "assert executor_factory() is FusedExecutor\n"
+        )
+        env = dict(os.environ, REPRO_EXECUTOR="fused")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env=env, cwd=os.path.dirname(
+                           os.path.dirname(os.path.dirname(
+                               os.path.abspath(__file__)))))

@@ -1,10 +1,13 @@
-"""Differential oracles: executor vs schedule replay vs dense NumPy.
+"""Differential oracles: executor vs fused vs schedule replay vs NumPy.
 
-Three independent evaluations of the same compiled Gauss-Newton step
-must agree: in-order functional execution, replay in the simulator's
-recorded (out-of-order) schedule order, and the reference solvers.  Any
-scheduling bug that violates a true data dependency, or any codegen bug
-that mis-links the QR elimination tree, breaks the agreement.
+Four independent evaluations of the same compiled Gauss-Newton step
+must agree: in-order functional execution, the fused vectorized backend
+(:class:`repro.compiler.FusedExecutor` — required *bit-identical* to the
+interpreter), replay in the simulator's recorded (out-of-order) schedule
+order, and the reference solvers.  Any scheduling bug that violates a
+true data dependency, any codegen bug that mis-links the QR elimination
+tree, or any fused-grouping bug that changes a reduction order, breaks
+the agreement.
 """
 
 import io
@@ -12,7 +15,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.compiler import Executor, cached_compile_graph
+from repro.compiler import Executor, FusedExecutor, cached_compile_graph
 from repro.factorgraph import solve
 from repro.factorgraph.g2o import load_g2o
 
@@ -40,6 +43,9 @@ def check_oracles(graph, values, atol=1e-8):
     registers = Executor().run(compiled.program)
     executed = compiled.extract_solution(registers)
 
+    fused_registers = FusedExecutor().run(compiled.program)
+    fused = compiled.extract_solution(fused_registers)
+
     replay = replay_program(compiled)
     replayed = compiled.extract_solution(Executor().run(replay))
 
@@ -47,9 +53,20 @@ def check_oracles(graph, values, atol=1e-8):
     reference, _ = solve(linear, compiled.ordering)
     dense = dense_reference(graph, values)
 
-    assert set(executed) == set(replayed) == set(reference) == set(dense)
+    assert set(executed) == set(fused) == set(replayed) \
+        == set(reference) == set(dense)
     for key in reference:
         assert np.allclose(executed[key], reference[key], atol=atol)
+        if not np.array_equal(fused[key], executed[key]):
+            # The fused backend must be *bit-identical*, not just close:
+            # its kernels are engineered to perform the interpreter's
+            # exact per-element operations.  Localize before failing.
+            report = divergence_forensics(compiled.program,
+                                          compiled.program,
+                                          executor_b=FusedExecutor)
+            raise AssertionError(
+                f"interpreter vs fused backend disagree on {key}\n{report}"
+            )
         if not np.allclose(replayed[key], executed[key], atol=1e-12):
             # Localize before failing: trace both streams and report
             # the first diverging instruction with its provenance.

@@ -151,7 +151,8 @@ def schedule_replay(compiled, policy="ooo"):
     return compiled.extract_solution(registers)
 
 
-def divergence_forensics(program_a, program_b, align="uid"):
+def divergence_forensics(program_a, program_b, align="uid",
+                         executor_a=Executor, executor_b=Executor):
     """First-divergence report between two program executions, as text.
 
     Traces both executions with :mod:`repro.obs.vtrace` (ring disabled:
@@ -160,6 +161,11 @@ def divergence_forensics(program_a, program_b, align="uid"):
     when the executions agree — the caller attaches the report to its
     assertion message, turning "the oracles disagree" into "instruction
     #N with this provenance disagrees".
+
+    ``executor_a``/``executor_b`` select the executor class per side, so
+    the same machinery localizes interpreter-vs-replay *and*
+    interpreter-vs-fused disagreements (pass the same program twice with
+    different executors for the latter).
     """
     import os
     import tempfile
@@ -175,9 +181,9 @@ def divergence_forensics(program_a, program_b, align="uid"):
         path_a = os.path.join(tmp, "a.trace")
         path_b = os.path.join(tmp, "b.trace")
         with vtrace.recording_scope(path_a, ring_size=0):
-            Executor().run(program_a)
+            executor_a().run(program_a)
         with vtrace.recording_scope(path_b, ring_size=0):
-            Executor().run(program_b)
+            executor_b().run(program_b)
         report = find_divergence(load_trace(path_a), load_trace(path_b),
                                  align=align)
     if report is None:
