@@ -70,6 +70,11 @@ def main(argv=None) -> int:
                              "(default: $REPRO_EXECUTOR or interpreter); "
                              "the solve_wall_clock section always "
                              "measures both")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run every optimizer solve through the "
+                             "supervised pipeline (deadlines, retry, "
+                             "fallback executor ladder); with no faults "
+                             "this is bit-identical to unsupervised")
     args = parser.parse_args(argv)
 
     if args.repeat < 1:
@@ -78,6 +83,10 @@ def main(argv=None) -> int:
         set_cache_enabled(False)
     if args.executor:
         set_default_executor(args.executor)
+    if args.supervise:
+        from repro.resilience.supervisor import enable_supervision
+
+        enable_supervision()
     started = time.perf_counter()
     document = run_bench(quick=args.quick, seed=args.seed,
                          compile_repeats=args.compile_repeats,

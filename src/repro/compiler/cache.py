@@ -432,6 +432,22 @@ class CompilationCache:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries)}
 
+    def evict(self, key: Tuple) -> bool:
+        """Drop one entry (and its variants) by structural key.
+
+        The supervised solve pipeline calls this when a rebound template
+        fails its integrity check — a poisoned entry must be recompiled
+        cold, not reused.  Returns whether the key was present.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            counters.incr("compiler.cache.evictions")
+        return entry is not None
+
+    def templates(self) -> Dict[Tuple, "CacheEntry"]:
+        """The live entries by structural key (for integrity tooling)."""
+        return dict(self._entries)
+
     def compile(self, graph: FactorGraph, values: Values,
                 ordering: Optional[Sequence[Key]] = None, *,
                 algorithm: str = "", register_prefix: str = "",

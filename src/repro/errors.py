@@ -24,6 +24,34 @@ class OptimizationError(OriannaError):
     """The nonlinear optimizer could not make progress."""
 
 
+class DeadlineExceeded(OptimizationError):
+    """A wall-clock deadline expired mid-solve.
+
+    Raised by :class:`~repro.optim.safeguards.SolveBudget` and
+    :class:`~repro.optim.safeguards.DeadlineGuard` at iteration or
+    instruction-group boundaries.  Subclasses
+    :class:`OptimizationError` so existing budget handling keeps
+    working, while carrying structured context the supervised solve
+    pipeline uses to decide between demotion and abort:
+
+    - ``phase`` — which deadline tripped (``"compile"``, ``"execute"``,
+      or ``"total"``);
+    - ``elapsed_s`` / ``deadline_s`` — the measured and configured
+      wall-clock seconds;
+    - ``partial`` — progress made before the deadline (e.g. completed
+      instruction groups), so callers can report how far the solve got.
+    """
+
+    def __init__(self, message: str, *, phase: str = "total",
+                 elapsed_s: float = 0.0, deadline_s: float = 0.0,
+                 partial=None):
+        super().__init__(message)
+        self.phase = phase
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        self.partial = dict(partial) if partial else {}
+
+
 class CompileError(OriannaError):
     """The compiler rejected an expression or factor graph."""
 

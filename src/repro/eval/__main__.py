@@ -127,7 +127,17 @@ def main(argv=None) -> int:
                         help="value-domain backend for compiled solves: "
                              "interpreter or fused (default: "
                              "$REPRO_EXECUTOR or interpreter)")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run every optimizer solve through the "
+                             "supervised pipeline (deadlines, retry, "
+                             "fallback executor ladder); with no faults "
+                             "this is bit-identical to unsupervised")
     args = parser.parse_args(argv)
+
+    if args.supervise:
+        from repro.resilience.supervisor import enable_supervision
+
+        enable_supervision()
 
     if args.no_compile_cache:
         from repro.compiler.cache import set_cache_enabled

@@ -13,9 +13,15 @@ from repro.optim.levenberg import (
     levenberg_marquardt,
 )
 from repro.optim.result import IterationRecord, OptimizationResult
-from repro.optim.safeguards import SolveBudget, clip_delta, delta_is_finite
+from repro.optim.safeguards import (
+    DeadlineGuard,
+    SolveBudget,
+    clip_delta,
+    delta_is_finite,
+)
 
 __all__ = [
+    "DeadlineGuard",
     "GaussNewtonParams",
     "NONFINITE_FALLBACK",
     "NONFINITE_RAISE",

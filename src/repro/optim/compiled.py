@@ -47,8 +47,9 @@ class CompiledSolver:
     optimizer loops catch and degrade on.  An explicit factory takes
     precedence: fault injection and tiered recovery are defined per
     instruction, so when one is installed while the fused backend is
-    requested, the solver falls back to the instruction-level path and
-    warns once.
+    requested, the solver falls back to the instruction-level path,
+    warns once per structure, and counts a
+    ``resilience.supervisor.fallback`` obs event with the reason.
     """
 
     def __init__(self, cache=None, max_entries: int = 8,
@@ -60,23 +61,50 @@ class CompiledSolver:
             else CompilationCache(max_entries=max_entries)
         self.executor_factory = executor_factory
         self.executor = None if executor is None else _validate_name(executor)
-        self._warned_factory_override = False
+        # Structure fingerprints whose fused→interpreter fallback has
+        # already been logged (the event fires once per structure).
+        self._fallback_logged = set()
 
-    def _resolve_factory(self):
+    def _wants_fused(self) -> bool:
+        from repro.compiler import fused
+
+        return (self.executor or fused.default_executor_name()) == \
+            fused.EXECUTOR_FUSED
+
+    def _note_factory_fallback(self, fingerprint: str) -> None:
+        """Count (and warn about) the fused→instruction-level fallback.
+
+        Fires once per structure fingerprint: the condition is a
+        property of the (solver, structure) pair, and a serving process
+        rebinding the same template thousands of times must not flood
+        the warning stream — but the obs counter records every distinct
+        structure that lost its fused plan to the override.
+        """
+        from repro.obs import counters, trace
+
+        if fingerprint in self._fallback_logged:
+            return
+        self._fallback_logged.add(fingerprint)
+        reason = ("explicit executor_factory installed; fault injection "
+                  "and hardened execution are per-instruction")
+        counters.incr("resilience.supervisor.fallback")
+        with trace.span("resilience.supervisor.fallback",
+                        category="resilience", reason=reason,
+                        fingerprint=fingerprint):
+            pass
+        warnings.warn(
+            "fused executor requested, but an explicit "
+            "executor_factory is installed (fault injection / "
+            "hardened execution is per-instruction); falling "
+            "back to the instruction-level path",
+            RuntimeWarning, stacklevel=4)
+
+    def _resolve_factory(self, fingerprint: Optional[str] = None):
         from repro.compiler import fused
 
         if self.executor_factory is not None:
-            wants_fused = (self.executor or
-                           fused.default_executor_name()) == \
-                fused.EXECUTOR_FUSED
-            if wants_fused and not self._warned_factory_override:
-                self._warned_factory_override = True
-                warnings.warn(
-                    "fused executor requested, but an explicit "
-                    "executor_factory is installed (fault injection / "
-                    "hardened execution is per-instruction); falling "
-                    "back to the instruction-level path",
-                    RuntimeWarning, stacklevel=3)
+            if self._wants_fused():
+                self._note_factory_fallback(fingerprint or "")
             return self.executor_factory
         return fused.executor_factory(self.executor)
 
@@ -86,12 +114,18 @@ class CompiledSolver:
         """One linear solve: compile (or rebind) and execute."""
         from repro.obs import trace
 
+        fingerprint = None
+        if self.executor_factory is not None and self._wants_fused():
+            from repro.compiler.cache import structural_fingerprint
+
+            fingerprint = structural_fingerprint(graph, values,
+                                                 ordering)[:12]
         with trace.span("solve.compile", category="host.phase") as sp:
             hits_before = self.cache.hits
             compiled = self.cache.compile(graph, values, ordering)
             sp.set(kind="rebind" if self.cache.hits > hits_before
                    else "compile")
-        factory = self._resolve_factory()
+        factory = self._resolve_factory(fingerprint)
         with trace.span("solve.execute", category="host.phase",
                         instructions=len(compiled.program)):
             registers = factory().run(compiled.program)

@@ -79,6 +79,12 @@ def _lm_fallback(graph: FactorGraph, values: Values,
     from repro.optim.levenberg import LevenbergParams, levenberg_marquardt
 
     counters.incr("resilience.solver.gn_fallback_lm")
+    # A fully drained budget must still construct a *valid* LM budget
+    # (zero now raises ValueError); a vanishing positive remainder makes
+    # LM's first check trip instead, which is the correct semantics.
+    remaining = budget.remaining_s()
+    if remaining is not None:
+        remaining = max(remaining, 1e-9)
     lm_params = LevenbergParams(
         max_iterations=max(1, params.max_iterations - iteration),
         initial_lambda=FALLBACK_INITIAL_LAMBDA,
@@ -86,7 +92,7 @@ def _lm_fallback(graph: FactorGraph, values: Values,
         relative_error_tol=params.relative_error_tol,
         step_tol=params.step_tol,
         max_step_norm=params.max_step_norm,
-        max_wall_clock_s=budget.remaining_s(),
+        max_wall_clock_s=remaining,
     )
     fallback = levenberg_marquardt(graph, values, lm_params,
                                    ordering=ordering, backend=backend)
@@ -97,7 +103,8 @@ def _lm_fallback(graph: FactorGraph, values: Values,
     ]
     return OptimizationResult(values=fallback.values,
                               converged=fallback.converged,
-                              iterations=merged)
+                              iterations=merged,
+                              degradation_report=fallback.degradation_report)
 
 
 def gauss_newton(
@@ -118,18 +125,32 @@ def gauss_newton(
     stats (QR shapes live in the compiled program, not the solver).
     ``backend="fused"`` is the compiled backend executed through the
     fused vectorized plan (:mod:`repro.compiler.fused`) — bit-identical
-    results, batched NumPy dispatch.
+    results, batched NumPy dispatch.  ``backend="supervised"`` runs each
+    solve through the :mod:`repro.resilience.supervisor` pipeline
+    (deadlines, retry with backoff, the fused → interpreter → reference
+    fallback ladder); any backend is likewise supervised process-wide
+    after :func:`repro.resilience.supervisor.enable_supervision` (the
+    CLI ``--supervise`` flag), with the ladder topping out at the
+    requested backend's executor.
     """
     if params is None:
         params = GaussNewtonParams()
-    if backend not in ("reference", "compiled", "fused"):
+    if backend not in ("reference", "compiled", "fused", "supervised"):
         raise ValueError(f"unknown gauss_newton backend {backend!r}")
     if params.on_nonfinite not in (NONFINITE_FALLBACK, NONFINITE_RAISE):
         raise ValueError(
             f"unknown on_nonfinite mode {params.on_nonfinite!r}"
         )
+    from repro.resilience.supervisor import active_supervision
+
     solver = None
-    if backend in ("compiled", "fused"):
+    supervised = backend == "supervised" or active_supervision() is not None
+    if supervised:
+        from repro.factorgraph.elimination import EliminationStats
+        from repro.resilience.supervisor import supervised_solver_for_backend
+
+        solver = supervised_solver_for_backend(backend)
+    elif backend in ("compiled", "fused"):
         from repro.factorgraph.elimination import EliminationStats
         from repro.optim.compiled import CompiledSolver
 
@@ -203,5 +224,7 @@ def gauss_newton(
                 converged = True
                 break
 
+    report = solver.degradation_report() if supervised else None
     return OptimizationResult(values=values, converged=converged,
-                              iterations=records)
+                              iterations=records,
+                              degradation_report=report)

@@ -88,13 +88,26 @@ def levenberg_marquardt(
     rebinds.  The compiled backend reports empty per-trial elimination
     stats.  ``backend="fused"`` is the compiled backend executed through
     the fused vectorized plan (:mod:`repro.compiler.fused`).
+    ``backend="supervised"`` (or a process-wide
+    :func:`repro.resilience.supervisor.enable_supervision`) runs every
+    damped trial through the supervised pipeline — deadlines, bounded
+    retry, and the fallback executor ladder.
     """
     if params is None:
         params = LevenbergParams()
-    if backend not in ("reference", "compiled", "fused"):
+    if backend not in ("reference", "compiled", "fused", "supervised"):
         raise ValueError(f"unknown levenberg_marquardt backend {backend!r}")
+    from repro.resilience.supervisor import active_supervision
+
     solver = None
-    if backend in ("compiled", "fused"):
+    supervised = backend == "supervised" or active_supervision() is not None
+    if supervised:
+        from repro.factorgraph.elimination import EliminationStats
+        from repro.optim.compiled import damped_nonlinear_graph
+        from repro.resilience.supervisor import supervised_solver_for_backend
+
+        solver = supervised_solver_for_backend(backend)
+    elif backend in ("compiled", "fused"):
         from repro.factorgraph.elimination import EliminationStats
         from repro.optim.compiled import CompiledSolver, \
             damped_nonlinear_graph
@@ -211,5 +224,7 @@ def levenberg_marquardt(
                 converged = True
                 break
 
+    report = solver.degradation_report() if supervised else None
     return OptimizationResult(values=values, converged=converged,
-                              iterations=records)
+                              iterations=records,
+                              degradation_report=report)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from repro.factorgraph.elimination import EliminationStats
 from repro.factorgraph.values import Values
@@ -31,6 +31,10 @@ class OptimizationResult:
     values: Values
     converged: bool
     iterations: List[IterationRecord] = field(default_factory=list)
+    # Aggregate supervision summary (retries, demotions, breaker state)
+    # when the solve ran under repro.resilience.supervisor; None for
+    # plain unsupervised solves.
+    degradation_report: Optional[Dict[str, Any]] = None
 
     @property
     def final_error(self) -> float:

@@ -14,10 +14,26 @@ model in :mod:`repro.sim`:
   injects planned faults and recovers via retry → checkpoint → escalate;
 - :mod:`repro.resilience.campaign` — seeded rate sweeps over the
   paper's applications with a Tbl. 5-style verdict table;
-- ``python -m repro.resilience campaign`` — the CLI front-end.
+- :mod:`repro.resilience.supervisor` — the supervised solve pipeline:
+  per-phase deadlines, bounded retry with backoff, a fused →
+  interpreter → reference fallback ladder with per-structure circuit
+  breakers, cache integrity checks, and an ABFT divergence sentinel;
+- :mod:`repro.resilience.chaos` — host-level fault injection (handler
+  exceptions, NaN storms, slow ops, cache poisoning) gating the
+  supervisor's graceful degradation;
+- ``python -m repro.resilience campaign | chaos`` — the CLI front-ends.
 """
 
 from repro.resilience.abft import check_instruction, has_checker
+from repro.resilience.chaos import ChaosConfig, evaluate_gates, run_chaos
+from repro.resilience.supervisor import (
+    CircuitBreaker,
+    SupervisedSolver,
+    SupervisorConfig,
+    active_supervision,
+    disable_supervision,
+    enable_supervision,
+)
 from repro.resilience.campaign import (
     CampaignConfig,
     full_config,
@@ -48,6 +64,15 @@ from repro.resilience.spec import (
 __all__ = [
     "CampaignConfig",
     "CampaignSpec",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "SupervisedSolver",
+    "SupervisorConfig",
+    "active_supervision",
+    "disable_supervision",
+    "enable_supervision",
+    "evaluate_gates",
+    "run_chaos",
     "DETECT_ONLY",
     "ESCALATE_CONTINUE",
     "ESCALATE_ERROR",

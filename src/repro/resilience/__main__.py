@@ -1,10 +1,16 @@
-"""Resilience CLI: ``python -m repro.resilience campaign``.
+"""Resilience CLI: ``python -m repro.resilience campaign | chaos``.
 
-Runs a seeded fault-injection campaign over the paper's applications
-and prints the success-rate/accuracy-degradation table (the robustness
-analogue of Tbl. 5).  ``--output`` writes a BENCH-schema JSON document,
-so two runs can be compared with ``python -m repro.obs diff`` —
-``--exact`` between two same-seed runs is the determinism gate.
+``campaign`` runs a seeded *value-domain* fault-injection campaign over
+the paper's applications and prints the success-rate/accuracy-
+degradation table (the robustness analogue of Tbl. 5).  ``chaos`` runs
+the *host-level* chaos matrix against the supervised solve pipeline
+(handler exceptions, NaN storms, slow ops, cache poisoning, silent
+corruption) and exits nonzero if any graceful-degradation gate fails —
+in particular if any scenario returns a wrong answer without a
+``resilience.supervisor.*`` degradation event.  Both write BENCH-schema
+JSON via ``--output``, so two runs can be compared with ``python -m
+repro.obs diff`` — ``--exact`` between two same-seed runs is the
+determinism gate.
 """
 
 from __future__ import annotations
@@ -94,11 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--sim-policy", default="ooo",
                       choices=("inorder", "ooo"),
                       help="issue policy for the timing replay")
+    camp.add_argument("--timeout-s", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock limit per scenario: a hung solve "
+                           "fails the scenario (crash verdict) instead "
+                           "of hanging the campaign")
     camp.add_argument("--output", default=None, metavar="FILE",
                       help="write the BENCH-schema campaign document "
                            "(repro.obs diff compatible)")
     camp.add_argument("--markdown", action="store_true",
                       help="print the table as GitHub markdown")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="host-level fault injection against the supervised solve "
+             "pipeline; exits nonzero when a degradation gate fails",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign master seed (default 0)")
+    chaos.add_argument("--apps", default=None,
+                       help="comma-separated application names "
+                            "(default: all)")
+    chaos.add_argument("--executors", default=None,
+                       help="comma-separated ladder tops to attack "
+                            "(default: fused,interpreter)")
+    chaos.add_argument("--faults", default=None,
+                       help="comma-separated fault kinds (default: all)")
+    chaos.add_argument("--output", default=None, metavar="FILE",
+                       help="write the BENCH-schema chaos document "
+                            "(repro.obs diff compatible)")
+    chaos.add_argument("--markdown", action="store_true",
+                       help="print the table as GitHub markdown")
     return parser
 
 
@@ -144,10 +176,55 @@ def _policy_from_args(args) -> RecoveryPolicy:
     return policy
 
 
+def _chaos_main(args) -> int:
+    from repro.resilience.chaos import ChaosConfig, run_chaos
+
+    apps = tuple(a for a in args.apps.split(",") if a) if args.apps else ()
+    overrides = {}
+    if args.executors:
+        overrides["executors"] = tuple(
+            e for e in args.executors.split(",") if e)
+    if args.faults:
+        overrides["faults"] = tuple(f for f in args.faults.split(",") if f)
+    try:
+        config = ChaosConfig(seed=args.seed, apps=apps, **overrides)
+        table, document = run_chaos(config)
+    except ResilienceError as exc:
+        print(f"repro.resilience: {exc}", file=sys.stderr)
+        return 2
+
+    print(table.to_markdown() if args.markdown else table.format())
+    gates = document["chaos"]["gates"]
+    print(f"\ngates: controls_identical={gates['controls_identical']} "
+          f"correct={gates['correct_scenarios']}/"
+          f"{gates['injected_scenarios']} "
+          f"({gates['correct_rate']:.1%}) "
+          f"silent_wrong={len(gates['silent_wrong'])}")
+    if args.output:
+        from repro.bench.core import write_bench
+
+        write_bench(args.output, document)
+        print(f"wrote {args.output}")
+    if not gates["passed"]:
+        if gates["silent_wrong"]:
+            print("FAIL: wrong answers without a degradation event: "
+                  + ", ".join(gates["silent_wrong"]), file=sys.stderr)
+        if not gates["correct_rate_ok"]:
+            print(f"FAIL: correct rate {gates['correct_rate']:.1%} below "
+                  f"the gate", file=sys.stderr)
+        if not gates["controls_identical"]:
+            print("FAIL: a no-fault control was not bit-identical to the "
+                  "unsupervised solve", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "chaos":
+        return _chaos_main(args)
     if args.command != "campaign":  # pragma: no cover - argparse guards
         parser.error(f"unknown command {args.command!r}")
 
@@ -167,6 +244,7 @@ def main(argv=None) -> int:
             spec=_spec_from_args(args),
             policy=_policy_from_args(args),
             sim_policy=args.sim_policy,
+            timeout_s=args.timeout_s,
         )
         table, document = run_campaign(config)
     except ResilienceError as exc:

@@ -59,12 +59,23 @@ class CampaignConfig:
     spec: CampaignSpec = field(default_factory=CampaignSpec)
     policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     sim_policy: str = "ooo"
+    # Per-scenario wall-clock limit: a hung or pathologically slow trial
+    # raises DeadlineExceeded (scored as a crash) instead of hanging the
+    # campaign — and CI — indefinitely.  None = unbounded.
+    timeout_s: Optional[float] = None
 
     def __post_init__(self):
         if self.trials < 1:
             raise ResilienceError("trials must be >= 1")
         if not self.rates:
             raise ResilienceError("campaign needs at least one fault rate")
+        if self.timeout_s is not None:
+            timeout = float(self.timeout_s)
+            if timeout <= 0.0 or not np.isfinite(timeout):
+                raise ResilienceError(
+                    f"timeout_s must be a positive number of seconds or "
+                    f"None (got {self.timeout_s!r})"
+                )
 
 
 def quick_config(**overrides) -> CampaignConfig:
@@ -145,12 +156,21 @@ def run_trial(program, golden: Dict[str, np.ndarray], clean_cycles: int,
                     config.seed)
     )
     plan = plan_faults(program, spec)
+    deadline = None
+    if config.timeout_s is not None:
+        from repro.optim.safeguards import DeadlineGuard
+
+        deadline = DeadlineGuard(total_s=config.timeout_s,
+                                 label=f"{app_name} trial {trial}")
     crashed = False
     max_err = float("inf")
     try:
-        registers, stats = execute_with_faults(program, plan, config.policy)
+        registers, stats = execute_with_faults(program, plan, config.policy,
+                                               deadline=deadline)
         max_err = max_relative_error(golden, registers)
     except OriannaError:
+        # DeadlineExceeded lands here too: a timed-out scenario is a
+        # crash verdict, not a hang.
         crashed = True
         stats = None
     # The timing domain replays the same plan (now carrying the value
@@ -219,6 +239,7 @@ def run_campaign(config: Optional[CampaignConfig] = None
             "rates": list(config.rates),
             "trials": config.trials,
             "sim_policy": config.sim_policy,
+            "timeout_s": config.timeout_s,
             "solution_rtol": SOLUTION_RTOL,
             "table": table.to_dict(),
         },

@@ -82,13 +82,22 @@ class ResilienceStats:
 
 
 class ResilientExecutor(Executor):
-    """An :class:`Executor` hardened by detection + tiered recovery."""
+    """An :class:`Executor` hardened by detection + tiered recovery.
+
+    ``deadline`` (a :class:`~repro.optim.safeguards.DeadlineGuard`)
+    bounds the run in wall-clock time, checked at instruction
+    boundaries: a hung or pathologically slow trial raises
+    :class:`~repro.errors.DeadlineExceeded` instead of hanging the
+    campaign (and CI) indefinitely.
+    """
 
     def __init__(self, plan: Optional[FaultPlan] = None,
-                 policy: Optional[RecoveryPolicy] = None):
+                 policy: Optional[RecoveryPolicy] = None,
+                 deadline=None):
         super().__init__()
         self.plan = plan if plan is not None else FaultPlan({})
         self.policy = policy if policy is not None else RecoveryPolicy()
+        self.deadline = deadline
         self.stats = ResilienceStats()
         self._checkpoint: Optional[Tuple[int, Dict[str, np.ndarray]]] = None
         # Per-site accounting stays idempotent across checkpoint
@@ -108,7 +117,12 @@ class ResilientExecutor(Executor):
         # copy is a complete checkpoint.
         if every:
             self._checkpoint = (0, dict(self.registers))
+        deadline = self.deadline
         while index < len(instructions):
+            if deadline is not None:
+                deadline.check(partial={"instructions": index,
+                                        "total_instructions":
+                                        len(instructions)})
             if every and index and index % every == 0:
                 self._checkpoint = (index, dict(self.registers))
             restart = self._execute_protected(instructions[index])
@@ -250,9 +264,10 @@ class ResilientExecutor(Executor):
 
 
 def execute_with_faults(program: Program, plan: FaultPlan,
-                        policy: Optional[RecoveryPolicy] = None
+                        policy: Optional[RecoveryPolicy] = None,
+                        deadline=None
                         ) -> Tuple[Dict[str, np.ndarray], ResilienceStats]:
     """Convenience wrapper: run ``program`` under ``plan`` and ``policy``."""
-    executor = ResilientExecutor(plan, policy)
+    executor = ResilientExecutor(plan, policy, deadline=deadline)
     registers = executor.run(program)
     return registers, executor.stats

@@ -1,0 +1,777 @@
+"""Supervised solve pipeline: deadlines, retry, and a fallback ladder.
+
+One misbehaving solve — a poisoned fused plan, a corrupted cache
+template, a NaN storm from a failing unit, a stalled host handler —
+must degrade gracefully instead of taking a serving process down or
+silently returning a wrong answer.  :class:`SupervisedSolver` wraps the
+compile-once/bind-many solve of :class:`~repro.optim.compiled.
+CompiledSolver` in four layers of supervision:
+
+1. **Deadline enforcement** — a :class:`~repro.optim.safeguards.
+   DeadlineGuard` with per-phase (compile / execute / total) wall-clock
+   deadlines, checked at instruction-group boundaries by the supervised
+   executors below.  An execute deadline demotes down the ladder (this
+   rung is too slow); the total deadline aborts with a structured
+   :class:`~repro.errors.DeadlineExceeded` carrying partial progress.
+2. **Bounded retry with exponential backoff + jitter** — transient
+   failures (:class:`~repro.errors.FaultInjectionError`, handler
+   exceptions surfacing as :class:`~repro.errors.ExecutionError`,
+   non-finite solutions) are retried up to ``max_attempts`` per rung.
+   Backoff delays come from a :func:`~repro.apps.seeding.stable_seed`-
+   seeded generator, so campaigns stay byte-reproducible.
+3. **A fallback executor ladder** — fused → compiled interpreter →
+   reference NumPy oracle.  A per-structure-fingerprint **circuit
+   breaker** quarantines the fused plan after K consecutive failures
+   and re-probes (half-open) after a cool-down counted in solves, so a
+   structurally poisoned plan stops burning retry budget.  Rebind-time
+   **cache integrity checks** verify the static template constants and
+   evict poisoned entries (recompiling cold) instead of crashing.
+4. **A runtime divergence sentinel** — opt-in ABFT column-sum spot
+   checks (:mod:`repro.resilience.abft`) on a deterministic sample of
+   MM/QR instructions after each accelerated run; a failed checksum
+   demotes down the ladder rather than shipping a wrong answer.
+
+Every degradation event increments a ``resilience.supervisor.*``
+counter and lands in the per-solve ``degradation_report`` attached to
+:class:`~repro.optim.result.OptimizationResult` (and renderable through
+:meth:`~repro.sim.stats.SimulationResult.to_dict`).  The chaos campaign
+(:mod:`repro.resilience.chaos`, ``python -m repro.resilience chaos``)
+drives all of this with injected host-level faults.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.seeding import stable_seed
+from repro.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    FaultInjectionError,
+    OptimizationError,
+    ResilienceError,
+)
+from repro.compiler.executor import Executor
+from repro.compiler.fused import FusedExecutor, plan_for
+from repro.compiler.isa import Opcode, Program
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.keys import Key
+from repro.factorgraph.values import Values
+from repro.obs import counters, trace
+from repro.optim.safeguards import DeadlineGuard
+from repro.resilience import abft
+
+__all__ = [
+    "CircuitBreaker",
+    "RUNG_FUSED",
+    "RUNG_INTERPRETER",
+    "RUNG_REFERENCE",
+    "SupervisedExecutor",
+    "SupervisedFusedExecutor",
+    "SupervisedSolver",
+    "SupervisorConfig",
+    "active_supervision",
+    "disable_supervision",
+    "enable_supervision",
+    "ladder_for_backend",
+    "verify_template_integrity",
+]
+
+# Ladder rungs, fastest first.  "reference" is the pure-NumPy oracle
+# (repro.factorgraph.elimination) — no compiled program at all, the
+# rung of last resort.
+RUNG_FUSED = "fused"
+RUNG_INTERPRETER = "interpreter"
+RUNG_REFERENCE = "reference"
+DEFAULT_LADDER = (RUNG_FUSED, RUNG_INTERPRETER, RUNG_REFERENCE)
+
+# Failures the supervisor treats as potentially transient: the resilient
+# executor escalating an unrecovered fault, a host opcode handler raising
+# mid-program, and the numeric-library errors a corrupted register file
+# surfaces as (scipy/numpy finiteness checks raise plain ValueError, QR
+# on a poisoned operand raises LinAlgError).  Anything else propagates
+# (a bug, not a fault).
+RETRYABLE_ERRORS = (FaultInjectionError, ExecutionError, ValueError,
+                    FloatingPointError, np.linalg.LinAlgError)
+
+# Circuit-breaker states (per structure fingerprint).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+# Sentinel opcodes: the two checksum-covered op classes that dominate
+# the algebra (matrix products and QR fronts).
+SENTINEL_OPCODES = (Opcode.MM, Opcode.QR)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for one supervised solve pipeline (all deterministic)."""
+
+    # Deadlines (None = unbounded); see DeadlineGuard for semantics.
+    total_deadline_s: Optional[float] = None
+    compile_deadline_s: Optional[float] = None
+    execute_deadline_s: Optional[float] = None
+    # Bounded retry with exponential backoff + jitter, per rung.
+    max_attempts: int = 3
+    backoff_base_s: float = 0.001
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    # Master seed for backoff jitter and sentinel sampling.
+    seed: int = 0
+    # Circuit breaker: quarantine the fused plan for a structure after
+    # this many consecutive failures; re-probe (half-open) after the
+    # cool-down, counted in solve requests so behavior is deterministic.
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 8
+    # Divergence sentinel: ABFT spot checks on a sampled subset of
+    # MM/QR instructions after each accelerated run (opt-in).
+    sentinel: bool = False
+    sentinel_rate: float = 0.25
+    sentinel_rtol: float = 1e-6
+    sentinel_atol: float = 1e-9
+    # Deadline-check granularity for the instruction-level executor
+    # (the fused executor checks at its natural group boundaries).
+    check_every: int = 32
+    # The fallback ladder, fastest rung first.
+    ladder: Tuple[str, ...] = DEFAULT_LADDER
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ResilienceError("max_attempts must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ResilienceError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ResilienceError("breaker_cooldown must be >= 1")
+        if not self.ladder:
+            raise ResilienceError("the executor ladder cannot be empty")
+        unknown = [r for r in self.ladder if r not in DEFAULT_LADDER]
+        if unknown:
+            raise ResilienceError(f"unknown ladder rungs {unknown!r}")
+        if not 0.0 <= self.sentinel_rate <= 1.0:
+            raise ResilienceError("sentinel_rate must be in [0, 1]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_deadline_s": self.total_deadline_s,
+            "compile_deadline_s": self.compile_deadline_s,
+            "execute_deadline_s": self.execute_deadline_s,
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "backoff_jitter": self.backoff_jitter,
+            "seed": self.seed,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown": self.breaker_cooldown,
+            "sentinel": self.sentinel,
+            "sentinel_rate": self.sentinel_rate,
+            "ladder": list(self.ladder),
+        }
+
+
+def ladder_for_backend(backend: str) -> Tuple[str, ...]:
+    """The fallback ladder whose top rung matches a solver backend."""
+    if backend in ("fused", "supervised"):
+        return DEFAULT_LADDER
+    if backend == "compiled":
+        return (RUNG_INTERPRETER, RUNG_REFERENCE)
+    if backend == "reference":
+        return (RUNG_REFERENCE,)
+    raise ValueError(f"no supervision ladder for backend {backend!r}")
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker (per structure fingerprint)
+# ----------------------------------------------------------------------
+
+class CircuitBreaker:
+    """Quarantines repeatedly failing fused plans per structure.
+
+    Classic three-state breaker, deterministic by construction: the
+    cool-down is counted in :meth:`allow` calls (solve requests), not
+    wall-clock time.
+
+    - **closed** — requests pass; ``threshold`` *consecutive* failures
+      open the breaker.
+    - **open** — requests are rejected (the ladder skips the rung);
+      after ``cooldown`` rejected requests the breaker half-opens.
+    - **half-open** — exactly one probe request passes; success closes
+      the breaker, failure re-opens it for another cool-down.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: int = 8):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._states: Dict[str, str] = {}
+        self._failures: Dict[str, int] = {}
+        self._cooldown_left: Dict[str, int] = {}
+
+    def state(self, key: str) -> str:
+        return self._states.get(key, BREAKER_CLOSED)
+
+    def allow(self, key: str) -> bool:
+        state = self.state(key)
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN:
+            return True
+        left = self._cooldown_left.get(key, 0) - 1
+        if left <= 0:
+            self._states[key] = BREAKER_HALF_OPEN
+            counters.incr("resilience.supervisor.breaker.half_open")
+            return True
+        self._cooldown_left[key] = left
+        return False
+
+    def record_success(self, key: str) -> None:
+        if self.state(key) != BREAKER_CLOSED:
+            counters.incr("resilience.supervisor.breaker.closed")
+        self._states[key] = BREAKER_CLOSED
+        self._failures[key] = 0
+
+    def record_failure(self, key: str) -> None:
+        state = self.state(key)
+        if state == BREAKER_HALF_OPEN:
+            # The probe failed: straight back to quarantine.
+            self._states[key] = BREAKER_OPEN
+            self._cooldown_left[key] = self.cooldown
+            counters.incr("resilience.supervisor.breaker.reopened")
+            return
+        failures = self._failures.get(key, 0) + 1
+        self._failures[key] = failures
+        if failures >= self.threshold:
+            self._states[key] = BREAKER_OPEN
+            self._cooldown_left[key] = self.cooldown
+            counters.incr("resilience.supervisor.breaker.opened")
+
+    def summary(self) -> Dict[str, Any]:
+        states = {}
+        for key in self._states:
+            states[key] = self.state(key)
+        open_keys = sorted(k for k, s in states.items()
+                           if s != BREAKER_CLOSED)
+        return {"tracked": len(states), "not_closed": open_keys}
+
+
+# ----------------------------------------------------------------------
+# Supervised executors: deadline checks at instruction-group boundaries
+# ----------------------------------------------------------------------
+
+# Injector protocol (used by the chaos campaign): a callable
+# ``inject(executor, program, indices)`` invoked after each dispatch
+# with the instruction indices just executed — one index for the
+# interpreter, a whole fused group for the fused executor.  Injectors
+# may raise (handler exception), mutate registers (NaN storm / silent
+# corruption), or sleep (slow op).
+Injector = Callable[[Executor, Program, Sequence[int]], None]
+
+
+class SupervisedExecutor(Executor):
+    """The instruction-level interpreter under deadline supervision.
+
+    With neither a guard nor an injector installed this is exactly the
+    base :class:`Executor` (same instrumentation fast paths); otherwise
+    the run loop checks the deadline guard every ``check_every``
+    instructions and feeds the chaos injector after each one.
+    """
+
+    def __init__(self, guard: Optional[DeadlineGuard] = None,
+                 check_every: int = 32,
+                 injector: Optional[Injector] = None):
+        super().__init__()
+        self.guard = guard
+        self.check_every = max(1, int(check_every))
+        self.injector = injector
+
+    def run(self, program: Program) -> Dict[str, np.ndarray]:
+        guard = self.guard
+        injector = self.injector
+        if guard is None and injector is None:
+            return super().run(program)
+        instructions = program.instructions
+        total = len(instructions)
+        for index, instr in enumerate(instructions):
+            self.execute(instr)
+            if injector is not None:
+                injector(self, program, (index,))
+            if guard is not None and (index + 1) % self.check_every == 0:
+                guard.check(partial={"instructions": index + 1,
+                                     "total_instructions": total})
+        if guard is not None:
+            guard.check(partial={"instructions": total,
+                                 "total_instructions": total})
+        return self.registers
+
+
+class SupervisedFusedExecutor(FusedExecutor):
+    """The fused vectorized backend under deadline supervision.
+
+    Fused plans already dispatch in instruction groups, so the natural
+    deadline boundary is after each batched step; the injector sees the
+    group's member instruction indices.
+    """
+
+    def __init__(self, guard: Optional[DeadlineGuard] = None,
+                 injector: Optional[Injector] = None):
+        super().__init__()
+        self.guard = guard
+        self.injector = injector
+
+    def run(self, program: Program) -> Dict[str, np.ndarray]:
+        guard = self.guard
+        injector = self.injector
+        if guard is None and injector is None:
+            return super().run(program)
+        plan = plan_for(program)
+        slabs: List[Any] = [None] * plan.ports
+        plan.preload_constants(self, program, slabs)
+        total = len(plan.steps)
+        for position, step in enumerate(plan.steps):
+            step.execute(self, program, slabs)
+            if injector is not None:
+                injector(self, program, tuple(step.indices))
+            if guard is not None:
+                guard.check(partial={"groups": position + 1,
+                                     "total_groups": total})
+        return self.registers
+
+
+# ----------------------------------------------------------------------
+# Cache-template integrity
+# ----------------------------------------------------------------------
+
+def verify_template_integrity(compiled) -> List[str]:
+    """Integrity complaints for a (rebound) compiled program.
+
+    A rebind re-resolves ``CONST``/``EMBED`` numerics from the live
+    ``(graph, values)`` pair — but *static* constants (shape-only
+    zeros/identity seeds, ``meta["binding"]`` absent or ``BIND_STATIC``)
+    are shared with the cached template verbatim, which makes them the
+    one place in-memory corruption survives across rebinds.  This
+    checks every static constant for non-finite values and shape drift
+    against the program's register map; a non-empty result means the
+    cache entry is poisoned and must be evicted, not executed.
+    """
+    from repro.compiler.cache import BIND_STATIC
+
+    complaints: List[str] = []
+    shapes = compiled.program.register_shapes
+    for instr in compiled.program.instructions:
+        if instr.op is not Opcode.CONST:
+            continue
+        spec = instr.meta.get("binding")
+        if spec is not None and spec[0] != BIND_STATIC:
+            continue
+        value = np.asarray(instr.meta.get("value"), dtype=float)
+        dst = instr.dsts[0]
+        if not np.all(np.isfinite(value)):
+            complaints.append(
+                f"static constant {dst} (uid {instr.uid}) contains "
+                f"non-finite values"
+            )
+            continue
+        expected = shapes.get(dst)
+        if expected is not None and tuple(value.shape) != tuple(expected):
+            complaints.append(
+                f"static constant {dst} (uid {instr.uid}) has shape "
+                f"{tuple(value.shape)}, register map says {tuple(expected)}"
+            )
+    return complaints
+
+
+# ----------------------------------------------------------------------
+# The supervised solver
+# ----------------------------------------------------------------------
+
+@dataclass
+class _SolveReport:
+    """Mutable per-solve accumulator for the degradation report."""
+
+    fingerprint: str
+    rung: str = ""
+    attempts: int = 0
+    demotions: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def event(self, kind: str, rung: str, attempt: int,
+              detail: str = "") -> None:
+        self.events.append({"kind": kind, "rung": rung,
+                            "attempt": attempt, "detail": detail})
+        counters.incr(f"resilience.supervisor.{kind}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rung": self.rung,
+            "attempts": self.attempts,
+            "demotions": self.demotions,
+            "events": list(self.events),
+        }
+
+
+class SupervisedSolver:
+    """Compile-once/bind-many linear solves under full supervision.
+
+    A drop-in for :class:`~repro.optim.compiled.CompiledSolver` —
+    ``solve(graph, values, ordering)`` returns the same update dict —
+    selected by ``backend="supervised"`` on the optimizer loops or the
+    ``--supervise`` CLI flags.
+
+    ``sleep`` is the backoff sleeper (injectable so tests and campaigns
+    pay no real wall-clock for retries); ``injectors`` maps ladder rung
+    names to chaos injectors (see :data:`Injector`).
+    """
+
+    def __init__(self, config: Optional[SupervisorConfig] = None,
+                 cache=None, max_entries: int = 8,
+                 sleep: Callable[[float], None] = time.sleep,
+                 injectors: Optional[Dict[str, Injector]] = None):
+        from repro.compiler.cache import CompilationCache
+
+        self.config = config if config is not None else SupervisorConfig()
+        self.cache = cache if cache is not None \
+            else CompilationCache(max_entries=max_entries)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_cooldown)
+        self._sleep = sleep
+        self._injectors = dict(injectors or {})
+        self._solve_index = 0
+        self._solves = 0
+        self._degraded_solves = 0
+        self._events_by_kind: Dict[str, int] = {}
+        self.last_report: Optional[Dict[str, Any]] = None
+
+    # -- public surface ------------------------------------------------
+    def solve(self, graph: FactorGraph, values: Values,
+              ordering: Optional[Sequence[Key]] = None
+              ) -> Dict[Key, np.ndarray]:
+        """One supervised linear solve; returns the update dict."""
+        config = self.config
+        guard = DeadlineGuard(total_s=config.total_deadline_s,
+                              compile_s=config.compile_deadline_s,
+                              execute_s=config.execute_deadline_s,
+                              label="supervised solve")
+        index = self._solve_index
+        self._solve_index += 1
+        with trace.span("solve.supervised", category="host.phase",
+                        solve=index):
+            delta, report = self._solve_guarded(graph, values, ordering,
+                                                guard, index)
+        self._solves += 1
+        counters.incr("resilience.supervisor.solves")
+        if report.events:
+            self._degraded_solves += 1
+            counters.incr("resilience.supervisor.degraded_solves")
+        for event in report.events:
+            kind = event["kind"]
+            self._events_by_kind[kind] = \
+                self._events_by_kind.get(kind, 0) + 1
+        self.last_report = report.to_dict()
+        return delta
+
+    def degradation_report(self) -> Dict[str, Any]:
+        """Aggregate degradation summary across every solve so far."""
+        return {
+            "solves": self._solves,
+            "degraded_solves": self._degraded_solves,
+            "events_by_kind": dict(sorted(self._events_by_kind.items())),
+            "breaker": self.breaker.summary(),
+            "last_solve": self.last_report,
+        }
+
+    # -- the ladder ----------------------------------------------------
+    def _solve_guarded(self, graph, values, ordering, guard, index):
+        from repro.compiler.cache import graph_structure
+
+        config = self.config
+        structure = graph_structure(graph, values, ordering)
+        fingerprint = structure.fingerprint[:12]
+        report = _SolveReport(fingerprint=fingerprint)
+
+        compiled = None
+        needs_program = any(r != RUNG_REFERENCE for r in config.ladder)
+        if needs_program:
+            compiled = self._compile_checked(graph, values, ordering,
+                                             structure, guard, report)
+
+        last_error: Optional[BaseException] = None
+        for position, rung in enumerate(config.ladder):
+            if rung == RUNG_FUSED and not self.breaker.allow(fingerprint):
+                report.event("breaker_open", rung, 0,
+                             "fused plan quarantined for this structure")
+                report.demotions += 1
+                counters.incr("resilience.supervisor.demotions")
+                continue
+            try:
+                delta = self._run_rung(rung, compiled, graph, values,
+                                       ordering, guard, report, index)
+            except _RungFailed as failure:
+                last_error = failure.error
+                if rung == RUNG_FUSED:
+                    self.breaker.record_failure(fingerprint)
+                if position + 1 < len(config.ladder):
+                    report.demotions += 1
+                    counters.incr("resilience.supervisor.demotions")
+                    continue
+                break
+            if rung == RUNG_FUSED:
+                self.breaker.record_success(fingerprint)
+            report.rung = rung
+            return delta, report
+
+        # Every rung exhausted: surface the last failure as-is when it
+        # is already a framework error the safeguarded loops understand.
+        report.rung = "none"
+        counters.incr("resilience.supervisor.exhausted")
+        if isinstance(last_error, (OptimizationError, FaultInjectionError)):
+            raise last_error
+        raise FaultInjectionError(
+            f"supervised solve exhausted its executor ladder "
+            f"{config.ladder!r}: {last_error}"
+        )
+
+    def _compile_checked(self, graph, values, ordering, structure,
+                         guard, report):
+        """Compile or rebind under the compile deadline + integrity check."""
+        guard.start_phase("compile")
+        try:
+            with trace.span("solve.compile", category="host.phase") as sp:
+                hits_before = self.cache.hits
+                compiled = self.cache.compile(graph, values, ordering)
+                rebound = self.cache.hits > hits_before
+                sp.set(kind="rebind" if rebound else "compile")
+            guard.check(partial={"stage": "compiled"})
+            if rebound:
+                complaints = verify_template_integrity(compiled)
+                if complaints:
+                    report.event("cache_eviction", "compile", 0,
+                                 complaints[0])
+                    counters.incr("resilience.supervisor.cache_evictions")
+                    self.cache.evict(structure.key)
+                    with trace.span("solve.compile", category="host.phase",
+                                    kind="recompile"):
+                        compiled = self.cache.compile(graph, values,
+                                                      ordering)
+                    guard.check(partial={"stage": "recompiled"})
+                    remaining = verify_template_integrity(compiled)
+                    if remaining:
+                        raise ResilienceError(
+                            "cold recompile still fails integrity checks: "
+                            + "; ".join(remaining)
+                        )
+        finally:
+            guard.end_phase()
+        return compiled
+
+    def _run_rung(self, rung, compiled, graph, values, ordering, guard,
+                  report, index):
+        """All attempts of one ladder rung; raises _RungFailed to demote."""
+        config = self.config
+        backoff_rng = None
+        for attempt in range(config.max_attempts):
+            report.attempts += 1
+            counters.incr("resilience.supervisor.attempts")
+            guard.start_phase("execute")
+            try:
+                delta = self._execute_once(rung, compiled, graph, values,
+                                           ordering, guard)
+            except RETRYABLE_ERRORS as exc:
+                report.event("retryable_failure", rung, attempt,
+                             type(exc).__name__)
+                if attempt + 1 >= config.max_attempts:
+                    report.event("retries_exhausted", rung, attempt, "")
+                    raise _RungFailed(exc)
+                backoff_rng = self._backoff(rung, attempt, index, report,
+                                            backoff_rng)
+                continue
+            except DeadlineExceeded as exc:
+                if exc.phase == "execute":
+                    # This rung is too slow; retrying it wastes the
+                    # remaining total budget — demote immediately.
+                    report.event("deadline_demotion", rung, attempt,
+                                 "execute deadline exceeded")
+                    raise _RungFailed(exc)
+                report.event("deadline_exceeded", rung, attempt,
+                             f"{exc.phase} deadline exceeded")
+                raise  # total/compile deadline: nothing left to try
+            finally:
+                guard.end_phase()
+
+            if not self._delta_finite(delta):
+                report.event("nonfinite_solution", rung, attempt, "")
+                if attempt + 1 >= config.max_attempts:
+                    report.event("retries_exhausted", rung, attempt, "")
+                    raise _RungFailed(FaultInjectionError(
+                        f"{rung} rung produced a non-finite solution"))
+                backoff_rng = self._backoff(rung, attempt, index, report,
+                                            backoff_rng)
+                continue
+
+            if config.sentinel and rung != RUNG_REFERENCE:
+                divergent = self._sentinel_check(compiled, report.fingerprint,
+                                                 index)
+                if divergent:
+                    # A checksum failure is evidence this rung computes
+                    # wrong answers — do not retry it, demote.
+                    report.event("sentinel_divergence", rung, attempt,
+                                 divergent)
+                    raise _RungFailed(FaultInjectionError(
+                        f"sentinel divergence on {rung}: {divergent}"))
+            return delta
+        raise _RungFailed(FaultInjectionError(  # pragma: no cover
+            f"{rung} rung exhausted its attempts"))
+
+    def _execute_once(self, rung, compiled, graph, values, ordering,
+                      guard):
+        armed = guard.armed
+        if rung == RUNG_REFERENCE:
+            from repro.factorgraph.elimination import solve as reference
+            from repro.factorgraph.ordering import min_degree_ordering
+
+            with trace.span("solve.execute", category="host.phase",
+                            rung=rung):
+                linear = graph.linearize(values)
+                if armed:
+                    guard.check(partial={"stage": "linearized"})
+                order = list(ordering) if ordering is not None else \
+                    min_degree_ordering(linear)
+                delta, _ = reference(linear, order)
+            if armed:
+                guard.check(partial={"stage": "solved"})
+            self._last_registers = None
+            self._last_program = None
+            return delta
+
+        injector = self._injectors.get(rung)
+        if rung == RUNG_FUSED:
+            executor = SupervisedFusedExecutor(
+                guard=guard if armed else None, injector=injector)
+        else:
+            executor = SupervisedExecutor(
+                guard=guard if armed else None,
+                check_every=self.config.check_every, injector=injector)
+        with trace.span("solve.execute", category="host.phase", rung=rung,
+                        instructions=len(compiled.program)):
+            registers = executor.run(compiled.program)
+        # Kept for the sentinel: SSA registers hold every instruction's
+        # destination values after the run.
+        self._last_registers = registers
+        self._last_program = compiled.program
+        return compiled.extract_solution(registers)
+
+    # -- retry/backoff -------------------------------------------------
+    def _backoff(self, rung, attempt, index, report, rng):
+        config = self.config
+        if rng is None:
+            rng = np.random.default_rng(stable_seed(
+                "supervisor.backoff", report.fingerprint, index,
+                config.seed))
+        delay = config.backoff_base_s * (config.backoff_factor ** attempt)
+        if config.backoff_jitter:
+            delay *= 1.0 + config.backoff_jitter * float(
+                rng.uniform(-1.0, 1.0))
+        report.event("retry", rung, attempt, f"backoff={delay:.6f}s")
+        counters.incr("resilience.supervisor.retries")
+        self._sleep(delay)
+        return rng
+
+    # -- sentinel ------------------------------------------------------
+    def _sentinel_check(self, compiled, fingerprint, index) -> str:
+        """ABFT spot checks on sampled MM/QR groups; '' when clean."""
+        registers = self._last_registers
+        program = self._last_program
+        if registers is None or program is None:
+            return ""
+        candidates = [instr for instr in program.instructions
+                      if instr.op in SENTINEL_OPCODES]
+        if not candidates:
+            return ""
+        rate = self.config.sentinel_rate
+        count = max(1, int(round(rate * len(candidates)))) if rate > 0 \
+            else 0
+        if count <= 0:
+            return ""
+        rng = np.random.default_rng(stable_seed(
+            "supervisor.sentinel", fingerprint, index, self.config.seed))
+        picks = rng.choice(len(candidates), size=min(count, len(candidates)),
+                           replace=False)
+
+        def read(name: str) -> np.ndarray:
+            return registers[name]
+
+        for pick in sorted(int(p) for p in picks):
+            instr = candidates[pick]
+            counters.incr("resilience.supervisor.sentinel_checks")
+            try:
+                verdict = abft.check_instruction(
+                    instr, read, rtol=self.config.sentinel_rtol,
+                    atol=self.config.sentinel_atol)
+            except KeyError:  # pragma: no cover - defensive
+                continue
+            if verdict is False:
+                return f"ABFT checksum failed on {instr.describe()}"
+        return ""
+
+    @staticmethod
+    def _delta_finite(delta: Dict) -> bool:
+        for value in delta.values():
+            if not np.all(np.isfinite(np.asarray(value, dtype=float))):
+                return False
+        return True
+
+
+class _RungFailed(Exception):
+    """Internal: one ladder rung gave up; carry the cause for demotion."""
+
+    def __init__(self, error: BaseException):
+        super().__init__(str(error))
+        self.error = error
+
+
+# ----------------------------------------------------------------------
+# Process-wide supervision toggle (the --supervise CLI flags)
+# ----------------------------------------------------------------------
+
+_active_config: Optional[SupervisorConfig] = None
+
+
+def enable_supervision(config: Optional[SupervisorConfig] = None
+                       ) -> Optional[SupervisorConfig]:
+    """Supervise every optimizer solve in this process.
+
+    The optimizer loops consult this for any backend: a solve requested
+    as ``fused``/``compiled``/``reference`` runs through a
+    :class:`SupervisedSolver` whose ladder tops out at that backend.
+    Returns the previous configuration (for restoration).
+    """
+    global _active_config
+    previous = _active_config
+    _active_config = config if config is not None else SupervisorConfig()
+    return previous
+
+
+def disable_supervision() -> Optional[SupervisorConfig]:
+    global _active_config
+    previous = _active_config
+    _active_config = None
+    return previous
+
+
+def active_supervision() -> Optional[SupervisorConfig]:
+    return _active_config
+
+
+def supervised_solver_for_backend(backend: str,
+                                  config: Optional[SupervisorConfig] = None
+                                  ) -> SupervisedSolver:
+    """A solver whose ladder tops out at ``backend``'s executor."""
+    base = config if config is not None else \
+        (_active_config or SupervisorConfig())
+    ladder = ladder_for_backend(backend)
+    if base.ladder != ladder:
+        base = replace(base, ladder=ladder)
+    return SupervisedSolver(config=base)

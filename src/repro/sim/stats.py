@@ -58,6 +58,10 @@ class SimulationResult:
     # tables, unit contention timelines, and roofline summary
     # (repro.sim.bottleneck), always computed by Simulator.run.
     cycle_accounting: Optional["CycleAccounting"] = None
+    # Supervised-solve degradation summary (retries, demotions, breaker
+    # state) when the workload ran under repro.resilience.supervisor;
+    # None for unsupervised runs.
+    degradation_report: Optional[Dict[str, Any]] = None
 
     @property
     def time_ms(self) -> float:
@@ -121,6 +125,8 @@ class SimulationResult:
         }
         if self.fault_counts:
             out["fault_counts"] = dict(self.fault_counts)
+        if self.degradation_report is not None:
+            out["degradation_report"] = dict(self.degradation_report)
         if self.attribution is not None:
             out["attribution"] = self.attribution.to_dict()
         if self.critical_path is not None:

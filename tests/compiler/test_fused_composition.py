@@ -165,6 +165,38 @@ class TestResilienceComposition:
             _w.simplefilter("error")
             solver.solve(graph, values)  # must not warn again
 
+    def test_fallback_counted_once_per_structure(self, problem):
+        from repro.resilience.executor import ResilientExecutor
+
+        graph, values = problem
+        solver = CompiledSolver(executor="fused",
+                                executor_factory=ResilientExecutor)
+        with obs.enabled_scope():
+            with pytest.warns(RuntimeWarning):
+                solver.solve(graph, values)
+            solver.solve(graph, values)  # same structure: no new event
+            snap = obs.collector().drain()
+        assert snap.counters["resilience.supervisor.fallback"] == 1.0
+        spans = [s for s in snap.spans
+                 if s.name == "resilience.supervisor.fallback"]
+        assert len(spans) == 1
+        assert spans[0].args["fingerprint"]
+
+    def test_fallback_counted_per_distinct_structure(self, problem):
+        from repro.resilience.executor import ResilientExecutor
+
+        graph, values = problem
+        other_graph, other_values = random_problem(4, 57)
+        solver = CompiledSolver(executor="fused",
+                                executor_factory=ResilientExecutor)
+        with obs.enabled_scope():
+            with pytest.warns(RuntimeWarning):
+                solver.solve(graph, values)
+            with pytest.warns(RuntimeWarning):
+                solver.solve(other_graph, other_values)
+            snap = obs.collector().drain()
+        assert snap.counters["resilience.supervisor.fallback"] == 2.0
+
     def test_fault_campaign_recovers_on_fallback_path(self, problem):
         """A fused-requesting solver with an injecting hardened
         executor still completes the campaign via recovery."""

@@ -48,13 +48,72 @@ class TestPrimitives:
         assert clip_delta(delta, 5.0, 10.0) is delta
 
     def test_budget_trips_after_deadline(self):
-        budget = SolveBudget(0.0, label="test-solve")
+        budget = SolveBudget(1e-9, label="test-solve")
         import time
 
         time.sleep(0.002)
         with pytest.raises(OptimizationError, match="wall-clock"):
             budget.check(3)
         assert SolveBudget(None).check(0) is None  # never trips
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"),
+                                     float("inf")])
+    def test_budget_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            SolveBudget(bad)
+
+    def test_deadline_guard_rejects_nonpositive(self):
+        from repro.optim.safeguards import DeadlineGuard
+
+        with pytest.raises(ValueError, match="positive"):
+            DeadlineGuard(total_s=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            DeadlineGuard(compile_s=-2.0)
+        with pytest.raises(ValueError, match="positive"):
+            DeadlineGuard(execute_s=float("nan"))
+
+    def test_deadline_guard_phases(self):
+        import time
+
+        from repro.errors import DeadlineExceeded
+        from repro.optim.safeguards import DeadlineGuard
+
+        guard = DeadlineGuard()
+        assert not guard.armed
+        guard.check()  # unarmed guard never trips
+
+        guard = DeadlineGuard(execute_s=1e-9)
+        assert guard.armed
+        guard.check()  # no phase active: execute deadline dormant
+        guard.start_phase("execute")
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceeded) as info:
+            guard.check(partial={"groups": 7})
+        assert info.value.phase == "execute"
+        assert info.value.partial == {"groups": 7}
+        guard.end_phase()
+        guard.check()  # phase over: dormant again
+
+        # Each phase entry restarts the phase clock.
+        guard2 = DeadlineGuard(execute_s=10.0)
+        guard2.start_phase("execute")
+        guard2.check()
+        with pytest.raises(ValueError, match="unknown deadline phase"):
+            guard2.start_phase("warmup")
+
+    def test_deadline_guard_total_trips_in_any_phase(self):
+        import time
+
+        from repro.errors import DeadlineExceeded
+        from repro.optim.safeguards import DeadlineGuard
+
+        guard = DeadlineGuard(total_s=1e-9)
+        guard.start_phase("compile")
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceeded) as info:
+            guard.check()
+        assert info.value.phase == "total"
+        assert info.value.elapsed_s > info.value.deadline_s
 
 
 class TestGaussNewtonSafeguards:
@@ -136,7 +195,7 @@ class TestGaussNewtonSafeguards:
             assert record.step_norm <= 0.5 + 1e-12
 
     def test_wall_clock_budget_raises(self):
-        params = GaussNewtonParams(max_wall_clock_s=0.0)
+        params = GaussNewtonParams(max_wall_clock_s=1e-9)
         import time
 
         time.sleep(0.002)
@@ -197,7 +256,7 @@ class TestLevenbergSafeguards:
         assert np.allclose(result.values.vector(X(0)), [3.0, -1.0])
 
     def test_wall_clock_budget_raises(self):
-        params = LevenbergParams(max_wall_clock_s=0.0)
+        params = LevenbergParams(max_wall_clock_s=1e-9)
         import time
 
         time.sleep(0.002)

@@ -1,0 +1,196 @@
+"""Chaos campaign: verdicts, gates, byte-determinism, CLI exit codes."""
+
+import filecmp
+import json
+
+import pytest
+
+from repro.bench.core import load_bench, write_bench
+from repro.bench.diff import diff_documents
+from repro.errors import ResilienceError
+from repro.resilience.chaos import (
+    CORRECT_VERDICTS,
+    ChaosConfig,
+    FAULT_NONE,
+    FAULTS,
+    ScenarioOutcome,
+    VERDICT_IDENTICAL,
+    VERDICT_SKIPPED,
+    VERDICT_WRONG,
+    evaluate_gates,
+    run_chaos,
+)
+
+
+def quick_config(**overrides):
+    overrides.setdefault("apps", ("MobileRobot",))
+    return ChaosConfig(**overrides)
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_chaos(quick_config())
+
+
+class TestChaosCampaign:
+    def test_controls_are_identical_and_gates_pass(self, chaos_result):
+        _, document = chaos_result
+        scenarios = document["chaos"]["scenarios"]
+        controls = [s for s in scenarios if s["fault"] == FAULT_NONE]
+        assert controls
+        assert all(s["verdict"] == VERDICT_IDENTICAL for s in controls)
+        gates = document["chaos"]["gates"]
+        assert gates["passed"]
+        assert gates["controls_identical"]
+        assert gates["silent_wrong"] == []
+        assert gates["correct_rate"] >= 0.95
+
+    def test_every_injected_fault_leaves_an_event_trail(self,
+                                                        chaos_result):
+        _, document = chaos_result
+        for scenario in document["chaos"]["scenarios"]:
+            if scenario["fault"] == FAULT_NONE:
+                continue
+            if scenario["verdict"] == VERDICT_SKIPPED:
+                continue
+            # No silent anything: a fault either leaves events or the
+            # verdict is identical (fault missed the sampled window).
+            assert scenario["events"] or \
+                scenario["verdict"] == VERDICT_IDENTICAL
+
+    def test_table_covers_the_matrix(self, chaos_result):
+        table, document = chaos_result
+        config = document["chaos"]["config"]
+        expected = (len(config["apps"]) * len(config["executors"])
+                    * len(config["faults"]))
+        skipped = sum(1 for s in document["chaos"]["scenarios"]
+                      if s["verdict"] == VERDICT_SKIPPED)
+        assert len(document["chaos"]["scenarios"]) == expected
+        assert len(table.rows) == expected - skipped or \
+            len(table.rows) == expected
+
+    def test_workloads_carry_verdicts_for_the_bench_gate(self,
+                                                         chaos_result):
+        _, document = chaos_result
+        for key, workload in document["workloads"].items():
+            assert workload["verdict"] in (VERDICT_IDENTICAL,
+                                           *CORRECT_VERDICTS,
+                                           VERDICT_SKIPPED)
+            app, executor, fault = key.split("/")
+            assert fault in FAULTS
+
+    def test_same_seed_is_byte_identical(self, chaos_result, tmp_path):
+        _, first = chaos_result
+        _, second = run_chaos(quick_config())
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        write_bench(path_a, first)
+        write_bench(path_b, second)
+        assert filecmp.cmp(path_a, path_b, shallow=False)
+        diff = diff_documents(load_bench(path_a), load_bench(path_b),
+                              exact=True)
+        assert diff["regressions"] == []
+
+    def test_different_seed_still_passes_gates(self):
+        _, document = run_chaos(quick_config(seed=7))
+        assert document["chaos"]["gates"]["passed"]
+        assert document["seed"] == 7
+
+    def test_config_validation(self):
+        with pytest.raises(ResilienceError):
+            ChaosConfig(faults=("meteor_strike",))
+        with pytest.raises(ResilienceError):
+            ChaosConfig(executors=("gpu",))
+        with pytest.raises(ResilienceError):
+            ChaosConfig(apps=("NotAnApp",))
+        with pytest.raises(ResilienceError):
+            ChaosConfig(min_correct_rate=1.5)
+
+
+class TestGateEvaluation:
+    @staticmethod
+    def outcome(fault, verdict, events=0):
+        return ScenarioOutcome(
+            app="MobileRobot", executor="fused", fault=fault,
+            verdict=verdict, rung="fused", attempts=1, demotions=0,
+            events=["x"] * events, error="")
+
+    def test_silent_wrong_fails_the_gate(self):
+        outcomes = [self.outcome("nan_storm", VERDICT_WRONG, events=0)]
+        gates = evaluate_gates(outcomes)
+        assert not gates["silent_wrong_ok"]
+        assert gates["silent_wrong"] == ["MobileRobot/fused/nan_storm"]
+        assert not gates["passed"]
+
+    def test_loud_wrong_fails_only_the_rate(self):
+        outcomes = [self.outcome("nan_storm", VERDICT_WRONG, events=2)]
+        gates = evaluate_gates(outcomes)
+        assert gates["silent_wrong_ok"]
+        assert not gates["correct_rate_ok"]
+        assert not gates["passed"]
+
+    def test_non_identical_control_fails(self):
+        outcomes = [self.outcome(FAULT_NONE, VERDICT_WRONG, events=0)]
+        gates = evaluate_gates(outcomes)
+        assert not gates["controls_identical"]
+        assert not gates["passed"]
+
+    def test_all_recovered_passes(self):
+        outcomes = [
+            self.outcome(FAULT_NONE, VERDICT_IDENTICAL),
+            self.outcome("nan_storm", "recovered", events=2),
+            self.outcome("slow_op", "degraded", events=1),
+        ]
+        gates = evaluate_gates(outcomes)
+        assert gates["passed"]
+        assert gates["correct_rate"] == 1.0
+        assert gates["injected_scenarios"] == 2
+
+    def test_skipped_scenarios_do_not_count(self):
+        outcomes = [self.outcome("silent_corruption", VERDICT_SKIPPED)]
+        gates = evaluate_gates(outcomes)
+        assert gates["injected_scenarios"] == 0
+        assert gates["passed"]
+
+
+class TestChaosCli:
+    def test_cli_passes_and_writes_bench(self, tmp_path, capsys):
+        from repro.resilience.__main__ import main
+
+        out = tmp_path / "chaos.json"
+        code = main(["chaos", "--apps", "MobileRobot",
+                     "--output", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "gates:" in captured.out
+        document = load_bench(out)
+        assert document["mode"] == "chaos"
+        assert document["chaos"]["gates"]["passed"]
+
+    def test_cli_rejects_unknown_fault(self, capsys):
+        from repro.resilience.__main__ import main
+
+        code = main(["chaos", "--apps", "MobileRobot",
+                     "--faults", "meteor_strike"])
+        assert code == 2
+
+    def test_cli_seed_reruns_byte_identical(self, tmp_path):
+        from repro.resilience.__main__ import main
+
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["chaos", "--apps", "MobileRobot", "--seed", "3",
+                     "--output", str(out_a)]) == 0
+        assert main(["chaos", "--apps", "MobileRobot", "--seed", "3",
+                     "--output", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    def test_full_matrix_all_gates_pass(self):
+        table, document = run_chaos(ChaosConfig())
+        gates = document["chaos"]["gates"]
+        assert gates["passed"], json.dumps(gates, indent=1)
+        assert gates["controls_identical"]
+        assert gates["silent_wrong"] == []
+        # 4 apps x 2 executor tops x 7 faults
+        assert len(document["chaos"]["scenarios"]) == 56
