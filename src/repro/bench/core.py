@@ -19,6 +19,7 @@ Modes:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import statistics
 import time
@@ -27,7 +28,7 @@ from typing import Any, Dict, List, Optional
 from repro.apps import all_applications
 from repro.compiler.cache import cache_enabled
 from repro.eval.experiments import ORIANNA_CONFIG, experiment_fig13_fig14
-from repro.obs import trace, wallclock
+from repro.obs import fleet, trace, wallclock
 from repro.sim import Simulator
 
 BENCH_SCHEMA = "repro.bench/1"
@@ -130,6 +131,16 @@ def _solve_wallclock_entry(program, repeats: int) -> Dict[str, Any]:
         times_s = _timed_runs(Executor, program, repeats)
         plan = plan_for(program)  # build outside the timed repeats
         fused_times_s = _timed_runs(FusedExecutor, program, repeats)
+    registry = fleet.active()
+    if registry is not None:
+        # Per-repeat host latencies feed the fleet sketch (the app label
+        # comes from the ambient label scope run_bench establishes).
+        for executor, samples in (("interpreter", times_s),
+                                  ("fused", fused_times_s)):
+            for sample_s in samples:
+                registry.incr(fleet.M_SOLVE_TOTAL, executor=executor)
+                registry.observe(fleet.M_SOLVE_LATENCY, sample_s,
+                                 executor=executor)
     with wallclock.profiled_scope() as profiler:
         Executor().run(program)
     entry = _timing_stats(times_s)
@@ -180,35 +191,52 @@ def run_bench(quick: bool = True, seed: int = 0,
     compile_apps: Dict[str, Any] = {}
     wallclock_apps: Dict[str, Any] = {}
     total_compile_s = 0.0
-    with trace.span("bench", category="bench",
-                    mode="quick" if quick else "full"):
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(trace.span("bench", category="bench",
+                                       mode="quick" if quick else "full"))
+        registry = None
+        if measure_wallclock:
+            # Fleet telemetry rides along with the wall-clock section:
+            # a --no-wallclock run carries neither, which keeps the
+            # supervised-parity exact gate byte-identical.
+            registry = stack.enter_context(fleet.fleet_scope())
+            stack.enter_context(fleet.label_scope(session="bench"))
         for app in all_applications():
-            times = []
-            program = None
-            for repeat in range(compile_repeats):
-                started = time.perf_counter()
-                compiled = app.compile_frame(seed + repeat)
-                times.append(time.perf_counter() - started)
-                if repeat == 0:
-                    program = compiled
-            warm = times[1:] or times
-            warm_mean = sum(warm) / len(warm)
-            compile_apps[app.name] = {
-                "cold_s": times[0],
-                "warm_mean_s": warm_mean,
-                "speedup": times[0] / warm_mean if warm_mean > 0 else 1.0,
-            }
-            total_compile_s += sum(times)
-            if measure_wallclock:
-                wallclock_apps[app.name] = _solve_wallclock_entry(
-                    program, wallclock_repeats)
-            for policy in policies:
-                result = sim.run(program, policy)
-                key = f"{app.name}/{policy}"
-                workloads[key] = _workload_entry(result)
-                hint = _bottleneck_entry(result, ORIANNA_CONFIG)
-                if hint:
-                    bottleneck_section[key] = hint
+            with fleet.label_scope(app=app.name):
+                times = []
+                program = None
+                for repeat in range(compile_repeats):
+                    started = time.perf_counter()
+                    compiled = app.compile_frame(seed + repeat)
+                    times.append(time.perf_counter() - started)
+                    if repeat == 0:
+                        program = compiled
+                warm = times[1:] or times
+                warm_mean = sum(warm) / len(warm)
+                compile_apps[app.name] = {
+                    "cold_s": times[0],
+                    "warm_mean_s": warm_mean,
+                    "speedup": times[0] / warm_mean
+                    if warm_mean > 0 else 1.0,
+                }
+                total_compile_s += sum(times)
+                if measure_wallclock:
+                    wallclock_apps[app.name] = _solve_wallclock_entry(
+                        program, wallclock_repeats)
+                for policy in policies:
+                    result = sim.run(program, policy)
+                    key = f"{app.name}/{policy}"
+                    workloads[key] = _workload_entry(result)
+                    hint = _bottleneck_entry(result, ORIANNA_CONFIG)
+                    if hint:
+                        bottleneck_section[key] = hint
+            if registry is not None:
+                registry.advance_window(app.name)
+        fleet_section: Optional[Dict[str, Any]] = None
+        if registry is not None:
+            snap = registry.snapshot()
+            if snap["series"] or snap["windows"]:
+                fleet_section = snap
 
     compile_section = {
         "cache_enabled": cache_enabled(),
@@ -230,14 +258,16 @@ def run_bench(quick: bool = True, seed: int = 0,
     return bench_document(workloads, quick=quick, seed=seed, tables=tables,
                           compile_section=compile_section,
                           bottleneck_section=bottleneck_section,
-                          wallclock_section=wallclock_section)
+                          wallclock_section=wallclock_section,
+                          fleet_section=fleet_section)
 
 
 def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
                    tables: Optional[List[Dict[str, Any]]] = None,
                    compile_section: Optional[Dict[str, Any]] = None,
                    bottleneck_section: Optional[Dict[str, Any]] = None,
-                   wallclock_section: Optional[Dict[str, Any]] = None
+                   wallclock_section: Optional[Dict[str, Any]] = None,
+                   fleet_section: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     document: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
@@ -251,6 +281,11 @@ def bench_document(workloads: Dict[str, Any], quick: bool, seed: int,
         # Host-timing dependent, like "compile": skipped by the exact
         # parity gate via repro.bench.diff.EXACT_SKIP_SECTIONS.
         document["solve_wall_clock"] = wallclock_section
+    if fleet_section:
+        # Mixed determinism: count-valued series are exact, wall-clock
+        # sketches are not.  The exact gate compares this section
+        # through repro.obs.fleet.exact_view, not byte-for-byte.
+        document["fleet"] = fleet_section
     if bottleneck_section:
         # Advisory only: like "compile", this section is ignored by the
         # repro.obs diff regression gate.

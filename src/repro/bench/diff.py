@@ -35,6 +35,13 @@ NONDETERMINISTIC_SECTIONS = (
 ADVISORY_SECTIONS = ("bottleneck", "tables")
 EXACT_SKIP_SECTIONS = NONDETERMINISTIC_SECTIONS + ADVISORY_SECTIONS
 
+# Mixed-determinism sections compared through a projection instead of
+# deep equality: "fleet" holds both exact count-valued series and
+# host-timing latency sketches, so the exact gate compares
+# ``repro.obs.fleet.exact_view`` of each side (wall-clock-unit series
+# dropped, everything else byte-compared).
+PROJECTED_SECTIONS = ("fleet",)
+
 
 def diff_documents(old: Dict[str, Any], new: Dict[str, Any],
                    threshold: float = 0.10,
@@ -87,7 +94,13 @@ def diff_documents(old: Dict[str, Any], new: Dict[str, Any],
         sections = (set(old) | set(new)) - {"workloads"} \
             - set(EXACT_SKIP_SECTIONS)
         for key in sorted(sections):
-            if old.get(key) != new.get(key):
+            old_val, new_val = old.get(key), new.get(key)
+            if key in PROJECTED_SECTIONS:
+                from repro.obs.fleet import exact_view
+
+                old_val = exact_view(old_val) if old_val else old_val
+                new_val = exact_view(new_val) if new_val else new_val
+            if old_val != new_val:
                 row = {
                     "workload": f"[section] {key}", "metric": "section",
                     "old": float(key in old), "new": float(key in new),

@@ -167,6 +167,9 @@ def main(argv=None) -> int:
     if observing:
         obs.enable(debug=args.obs_debug)
         obs.collector().drain()  # start each run from a clean stream
+        # Fleet telemetry rides along: compiled/supervised solves land
+        # labeled totals + latency sketches, drained per experiment.
+        obs.fleet.enable()
     profiler = None
     if args.wallclock:
         from repro.obs import wallclock
@@ -190,8 +193,17 @@ def main(argv=None) -> int:
                     elapsed = time.perf_counter() - started
                 snapshot = obs.collector().drain() if observing else None
                 host_wallclock = profiler.drain() if profiler else None
-                cache[key] = (tables, elapsed, snapshot, host_wallclock)
-            tables, elapsed, snapshot, host_wallclock = cache[key]
+                fleet_section = None
+                registry = obs.fleet.active()
+                if registry is not None:
+                    section = registry.snapshot()
+                    registry.clear()
+                    if section["series"] or section["windows"]:
+                        fleet_section = section
+                cache[key] = (tables, elapsed, snapshot, host_wallclock,
+                              fleet_section)
+            tables, elapsed, snapshot, host_wallclock, fleet_section = \
+                cache[key]
             for table in tables:
                 if table.experiment_id != eid:
                     continue
@@ -204,10 +216,14 @@ def main(argv=None) -> int:
                     print(f"[{eid} in {elapsed:.1f}s]", file=stream)
                     print(file=stream)
             if snapshot is not None:
-                extra = {"host_wallclock": host_wallclock} \
-                    if host_wallclock else None
+                extra = {}
+                if host_wallclock:
+                    extra["host_wallclock"] = host_wallclock
+                if fleet_section:
+                    extra["fleet"] = fleet_section
                 entries.append(
-                    experiment_entry(eid, elapsed, snapshot, extra=extra))
+                    experiment_entry(eid, elapsed, snapshot,
+                                     extra=extra or None))
                 if args.trace_dir:
                     write_chrome_trace(
                         os.path.join(args.trace_dir,
@@ -219,6 +235,7 @@ def main(argv=None) -> int:
             stream.close()
         if observing:
             obs.disable()
+            obs.fleet.disable()
         if profiler is not None:
             from repro.obs import wallclock
 

@@ -23,8 +23,21 @@ Exporters turn a drained :class:`Snapshot` into artifacts:
   energy breakdown, per-pass timings, stall counters).
 
 ``python -m repro.obs report metrics.json`` prints a profile summary.
+
+Labeled fleet telemetry (per app/executor/session/stage counters,
+gauges, and quantile-sketch latency histograms, with SLO tracking and
+Prometheus/JSONL export) lives in :mod:`repro.obs.fleet` — also off by
+default, activated with ``fleet.enable()`` / ``fleet.fleet_scope``::
+
+    from repro.obs import fleet
+
+    with fleet.fleet_scope() as reg, fleet.label_scope(app="MobileRobot"):
+        reg.incr(fleet.M_SOLVE_TOTAL, executor="fused")
+        reg.observe(fleet.M_SOLVE_LATENCY, 0.0123, executor="fused")
+    section = reg.snapshot()   # embeddable, mergeable, exportable
 """
 
+from repro.obs import fleet
 from repro.obs.core import (
     Collector,
     Snapshot,
@@ -41,6 +54,6 @@ from repro.obs.core import (
 
 __all__ = [
     "Collector", "Snapshot", "SpanRecord", "collector", "counters",
-    "debug_enabled", "disable", "enable", "enabled_scope", "is_enabled",
-    "trace",
+    "debug_enabled", "disable", "enable", "enabled_scope", "fleet",
+    "is_enabled", "trace",
 ]

@@ -48,10 +48,22 @@
   of suspect producers; ``--capture-window N`` re-executes both
   producers with full-value capture around the divergence point.
   Exits 0 on agreement, 1 on divergence, 2 on an unreadable trace.
+- ``slo file.json`` — per-app×executor SLO table (deadline hit-rate,
+  degradation/wrong/crash rate, p50/p95/p99 solve latency from the
+  fleet quantile sketch) over a document carrying fleet telemetry (a
+  BENCH/campaign/chaos document's ``fleet`` section, or a metrics
+  document's per-experiment sections merged).  Exits 1 when any
+  ``--target name=value`` (or default) SLO is breached, 2 on an
+  unreadable document.
+- ``top file.json`` — fleet summary over the same documents: top
+  counter series by value, per-label-set latency percentiles, window
+  rollups; ``--prom FILE`` / ``--jsonl FILE`` additionally export the
+  Prometheus text exposition and the JSONL time series.
 
-``profile``, ``bottleneck``, ``hotspots``, ``trend``, ``fuse-report``,
-and ``divergence`` all accept ``--json FILE`` to additionally write
-their raw analysis as a machine-readable artifact.
+``report``, ``profile``, ``bottleneck``, ``hotspots``, ``trend``,
+``fuse-report``, ``divergence``, ``slo``, and ``top`` all accept
+``--json FILE`` to additionally write their raw analysis as a
+machine-readable artifact.
 """
 
 from __future__ import annotations
@@ -77,6 +89,9 @@ def main(argv=None) -> int:
     report.add_argument("metrics", help="path to a --metrics output file")
     report.add_argument("--top", type=int, default=10,
                         help="rows per ranking section (default 10)")
+    report.add_argument("--json", metavar="FILE",
+                        help="also write the aggregated profile summary "
+                             "as JSON")
 
     profile = sub.add_parser(
         "profile",
@@ -262,6 +277,41 @@ def main(argv=None) -> int:
                               help="also write the divergence report "
                                    "as JSON")
 
+    slo_p = sub.add_parser(
+        "slo",
+        help="per-app×executor SLO table over a document's fleet "
+             "telemetry; exit 1 on a breached target",
+    )
+    slo_p.add_argument("document",
+                       help="a BENCH/campaign/chaos or metrics JSON "
+                            "file carrying fleet telemetry")
+    slo_p.add_argument("--target", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="override one SLO target (repeatable); "
+                            "NAME one of min_deadline_hit_rate, "
+                            "max_degraded_rate, max_wrong_rate, "
+                            "max_crash_rate, max_p99_s; VALUE a float "
+                            "or 'none' to disable")
+    slo_p.add_argument("--json", metavar="FILE",
+                       help="also write the SLO evaluation as JSON")
+
+    top_p = sub.add_parser(
+        "top",
+        help="fleet summary: per-label-set counter totals and latency "
+             "percentiles over a document's fleet telemetry",
+    )
+    top_p.add_argument("document",
+                       help="a BENCH/campaign/chaos or metrics JSON "
+                            "file carrying fleet telemetry")
+    top_p.add_argument("--top", type=int, default=10,
+                       help="rows per ranking section (default 10)")
+    top_p.add_argument("--prom", metavar="FILE",
+                       help="also export the Prometheus text exposition")
+    top_p.add_argument("--jsonl", metavar="FILE",
+                       help="also export the JSONL time series")
+    top_p.add_argument("--json", metavar="FILE",
+                       help="also write the raw fleet section as JSON")
+
     args = parser.parse_args(argv)
 
     if args.command in ("report", "profile"):
@@ -271,6 +321,11 @@ def main(argv=None) -> int:
             parser.error(str(exc))
         renderer = render_report if args.command == "report" \
             else render_profile
+        if args.command == "report" and args.json:
+            from repro.obs.emit import write_json
+            from repro.obs.report import report_payload
+
+            write_json(args.json, report_payload(document))
         if args.command == "profile" and args.json:
             from repro.obs.emit import write_json
             from repro.obs.profile import (
@@ -499,6 +554,64 @@ def main(argv=None) -> int:
             uids = ", ".join(str(u) for u in summary["fault_uids"])
             line += f"; injected fault uids: {uids}"
         print(line)
+        return 0
+
+    if args.command in ("slo", "top"):
+        import json
+
+        from repro.obs.slo import collect_fleet
+
+        try:
+            with open(args.document) as fh:
+                document = json.load(fh)
+            if not isinstance(document, dict):
+                raise ValueError(f"{args.document}: not a JSON object")
+            section = collect_fleet(document)
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs {args.command}: {exc}", file=sys.stderr)
+            return 2
+        if section is None:
+            print(f"repro.obs {args.command}: {args.document} carries "
+                  f"no fleet telemetry (run the producer with fleet "
+                  f"collection enabled)", file=sys.stderr)
+            return 2
+
+        if args.command == "slo":
+            from repro.obs.slo import (
+                evaluate_slo,
+                parse_target,
+                render_slo,
+                slo_payload,
+            )
+
+            try:
+                targets = dict(parse_target(t) for t in args.target)
+            except ValueError as exc:
+                print(f"repro.obs slo: {exc}", file=sys.stderr)
+                return 2
+            result = evaluate_slo(section, targets)
+            if args.json:
+                from repro.obs.emit import write_json
+
+                write_json(args.json, slo_payload(result))
+            print(render_slo(result))
+            return 0 if result["passed"] else 1
+
+        from repro.obs.slo import render_top
+
+        if args.prom:
+            from repro.obs.fleet import write_prometheus
+
+            write_prometheus(args.prom, section)
+        if args.jsonl:
+            from repro.obs.fleet import write_series_jsonl
+
+            write_series_jsonl(args.jsonl, section)
+        if args.json:
+            from repro.obs.emit import write_json
+
+            write_json(args.json, section)
+        print(render_top(section, top=args.top))
         return 0
 
     if args.command == "divergence":

@@ -62,6 +62,12 @@ def _aggregate(document: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def report_payload(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The aggregated summary as a machine-readable artifact (the
+    ``report --json`` output; same aggregates the renderer formats)."""
+    return {"schema": "repro.obs.report/1", **_aggregate(document)}
+
+
 def render_report(document: Dict[str, Any], top: int = 10) -> str:
     """Render the profile summary of one metrics document."""
     agg = _aggregate(document)

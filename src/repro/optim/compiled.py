@@ -108,12 +108,25 @@ class CompiledSolver:
             return self.executor_factory
         return fused.executor_factory(self.executor)
 
+    def _executor_label(self) -> str:
+        """The fleet ``executor`` label for this solver's value backend."""
+        from repro.compiler import fused
+
+        if self.executor_factory is not None:
+            return "custom"
+        return self.executor or fused.default_executor_name()
+
     def solve(self, graph: FactorGraph, values: Values,
               ordering: Optional[Sequence[Key]] = None
               ) -> Dict[Key, np.ndarray]:
         """One linear solve: compile (or rebind) and execute."""
-        from repro.obs import trace
+        from repro.obs import fleet, trace
 
+        registry = fleet.active()
+        if registry is not None:
+            import time
+
+            started = time.perf_counter()
         fingerprint = None
         if self.executor_factory is not None and self._wants_fused():
             from repro.compiler.cache import structural_fingerprint
@@ -129,6 +142,12 @@ class CompiledSolver:
         with trace.span("solve.execute", category="host.phase",
                         instructions=len(compiled.program)):
             registers = factory().run(compiled.program)
+        if registry is not None:
+            executor = self._executor_label()
+            registry.incr(fleet.M_SOLVE_TOTAL, executor=executor)
+            registry.observe(fleet.M_SOLVE_LATENCY,
+                             time.perf_counter() - started,
+                             executor=executor)
         return compiled.extract_solution(registers)
 
 

@@ -29,11 +29,11 @@ import numpy as np
 
 from repro.apps import all_applications
 from repro.apps.seeding import stable_seed
-from repro.errors import OriannaError, ResilienceError
+from repro.errors import DeadlineExceeded, OriannaError, ResilienceError
 from repro.compiler.executor import Executor
 from repro.eval.experiments import ORIANNA_CONFIG
 from repro.eval.harness import ExperimentTable
-from repro.obs import trace
+from repro.obs import fleet, trace
 from repro.resilience.executor import execute_with_faults
 from repro.resilience.faults import plan_faults
 from repro.resilience.spec import CampaignSpec, RecoveryPolicy
@@ -163,20 +163,43 @@ def run_trial(program, golden: Dict[str, np.ndarray], clean_cycles: int,
         deadline = DeadlineGuard(total_s=config.timeout_s,
                                  label=f"{app_name} trial {trial}")
     crashed = False
+    timed_out = False
     max_err = float("inf")
     try:
         registers, stats = execute_with_faults(program, plan, config.policy,
                                                deadline=deadline)
         max_err = max_relative_error(golden, registers)
+    except DeadlineExceeded:
+        # A timed-out scenario is a crash verdict, not a hang — and a
+        # deadline miss in the fleet SLO ledger.
+        crashed = True
+        timed_out = True
+        stats = None
     except OriannaError:
-        # DeadlineExceeded lands here too: a timed-out scenario is a
-        # crash verdict, not a hang.
         crashed = True
         stats = None
     # The timing domain replays the same plan (now carrying the value
     # domain's retry attempts) so cycle overhead matches recovery work.
     result = Simulator(ORIANNA_CONFIG).run(program, config.sim_policy,
                                            fault_plan=plan)
+    registry = fleet.active()
+    if registry is not None:
+        # All values here are deterministic functions of the seed —
+        # counts and *simulated* latency — so the campaign's fleet
+        # section is byte-identical across same-seed runs.
+        labels = {"app": app_name, "executor": "resilient",
+                  "stage": f"rate={rate:.6g}"}
+        registry.incr(fleet.M_SOLVE_TOTAL, **labels)
+        registry.observe(fleet.M_SOLVE_SIM_LATENCY,
+                         result.time_ms / 1e3,
+                         unit=fleet.UNIT_SIM_SECONDS, **labels)
+        if deadline is not None and deadline.armed:
+            registry.incr(fleet.M_SOLVE_DEADLINE_MISS if timed_out
+                          else fleet.M_SOLVE_DEADLINE_HIT, **labels)
+        if crashed:
+            registry.incr(fleet.M_SOLVE_CRASH, **labels)
+        elif max_err >= SOLUTION_RTOL:
+            registry.incr(fleet.M_SOLVE_WRONG, **labels)
     return TrialOutcome(
         app=app_name, rate=rate, trial=trial,
         injected=len(plan.events) if stats is None else stats.injected,
@@ -213,7 +236,9 @@ def run_campaign(config: Optional[CampaignConfig] = None
         )
     with trace.span("resilience.campaign", category="resilience",
                     apps=len(apps), rates=len(config.rates),
-                    trials=config.trials):
+                    trials=config.trials), \
+            fleet.fleet_scope() as registry, \
+            fleet.label_scope(session="campaign"):
         for app in apps:
             program = app.compile_frame(config.seed)
             registers = Executor().run(program)
@@ -228,11 +253,17 @@ def run_campaign(config: Optional[CampaignConfig] = None
                     for trial in range(config.trials)
                 ]
                 _record(table, workloads, app.name, rate, outcomes, clean)
+                # One rollup window per (app, rate) trial group — a
+                # deterministic key, never wall time.
+                registry.advance_window(f"{app.name}/rate={rate:.6g}")
     document = {
         "schema": BENCH_SCHEMA,
         "mode": "campaign",
         "seed": config.seed,
         "workloads": workloads,
+        # Deterministic by construction (counts + simulated latency
+        # only): compared byte-for-byte by the CI determinism gate.
+        "fleet": registry.snapshot(),
         "campaign": {
             "spec": config.spec.to_dict(),
             "policy": config.policy.to_dict(),

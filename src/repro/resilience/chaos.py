@@ -46,7 +46,7 @@ from repro.apps.base import LOCALIZATION
 from repro.errors import ExecutionError, OriannaError, ResilienceError
 from repro.compiler.isa import Opcode
 from repro.eval.harness import ExperimentTable
-from repro.obs import trace
+from repro.obs import fleet, trace
 from repro.resilience.supervisor import (
     RUNG_FUSED,
     RUNG_INTERPRETER,
@@ -358,7 +358,6 @@ def run_chaos(config: Optional[ChaosConfig] = None,
               ) -> Tuple[ExperimentTable, Dict[str, Any]]:
     """Run the chaos matrix; return the verdict table and BENCH document."""
     from repro.bench.core import BENCH_SCHEMA
-    from repro.optim.compiled import CompiledSolver
 
     if config is None:
         config = ChaosConfig()
@@ -375,41 +374,25 @@ def run_chaos(config: Optional[ChaosConfig] = None,
     outcomes: List[ScenarioOutcome] = []
     workloads: Dict[str, Any] = {}
     with trace.span("resilience.chaos", category="resilience",
-                    apps=len(apps), faults=len(config.faults)):
+                    apps=len(apps), faults=len(config.faults)), \
+            fleet.fleet_scope() as registry, \
+            fleet.label_scope(session="chaos"):
         for app in apps:
             graph, values = app.build_graphs(
                 config.seed, [LOCALIZATION])[LOCALIZATION]
-            for top in config.executors:
-                golden = CompiledSolver(executor=top).solve(graph, values)
-                for fault in config.faults:
-                    outcome = run_scenario(app.name, graph, values, golden,
-                                           top, fault, config.seed,
-                                           sleep=sleep)
-                    outcomes.append(outcome)
-                    table.add_row(
-                        application=outcome.app,
-                        executor=outcome.executor,
-                        fault=outcome.fault,
-                        verdict=outcome.verdict,
-                        rung=outcome.rung,
-                        attempts=outcome.attempts,
-                        demotions=outcome.demotions,
-                        events=len(outcome.events),
-                    )
-                    workloads[f"{app.name}/{top}/{fault}"] = {
-                        "total_cycles": 0.0,
-                        "energy_mj": 0.0,
-                        "verdict": outcome.verdict,
-                        "rung": outcome.rung,
-                        "events": len(outcome.events),
-                    }
-
+            with fleet.label_scope(app=app.name):
+                _chaos_app(app, graph, values, config, sleep, registry,
+                           table, outcomes, workloads)
     gates = evaluate_gates(outcomes, config.min_correct_rate)
     document = {
         "schema": BENCH_SCHEMA,
         "mode": "chaos",
         "seed": config.seed,
         "workloads": workloads,
+        # Only the deterministic view embeds: the CI gate compares two
+        # same-seed chaos documents byte-for-byte, so host wall-clock
+        # latency series (unit "seconds") must stay out of the file.
+        "fleet": fleet.exact_view(registry.snapshot()),
         "chaos": {
             "config": {
                 "seed": config.seed,
@@ -425,6 +408,48 @@ def run_chaos(config: Optional[ChaosConfig] = None,
         },
     }
     return table, document
+
+
+def _chaos_app(app, graph, values, config: ChaosConfig,
+               sleep: Callable[[float], None], registry,
+               table: ExperimentTable, outcomes: List[ScenarioOutcome],
+               workloads: Dict[str, Any]) -> None:
+    """One application's chaos cells (within the app's label scope)."""
+    from repro.optim.compiled import CompiledSolver
+
+    for top in config.executors:
+        golden = CompiledSolver(executor=top).solve(graph, values)
+        for fault in config.faults:
+            outcome = run_scenario(app.name, graph, values, golden,
+                                   top, fault, config.seed,
+                                   sleep=sleep)
+            outcomes.append(outcome)
+            # The supervisor recorded total/latency/deadline/degraded
+            # per solve; the campaign owns the oracle, so it records
+            # the scored verdicts.
+            registry.incr("fleet.scenario.verdicts", executor=top,
+                          fault=fault, verdict=outcome.verdict)
+            if outcome.verdict == VERDICT_WRONG:
+                registry.incr(fleet.M_SOLVE_WRONG, executor=top)
+            elif outcome.verdict == VERDICT_CRASH:
+                registry.incr(fleet.M_SOLVE_CRASH, executor=top)
+            table.add_row(
+                application=outcome.app,
+                executor=outcome.executor,
+                fault=outcome.fault,
+                verdict=outcome.verdict,
+                rung=outcome.rung,
+                attempts=outcome.attempts,
+                demotions=outcome.demotions,
+                events=len(outcome.events),
+            )
+            workloads[f"{app.name}/{top}/{fault}"] = {
+                "total_cycles": 0.0,
+                "energy_mj": 0.0,
+                "verdict": outcome.verdict,
+                "rung": outcome.rung,
+                "events": len(outcome.events),
+            }
 
 
 def evaluate_gates(outcomes: List[ScenarioOutcome],

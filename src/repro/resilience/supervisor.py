@@ -450,6 +450,8 @@ class SupervisedSolver:
               ordering: Optional[Sequence[Key]] = None
               ) -> Dict[Key, np.ndarray]:
         """One supervised linear solve; returns the update dict."""
+        from repro.obs import fleet
+
         config = self.config
         guard = DeadlineGuard(total_s=config.total_deadline_s,
                               compile_s=config.compile_deadline_s,
@@ -457,10 +459,23 @@ class SupervisedSolver:
                               label="supervised solve")
         index = self._solve_index
         self._solve_index += 1
-        with trace.span("solve.supervised", category="host.phase",
-                        solve=index):
-            delta, report = self._solve_guarded(graph, values, ordering,
-                                                guard, index)
+        registry = fleet.active()
+        started = time.perf_counter() if registry is not None else 0.0
+        try:
+            with trace.span("solve.supervised", category="host.phase",
+                            solve=index):
+                delta, report = self._solve_guarded(graph, values,
+                                                    ordering, guard, index)
+        except BaseException as exc:
+            # The solve raised (ladder exhausted / deadline): record the
+            # attempt's SLO outcome, but never a wrong/crash verdict —
+            # scoring against an oracle is the caller's job.
+            if registry is not None:
+                self._record_fleet(
+                    registry, guard, None,
+                    time.perf_counter() - started, failed=True,
+                    deadline_failed=isinstance(exc, DeadlineExceeded))
+            raise
         self._solves += 1
         counters.incr("resilience.supervisor.solves")
         if report.events:
@@ -471,7 +486,45 @@ class SupervisedSolver:
             self._events_by_kind[kind] = \
                 self._events_by_kind.get(kind, 0) + 1
         self.last_report = report.to_dict()
+        if registry is not None:
+            self._record_fleet(registry, guard, self.last_report,
+                               time.perf_counter() - started,
+                               failed=False)
         return delta
+
+    # Deadline-event kinds a _SolveReport carries when a guard fired.
+    _DEADLINE_EVENT_KINDS = ("deadline_demotion", "deadline_exceeded")
+
+    def _record_fleet(self, registry, guard, report: Optional[Dict[str, Any]],
+                      elapsed_s: float, failed: bool,
+                      deadline_failed: bool = False) -> None:
+        """One solve's fleet SLO records (see repro.obs.fleet).
+
+        Labeled by the rung that served the answer (``none`` when every
+        rung failed).  Armed guards record a deadline hit/miss; solves
+        with any degradation event — and failed solves, which by
+        definition degraded all the way through the ladder — count as
+        degraded.  Wall-clock latency lands in the (exact-gate-excluded)
+        ``seconds`` sketch.
+        """
+        from repro.obs import fleet
+
+        report = report or {}
+        executor = report.get("rung") or ("none" if failed
+                                          else self.config.ladder[0])
+        registry.incr(fleet.M_SOLVE_TOTAL, executor=executor)
+        registry.observe(fleet.M_SOLVE_LATENCY, elapsed_s,
+                         executor=executor)
+        events = report.get("events", [])
+        if events or failed:
+            registry.incr(fleet.M_SOLVE_DEGRADED, executor=executor)
+        if guard.armed:
+            missed = deadline_failed or any(
+                e.get("kind") in self._DEADLINE_EVENT_KINDS
+                for e in events)
+            registry.incr(fleet.M_SOLVE_DEADLINE_MISS if missed
+                          else fleet.M_SOLVE_DEADLINE_HIT,
+                          executor=executor)
 
     def degradation_report(self) -> Dict[str, Any]:
         """Aggregate degradation summary across every solve so far."""

@@ -151,6 +151,45 @@ class TestSolveWallclock:
         assert not loose["regressions"]
 
 
+class TestFleetSection:
+    def test_document_carries_per_executor_latency_series(self, document):
+        fleet = document["fleet"]
+        assert fleet["schema"] == "repro.obs.fleet/1"
+        latency = [e for e in fleet["series"]
+                   if e["name"] == "fleet.solve.latency_s"]
+        executors = {e["labels"]["executor"] for e in latency}
+        assert executors == {"interpreter", "fused"}
+        apps = {e["labels"]["app"] for e in latency}
+        assert len(apps) >= 4
+        assert all(e["labels"]["session"] == "bench" for e in latency)
+        # One rollup window per application.
+        assert sorted(w["key"] for w in fleet["windows"]) == sorted(apps)
+
+    def test_wallclock_sketches_do_not_fail_the_exact_gate(self, document):
+        # Latency sketches are host timing; the exact gate compares the
+        # fleet section through exact_view, which drops seconds-unit
+        # series.
+        mutated = copy.deepcopy(document)
+        for entry in mutated["fleet"]["series"]:
+            if entry["unit"] == "seconds":
+                entry["sketch"]["sum"] += 1.0
+        report = diff_documents(document, mutated, exact=True)
+        assert report["regressions"] == []
+
+    def test_count_series_do_fail_the_exact_gate(self, document):
+        mutated = copy.deepcopy(document)
+        totals = [e for e in mutated["fleet"]["series"]
+                  if e["name"] == "fleet.solve.total"]
+        totals[0]["value"] += 1.0
+        report = diff_documents(document, mutated, exact=True)
+        assert any(r["workload"] == "[section] fleet"
+                   for r in report["regressions"])
+
+    def test_no_wallclock_run_has_no_fleet_section(self):
+        document = run_bench(quick=True, seed=0, measure_wallclock=False)
+        assert "fleet" not in document
+
+
 def regress(document, factor=1.2, metric="total_cycles"):
     worse = copy.deepcopy(document)
     key = sorted(worse["workloads"])[0]

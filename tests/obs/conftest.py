@@ -2,13 +2,15 @@
 
 import pytest
 
-from repro.obs import core
+from repro.obs import core, fleet
 
 
 @pytest.fixture(autouse=True)
 def clean_obs():
     core.disable()
     core.collector().drain()
+    fleet.disable()
     yield
     core.disable()
     core.collector().drain()
+    fleet.disable()

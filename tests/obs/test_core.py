@@ -94,6 +94,26 @@ class TestCounters:
         snap = obs.collector().drain()
         assert snap.counters == {"k": 3.5, "pre.x": 2.0, "pre.y": 3.0}
 
+    def test_concurrent_increments_and_spans_are_not_lost(self):
+        # The collector guards its dicts with one lock; a dropped update
+        # here would mean unlocked read-modify-write snuck back in.
+        obs.enable()
+
+        def worker():
+            for _ in range(2000):
+                counters.incr("hot")
+                with trace.span("hot", category="t"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = obs.collector().drain()
+        assert snap.counters == {"hot": 8 * 2000.0}
+        assert len(snap.spans) == 8 * 2000
+
 
 class TestDrain:
     def test_drain_clears_everything(self):

@@ -1,0 +1,162 @@
+"""Every counter name in src/ must appear in the documented registry.
+
+``docs/OBSERVABILITY.md`` carries a "Counter-name registry" table; this
+lint AST-scans every ``*.incr(...)`` call site under ``src/`` and fails
+when a literal (or f-string) metric name is undocumented or malformed.
+F-string interpolations become ``*`` wildcards; a documented ``*``
+stands for one or more dot-separated segments, so the dynamic
+``resilience.supervisor.{kind}`` family matches the
+``resilience.supervisor.*`` row.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+# The collector/registry implementations forward caller-supplied names
+# through their own ``incr`` — mechanism, not producers.
+MECHANISM_FILES = {
+    SRC / "repro" / "obs" / "core.py",
+    SRC / "repro" / "obs" / "fleet.py",
+}
+
+SEGMENT = re.compile(r"^[a-z0-9_]+$")
+
+
+def documented_patterns():
+    """The name-pattern column of the Counter-name registry table."""
+    text = DOC.read_text()
+    start = text.index("## Counter-name registry")
+    section = text[start:]
+    end = section.find("\n## ", 1)
+    if end > 0:
+        section = section[:end]
+    patterns = []
+    for line in section.splitlines():
+        match = re.match(r"^\|\s*`([^`]+)`\s*\|", line)
+        if match and match.group(1) != "name pattern":
+            patterns.append(match.group(1))
+    return patterns
+
+
+def name_expressions(node):
+    """The possible first-arg expressions of one incr() call."""
+    if isinstance(node, ast.IfExp):
+        return name_expressions(node.body) + name_expressions(node.orelse)
+    return [node]
+
+
+def call_pattern(arg):
+    """A dotted pattern for one name expression, or None to skip.
+
+    Constants and f-strings yield patterns (interpolations become
+    ``*``); ``fleet.M_*`` attribute constants resolve to their value;
+    anything else (a plain variable) is out of scope for the lint.
+    """
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts = []
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append("*")
+        return "".join(parts)
+    if isinstance(arg, ast.Attribute) and \
+            isinstance(arg.value, ast.Name) and \
+            arg.value.id == "fleet" and arg.attr.startswith("M_"):
+        from repro.obs import fleet
+
+        return getattr(fleet, arg.attr)
+    return None
+
+
+def collect_call_sites():
+    sites = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in MECHANISM_FILES:
+            continue
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "incr"
+                    and node.args):
+                continue
+            for expr in name_expressions(node.args[0]):
+                pattern = call_pattern(expr)
+                if pattern is not None:
+                    sites.append((path.relative_to(REPO), node.lineno,
+                                  pattern))
+    return sites
+
+
+def segments_unify(a, b):
+    """Do two dot-split patterns describe a common name?  ``*`` is one
+    or more segments."""
+    if not a and not b:
+        return True
+    if not a or not b:
+        return False
+    if a[0] == "*" or b[0] == "*":
+        star, other = (a, b) if a[0] == "*" else (b, a)
+        return any(segments_unify(star[1:], other[k:])
+                   for k in range(1, len(other) + 1)) or (
+            bool(star[1:]) and segments_unify(star[1:], other))
+    return a[0] == b[0] and segments_unify(a[1:], b[1:])
+
+
+def matches_registry(pattern, registry):
+    return any(segments_unify(pattern.split("."), doc.split("."))
+               for doc in registry)
+
+
+class TestCounterNameRegistry:
+    def test_registry_table_exists(self):
+        patterns = documented_patterns()
+        assert len(patterns) >= 10
+        assert "compiler.cse.hits" in patterns
+
+    def test_scan_finds_known_producers(self):
+        # Guard the lint itself: if the scanner breaks it must not
+        # silently pass on an empty site list.
+        patterns = [p for _, _, p in collect_call_sites()]
+        assert "compiler.cse.hits" in patterns
+        assert "fleet.solve.total" in patterns
+        assert any(p.startswith("resilience.supervisor") for p in patterns)
+
+    def test_every_counter_name_is_documented(self):
+        registry = documented_patterns()
+        undocumented = [
+            f"{path}:{line}: {pattern}"
+            for path, line, pattern in collect_call_sites()
+            if not matches_registry(pattern, registry)
+        ]
+        assert not undocumented, (
+            "counter names missing from the registry table in "
+            "docs/OBSERVABILITY.md:\n  " + "\n  ".join(undocumented))
+
+    def test_every_counter_name_is_well_formed(self):
+        malformed = []
+        for path, line, pattern in collect_call_sites():
+            segments = pattern.split(".")
+            if len(segments) < 2 or not all(
+                    s == "*" or SEGMENT.match(s) for s in segments):
+                malformed.append(f"{path}:{line}: {pattern}")
+        assert not malformed, (
+            "counter names must be lowercase dot-separated "
+            "subsystem.component.metric:\n  " + "\n  ".join(malformed))
+
+    def test_unification_semantics(self):
+        assert segments_unify("a.b.c".split("."), "a.b.c".split("."))
+        assert segments_unify("*.iterations".split("."),
+                              "optim.health.*".split("."))
+        assert segments_unify("resilience.supervisor.*".split("."),
+                              "resilience.supervisor.*".split("."))
+        assert not segments_unify("a.b".split("."), "a.c".split("."))
+        assert not segments_unify("a.b".split("."), "a.b.c".split("."))

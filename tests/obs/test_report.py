@@ -49,6 +49,20 @@ class TestCli:
         assert code == 0
         assert "top units by busy cycles" in buffer.getvalue()
 
+    def test_report_json_artifact(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        write_metrics(path, [experiment_entry("F13", 2.0, fake_snapshot())])
+        out = tmp_path / "report.json"
+        with contextlib.redirect_stdout(io.StringIO()):
+            code = main(["report", str(path), "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.obs.report/1"
+        assert [r["experiment"] for r in payload["rows"]] == ["F13"]
+        assert "pass_time" in payload and "stalls" in payload
+
     def test_missing_file_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["report", str(tmp_path / "nope.json")])

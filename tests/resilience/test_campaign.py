@@ -91,6 +91,55 @@ class TestCampaign:
         assert row["cycle_overhead"] == 1.0
 
 
+class TestFleetSection:
+    def test_document_embeds_labeled_fleet_series(self, campaign_result):
+        _, document = campaign_result
+        fleet = document["fleet"]
+        assert fleet["schema"] == "repro.obs.fleet/1"
+        totals = [e for e in fleet["series"]
+                  if e["name"] == "fleet.solve.total"]
+        (entry,) = totals
+        assert entry["labels"] == {
+            "app": "Manipulator", "executor": "resilient",
+            "session": "campaign", "stage": "rate=0.02"}
+        assert entry["value"] == 2.0  # one per trial
+        assert [w["key"] for w in fleet["windows"]] == \
+            ["Manipulator/rate=0.02"]
+
+    def test_latency_is_simulated_time_only(self, campaign_result):
+        # The campaign's fleet section is byte-compared by the CI
+        # determinism gate, so it must carry no host wall-clock series.
+        _, document = campaign_result
+        units = {e["unit"] for e in document["fleet"]["series"]}
+        assert "seconds" not in units
+        latency = [e for e in document["fleet"]["series"]
+                   if e["name"] == "fleet.solve.sim_latency_s"]
+        assert latency and latency[0]["unit"] == "sim_seconds"
+        assert latency[0]["sketch"]["count"] == 2
+
+    def test_timeout_records_deadline_outcomes(self):
+        _, document = run_campaign(tiny_config(timeout_s=60.0))
+        names = {e["name"] for e in document["fleet"]["series"]}
+        assert "fleet.solve.deadline_hit" in names
+
+    def test_no_timeout_records_no_deadline_series(self, campaign_result):
+        _, document = campaign_result
+        names = {e["name"] for e in document["fleet"]["series"]}
+        assert "fleet.solve.deadline_hit" not in names
+        assert "fleet.solve.deadline_miss" not in names
+
+    def test_slo_cli_passes_on_campaign_document(self, campaign_result,
+                                                 tmp_path, capsys):
+        from repro.bench.core import write_bench
+        from repro.obs.__main__ import main as obs_main
+
+        _, document = campaign_result
+        path = tmp_path / "campaign.json"
+        write_bench(path, document)
+        assert obs_main(["slo", str(path)]) == 0
+        assert "OK: all SLO targets met" in capsys.readouterr().out
+
+
 class TestCli:
     def test_campaign_cli_writes_document(self, tmp_path, capsys):
         from repro.resilience.__main__ import main

@@ -93,7 +93,20 @@ class TestChaosCampaign:
     def test_different_seed_still_passes_gates(self):
         _, document = run_chaos(quick_config(seed=7))
         assert document["chaos"]["gates"]["passed"]
-        assert document["seed"] == 7
+
+    def test_fleet_section_is_exact_view_only(self, chaos_result):
+        # The CI byte-compares two chaos documents, so the embedded
+        # fleet section must carry no host wall-clock (seconds) series.
+        _, document = chaos_result
+        fleet = document["fleet"]
+        assert fleet["schema"] == "repro.obs.fleet/1"
+        assert all(e["unit"] != "seconds" for e in fleet["series"])
+        verdicts = [e for e in fleet["series"]
+                    if e["name"] == "fleet.scenario.verdicts"]
+        assert verdicts
+        assert all(e["labels"].get("session") == "chaos"
+                   and {"app", "executor", "fault", "verdict"}
+                   <= set(e["labels"]) for e in verdicts)
 
     def test_config_validation(self):
         with pytest.raises(ResilienceError):
